@@ -1,0 +1,145 @@
+// E11 -- End-to-end ALGO (paper Sec. 9) in the synchronous simulator:
+// Byzantine-strategy sweep at the paper's headline operating points
+// (f = 1, n = d+1 and f = 2, n = (d+1)f), reporting agreement, the achieved
+// relaxation delta, the Theorem 9/12 budget, and protocol costs.
+#include "bench_util.h"
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/exact_bvc.h"
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "hull/gamma.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace {
+
+using namespace rbvc;
+
+double achieved_delta(const workload::SyncOutcome& out) {
+  double worst = 0.0;
+  for (const Vec& dec : out.decisions) {
+    worst = std::max(worst,
+                     distance_to_hull(dec, out.honest_inputs, 2.0));
+  }
+  return worst;
+}
+
+void report() {
+  std::printf("E11: ALGO end-to-end under live Byzantine strategies\n");
+  const workload::SyncStrategy strategies[] = {
+      workload::SyncStrategy::kSilent, workload::SyncStrategy::kEquivocate,
+      workload::SyncStrategy::kLyingRelay,
+      workload::SyncStrategy::kOutlierInput};
+
+  {
+    rbvc::bench::Table t({"d", "n", "strategy", "agreed", "achieved delta",
+                          "Thm 9 budget", "ratio", "msgs", "rounds"});
+    Rng rng(777);
+    for (std::size_t d : {3u, 4u, 6u}) {
+      for (const auto strat : strategies) {
+        workload::SyncExperiment e;
+        e.n = d + 1;
+        e.f = 1;
+        e.honest_inputs = workload::gaussian_cloud(rng, d, d);
+        e.byzantine_ids = {rng.below(e.n)};
+        e.strategy = strat;
+        e.decision = consensus::algo_decision(1);
+        e.seed = rng.next_u64();
+        const auto out = workload::run_sync_experiment(e);
+        const auto ee = edge_extremes(out.honest_inputs);
+        const double budget = std::min(
+            ee.min_edge / 2.0, ee.max_edge / double(e.n - 2));
+        const double delta = achieved_delta(out);
+        t.add_row({std::to_string(d), std::to_string(e.n),
+                   workload::to_string(strat),
+                   check_agreement(out.decisions).identical ? "yes" : "NO",
+                   rbvc::bench::Table::num(delta),
+                   rbvc::bench::Table::num(budget),
+                   rbvc::bench::Table::num(delta / budget),
+                   std::to_string(out.stats.messages),
+                   std::to_string(out.stats.rounds)});
+      }
+    }
+    t.print("f = 1, n = d+1 (one process below the exact-BVC bound)");
+  }
+
+  {
+    rbvc::bench::Table t({"d", "f", "n", "strategy", "agreed",
+                          "achieved delta", "Thm 12 budget", "ratio",
+                          "msgs"});
+    Rng rng(778);
+    const std::size_t d = 3, f = 2, n = (d + 1) * f;
+    for (const auto strat : strategies) {
+      workload::SyncExperiment e;
+      e.n = n;
+      e.f = f;
+      e.honest_inputs = workload::gaussian_cloud(rng, n - f, d);
+      e.byzantine_ids = {1, 5};
+      e.strategy = strat;
+      e.decision = consensus::algo_decision(f);
+      e.seed = rng.next_u64();
+      const auto out = workload::run_sync_experiment(e);
+      const auto ee = edge_extremes(out.honest_inputs);
+      const double budget = ee.max_edge / double(d - 1);
+      const double delta = achieved_delta(out);
+      t.add_row({std::to_string(d), std::to_string(f), std::to_string(n),
+                 workload::to_string(strat),
+                 check_agreement(out.decisions).identical ? "yes" : "NO",
+                 rbvc::bench::Table::num(delta),
+                 rbvc::bench::Table::num(budget),
+                 rbvc::bench::Table::num(delta / budget),
+                 std::to_string(out.stats.messages)});
+    }
+    t.print("f = 2, n = (d+1)f");
+  }
+
+  // Who-wins comparison: exact BVC at n = d+1 fails on simplex-like honest
+  // inputs where ALGO succeeds.
+  {
+    rbvc::bench::Table t({"algorithm", "n", "result"});
+    Rng rng(779);
+    const std::size_t d = 3;
+    const auto honest = workload::random_simplex(rng, d);
+    workload::SyncExperiment e;
+    e.n = d + 1;
+    e.f = 1;
+    e.honest_inputs = {honest[0], honest[1], honest[2]};
+    e.byzantine_ids = {3};
+    e.strategy = workload::SyncStrategy::kOutlierInput;
+    e.seed = 99;
+    e.decision = consensus::exact_bvc_decision(1);
+    const auto exact_out = workload::run_sync_experiment(e);
+    t.add_row({"exact BVC (Vaidya-Garg)", std::to_string(e.n),
+               exact_out.decision_failed ? "FAILS (Gamma empty)"
+                                         : "succeeded (inputs benign)"});
+    e.decision = consensus::algo_decision(1);
+    const auto algo_out = workload::run_sync_experiment(e);
+    t.add_row({"ALGO (input-dependent delta)", std::to_string(e.n),
+               algo_out.decision_failed
+                   ? "FAILS (UNEXPECTED)"
+                   : "succeeds, delta = " +
+                         rbvc::bench::Table::num(achieved_delta(algo_out))});
+    t.print("Headline comparison at n = d+1 = 4, f = 1, d = 3");
+  }
+}
+
+void BM_AlgoRun(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(d);
+  workload::SyncExperiment e;
+  e.n = d + 1;
+  e.f = 1;
+  e.honest_inputs = workload::gaussian_cloud(rng, d, d);
+  e.byzantine_ids = {0};
+  e.strategy = workload::SyncStrategy::kEquivocate;
+  e.decision = consensus::algo_decision(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::run_sync_experiment(e));
+  }
+}
+BENCHMARK(BM_AlgoRun)->Arg(3)->Arg(5)->Arg(8);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

@@ -1,0 +1,75 @@
+// E7 -- Appendix B / Theorem 4 (asynchronous k-relaxed, n = d+2, f = 1):
+// the gamma/2-epsilon matrix forces the output sets Psi^1 and Psi^2 of
+// processes 1 and 2 at least 2*epsilon apart in Linf, breaking
+// epsilon-agreement. We compute the exact minimum gap by LP and sweep
+// epsilon and d.
+#include "bench_util.h"
+
+#include "hull/psi.h"
+#include "workload/adversarial_inputs.h"
+
+namespace {
+
+using namespace rbvc;
+
+RelaxedIntersectionSpec psi_spec(const std::vector<Vec>& s, std::size_t i) {
+  RelaxedIntersectionSpec spec;
+  spec.parts = workload::async_proof_subsets(s, i);
+  spec.k = 2;
+  return spec;
+}
+
+void report() {
+  std::printf(
+      "E7: Appendix B -- forced Linf gap between Psi^1 and Psi^2 (k = 2)\n");
+  rbvc::bench::Table t({"d", "gamma", "eps", "min gap", "2*eps", "verdict"});
+  for (std::size_t d : {3u, 4u, 5u}) {
+    for (double eps : {0.05, 0.1, 0.2, 0.4}) {
+      const double gamma = 1.0;
+      if (2.0 * eps >= gamma) continue;
+      const auto s = workload::appendix_b_inputs(d, gamma, eps);
+      const auto gap =
+          relaxed_intersection_linf_gap(psi_spec(s, 0), psi_spec(s, 1));
+      const bool ok = gap && *gap >= 2.0 * eps - 1e-7;
+      t.add_row({std::to_string(d), rbvc::bench::Table::num(gamma, 3),
+                 rbvc::bench::Table::num(eps, 3),
+                 gap ? rbvc::bench::Table::num(*gap) : "(empty)",
+                 rbvc::bench::Table::num(2.0 * eps, 3),
+                 ok ? "gap >= 2eps (matches App. B)" : "UNEXPECTED"});
+    }
+  }
+  t.print("Minimum Linf distance between forced output sets");
+
+  std::printf(
+      "\nInterpretation: any algorithm at n = d+2 must place process 1's\n"
+      "output in Psi^1 and process 2's in Psi^2; the gap certifies the\n"
+      "epsilon-agreement violation, so n >= (d+2)f+1 is necessary (Thm 4).\n");
+
+  // Control: all pairwise gaps for the first four processes.
+  rbvc::bench::Table t2({"pair", "min gap"});
+  const auto s = workload::appendix_b_inputs(3, 1.0, 0.2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      const auto gap =
+          relaxed_intersection_linf_gap(psi_spec(s, i), psi_spec(s, j));
+      t2.add_row({"Psi^" + std::to_string(i + 1) + " vs Psi^" +
+                      std::to_string(j + 1),
+                  gap ? rbvc::bench::Table::num(*gap) : "(empty)"});
+    }
+  }
+  t2.print("All pairwise output-set gaps (d = 3, eps = 0.2)");
+}
+
+void BM_AppendixBGap(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto s = workload::appendix_b_inputs(d, 1.0, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        relaxed_intersection_linf_gap(psi_spec(s, 0), psi_spec(s, 1)));
+  }
+}
+BENCHMARK(BM_AppendixBGap)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

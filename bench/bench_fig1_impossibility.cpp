@@ -1,0 +1,125 @@
+// E5 -- Figure 1 / Lemma 10: (delta,p)-relaxed BVC is impossible with
+// n <= 3f, reproduced as an executable scenario.
+//
+// The proof joins two copies of a 3-process system into a hexagonal ring
+// p0 q0 r0 p1 q1 r1 with inputs 0,0,0,1,1,1. Every adjacent pair's local
+// view is indistinguishable from a genuine 3-process execution in which the
+// third process is Byzantine (it "bridges" the two ring halves). Hence:
+//   * pairs whose inputs agree must, by (delta,p)-relaxed validity with
+//     input-dependent delta (= kappa * 0 here), decide exactly their common
+//     input;
+//   * every adjacent pair must agree (exact consensus).
+// Chasing these constraints around the ring forces 0 = 1. We run the ring
+// with a concrete deterministic decision rule and print which constraints
+// break -- for ANY rule at least one must.
+#include "bench_util.h"
+
+#include "hull/delta_star.h"
+#include "linalg/vec.h"
+#include "protocols/bracha_rbc.h"
+#include "protocols/om_broadcast.h"
+
+namespace {
+
+using namespace rbvc;
+
+constexpr std::size_t kD = 2;  // vector dimension for the demo
+
+Vec ring_decide(const Vec& left, const Vec& own, const Vec& right) {
+  // The candidate algorithm under test: ALGO's step-2 geometry on the
+  // 3-value multiset with f = 1 (any deterministic rule would do).
+  return delta_star_2({left, own, right}, 1).point;
+}
+
+void report() {
+  std::printf(
+      "E5: Figure 1 hexagon -- impossibility of (delta,p)-relaxed consensus "
+      "with n = 3, f = 1\n");
+
+  const Vec zero = zeros(kD);
+  const Vec one(kD, 1.0);
+  const char* names[6] = {"p0", "q0", "r0", "p1", "q1", "r1"};
+  const Vec inputs[6] = {zero, zero, zero, one, one, one};
+
+  // Full-information ring execution: each process learns its two ring
+  // neighbors' (honestly reported) inputs and decides.
+  Vec decisions[6];
+  for (int i = 0; i < 6; ++i) {
+    const Vec& left = inputs[(i + 5) % 6];
+    const Vec& right = inputs[(i + 1) % 6];
+    decisions[i] = ring_decide(left, inputs[i], right);
+  }
+
+  {
+    rbvc::bench::Table t({"process", "input", "decision"});
+    for (int i = 0; i < 6; ++i) {
+      t.add_row({names[i], to_string(inputs[i]), to_string(decisions[i])});
+    }
+    t.print("Ring execution (scenario A)");
+  }
+
+  // Constraint audit.
+  rbvc::bench::Table t({"constraint", "from scenario", "status"});
+  int violations = 0;
+  auto check = [&](const std::string& label, const std::string& scenario,
+                   bool ok) {
+    t.add_row({label, scenario, ok ? "satisfied" : "VIOLATED"});
+    if (!ok) ++violations;
+  };
+  // Validity constraints: same-input adjacent pairs must output the input
+  // (their pair scenario has identical honest inputs -> max-edge(E+) = 0 ->
+  // the relaxation budget collapses to delta = 0).
+  const int same_pairs[4][2] = {{0, 1}, {1, 2}, {3, 4}, {4, 5}};
+  for (const auto& pr : same_pairs) {
+    const bool ok =
+        approx_equal(decisions[pr[0]], inputs[pr[0]], 1e-9) &&
+        approx_equal(decisions[pr[1]], inputs[pr[1]], 1e-9);
+    check(std::string("validity: ") + names[pr[0]] + "," + names[pr[1]] +
+              " -> " + to_string(inputs[pr[0]]),
+          std::string("B-like (third process Byzantine)"), ok);
+  }
+  // Agreement constraints: every adjacent pair must decide identically.
+  for (int i = 0; i < 6; ++i) {
+    const int j = (i + 1) % 6;
+    check(std::string("agreement: ") + names[i] + " == " + names[j],
+          "C-like (middle process Byzantine)",
+          approx_equal(decisions[i], decisions[j], 1e-9));
+  }
+  t.print("Indistinguishability constraint audit");
+  std::printf(
+      "\n%d constraint(s) violated -- as Lemma 10 proves, no deterministic "
+      "rule can satisfy all of them at n = 3f.\n",
+      violations);
+
+  // The protocol layer enforces the same bound up front: both broadcast
+  // primitives refuse n = 3, f = 1.
+  rbvc::bench::Table guard({"primitive", "n", "f", "construction"});
+  auto probe = [&](const char* name, auto make) {
+    try {
+      make();
+      guard.add_row({name, "3", "1", "accepted (BUG)"});
+    } catch (const invalid_argument&) {
+      guard.add_row({name, "3", "1", "rejected: needs n >= 3f+1"});
+    }
+  };
+  probe("EIG broadcast", [] {
+    protocols::EigConsensusProcess p(3, 1, 0, zeros(kD), zeros(kD),
+                                     [](const std::vector<Vec>& s) {
+                                       return s.front();
+                                     });
+  });
+  probe("Bracha RBC", [] { protocols::BrachaRbc rbc(3, 1, 0); });
+  guard.print("Protocol-level guardrails");
+}
+
+void BM_RingDecision(benchmark::State& state) {
+  const Vec a = zeros(kD), b(kD, 1.0), c(kD, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring_decide(a, b, c));
+  }
+}
+BENCHMARK(BM_RingDecision);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

@@ -1,0 +1,144 @@
+// E14 -- Ablation of the geometry engines: the three point-to-hull distance
+// paths (Wolfe exact L2, LP exact L1/Linf, Frank-Wolfe iterative), the
+// delta* paths (closed-form inradius vs LP bisection vs minimax), and the
+// Psi encodings (halfplane fast path vs barycentric lambda-LP). Accuracy
+// agreement is printed first; timings follow.
+#include "bench_util.h"
+
+#include <cmath>
+
+#include "geometry/simplex_geometry.h"
+#include "hull/delta_star.h"
+#include "geometry/hull.h"
+#include "hull/psi.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace rbvc;
+
+void report() {
+  std::printf("E14: geometry-engine ablation (accuracy cross-checks)\n");
+
+  {
+    rbvc::bench::Table t({"d", "n", "Wolfe L2", "FW L2 (2k iters)",
+                          "|diff|", "LP Linf", "Wolfe-lower-bounds-Linf"});
+    Rng rng(55);
+    for (std::size_t d : {3u, 6u, 10u}) {
+      const auto pts = workload::gaussian_cloud(rng, d + 3, d);
+      const Vec u = scale(3.0, rng.normal_vec(d));
+      const double w = detail::wolfe_min_norm(u, pts, kTol).distance;
+      const double fw =
+          detail::lp_projection_frank_wolfe(u, pts, 2.0).distance;
+      const double li =
+          detail::lp_projection_via_lp(u, pts, kInfNorm, kTol).distance;
+      t.add_row({std::to_string(d), std::to_string(d + 3),
+                 rbvc::bench::Table::num(w), rbvc::bench::Table::num(fw),
+                 rbvc::bench::Table::num(std::abs(w - fw)),
+                 rbvc::bench::Table::num(li),
+                 li <= w + 1e-9 ? "yes" : "NO"});
+    }
+    t.print("Distance engines on identical instances");
+  }
+
+  {
+    rbvc::bench::Table t({"d", "inradius (closed form)",
+                          "minimax (numerical)", "rel err"});
+    Rng rng(66);
+    for (std::size_t d : {3u, 5u, 7u}) {
+      const auto s = workload::random_simplex(rng, d);
+      const auto g = SimplexGeometry::build(s);
+      MinimaxOptions opts;
+      opts.iters = 2000;
+      opts.polish_iters = 400;
+      const auto mm = min_max_hull_distance(drop_f_subsets(s, 1), mean(s),
+                                            opts);
+      t.add_row({std::to_string(d), rbvc::bench::Table::num(g->inradius()),
+                 rbvc::bench::Table::num(mm.value),
+                 rbvc::bench::Table::num(
+                     std::abs(mm.value - g->inradius()) / g->inradius())});
+    }
+    t.print("delta* closed form vs numerical minimax");
+  }
+}
+
+void BM_WolfeProjection(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto pts = workload::gaussian_cloud(rng, d + 4, d);
+  const Vec u = scale(3.0, rng.normal_vec(d));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detail::wolfe_min_norm(u, pts, kTol).distance);
+  }
+}
+BENCHMARK(BM_WolfeProjection)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_LpProjectionLinf(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto pts = workload::gaussian_cloud(rng, d + 4, d);
+  const Vec u = scale(3.0, rng.normal_vec(d));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detail::lp_projection_via_lp(u, pts, kInfNorm, kTol).distance);
+  }
+}
+BENCHMARK(BM_LpProjectionLinf)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_FrankWolfe(benchmark::State& state) {
+  Rng rng(3);
+  const auto pts = workload::gaussian_cloud(rng, 10, 6);
+  const Vec u = scale(3.0, rng.normal_vec(6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detail::lp_projection_frank_wolfe(
+            u, pts, 3.0, static_cast<std::size_t>(state.range(0)))
+            .distance);
+  }
+}
+BENCHMARK(BM_FrankWolfe)->Arg(200)->Arg(2000);
+
+void BM_HullMembership(benchmark::State& state) {
+  Rng rng(4);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto pts = workload::gaussian_cloud(rng, 2 * d, d);
+  const Vec u = rng.normal_vec(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in_hull(u, pts));
+  }
+}
+BENCHMARK(BM_HullMembership)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_PsiHalfplanePath(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto y = workload::gaussian_cloud(rng, d + 2, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi_k_point(y, 1, 2).has_value());
+  }
+}
+BENCHMARK(BM_PsiHalfplanePath)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_PsiLambdaPath(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto y = workload::gaussian_cloud(rng, d + 2, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi_k_point(y, 1, 3).has_value());
+  }
+}
+BENCHMARK(BM_PsiLambdaPath)->Arg(3)->Arg(5);
+
+void BM_SimplexInradius(benchmark::State& state) {
+  Rng rng(7);
+  const auto s = workload::random_simplex(
+      rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimplexGeometry::build(s)->inradius());
+  }
+}
+BENCHMARK(BM_SimplexInradius)->Arg(3)->Arg(8)->Arg(16);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

@@ -1,0 +1,136 @@
+// E15 -- Protocol costs: EIG interactive-consistency message counts vs
+// (n, f) (the O(n^(f+2)) growth the Lamport-Shostak-Pease pattern implies),
+// Bracha RBC message counts, and raw engine throughput.
+#include "bench_util.h"
+
+#include "consensus/algo_relaxed.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace {
+
+using namespace rbvc;
+
+void report() {
+  std::printf("E15: protocol and simulator costs\n");
+
+  {
+    rbvc::bench::Table t({"n", "f", "rounds", "messages (fault-free IC)",
+                          "msgs per process"});
+    Rng rng(33);
+    struct Case {
+      std::size_t n, f;
+    };
+    for (const auto c : {Case{4, 1}, Case{5, 1}, Case{7, 1}, Case{7, 2},
+                         Case{8, 2}, Case{10, 3}}) {
+      workload::SyncExperiment e;
+      e.n = c.n;
+      e.f = c.f;
+      e.honest_inputs = workload::gaussian_cloud(rng, c.n, 2);
+      e.byzantine_ids = {};
+      e.decision = consensus::algo_decision(c.f);
+      const auto out = workload::run_sync_experiment(e);
+      t.add_row({std::to_string(c.n), std::to_string(c.f),
+                 std::to_string(out.stats.rounds),
+                 std::to_string(out.stats.messages),
+                 rbvc::bench::Table::num(
+                     double(out.stats.messages) / double(c.n))});
+    }
+    t.print("EIG interactive consistency message complexity");
+  }
+
+  {
+    // EIG (unauthenticated, n >= 3f+1) vs Dolev-Strong (signatures,
+    // n >= f+2): message counts and minimum viable n side by side.
+    rbvc::bench::Table t({"n", "f", "backend", "feasible", "messages"});
+    Rng rng(55);
+    struct Case {
+      std::size_t n, f;
+    };
+    for (const auto c : {Case{3, 1}, Case{4, 1}, Case{7, 2}, Case{5, 2},
+                         Case{6, 4}}) {
+      for (const auto backend : {workload::SyncBackend::kEig,
+                                 workload::SyncBackend::kDolevStrong}) {
+        const char* name =
+            backend == workload::SyncBackend::kEig ? "EIG" : "Dolev-Strong";
+        const bool feasible = backend == workload::SyncBackend::kEig
+                                  ? c.n >= 3 * c.f + 1
+                                  : c.n >= c.f + 2;
+        if (!feasible) {
+          t.add_row({std::to_string(c.n), std::to_string(c.f), name,
+                     "no (below bound)", "-"});
+          continue;
+        }
+        workload::SyncExperiment e;
+        e.n = c.n;
+        e.f = c.f;
+        e.honest_inputs = workload::gaussian_cloud(rng, c.n, 2);
+        e.byzantine_ids = {};
+        e.decision = consensus::algo_decision(c.f);
+        e.backend = backend;
+        const auto out = workload::run_sync_experiment(e);
+        t.add_row({std::to_string(c.n), std::to_string(c.f), name, "yes",
+                   std::to_string(out.stats.messages)});
+      }
+    }
+    t.print("EIG vs authenticated Dolev-Strong (paper footnote 3)");
+  }
+
+  {
+    rbvc::bench::Table t({"n", "f", "deliveries", "sends",
+                          "rounds (averaging)"});
+    Rng rng(44);
+    for (std::size_t n : {4u, 5u, 7u}) {
+      workload::AsyncExperiment e;
+      e.prm.n = n;
+      e.prm.f = 1;
+      e.prm.rounds = 4;
+      e.d = 3;
+      e.honest_inputs = workload::gaussian_cloud(rng, n, 3);
+      e.byzantine_ids = {};
+      e.seed = rng.next_u64();
+      const auto out = workload::run_async_experiment(e);
+      t.add_row({std::to_string(n), "1", std::to_string(out.stats.deliveries),
+                 std::to_string(out.stats.sends), "4"});
+    }
+    t.print("Relaxed Verified Averaging traffic (fault-free)");
+  }
+}
+
+void BM_InteractiveConsistency(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = static_cast<std::size_t>(state.range(1));
+  Rng rng(n * 10 + f);
+  workload::SyncExperiment e;
+  e.n = n;
+  e.f = f;
+  e.honest_inputs = workload::gaussian_cloud(rng, n, 3);
+  e.byzantine_ids = {};
+  e.decision = consensus::algo_decision(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::run_sync_experiment(e));
+  }
+}
+BENCHMARK(BM_InteractiveConsistency)->Args({4, 1})->Args({7, 2});
+
+void BM_AsyncAveragingRun(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  workload::AsyncExperiment e;
+  e.prm.n = n;
+  e.prm.f = 1;
+  e.prm.rounds = 3;
+  e.d = 3;
+  e.honest_inputs = workload::gaussian_cloud(rng, n, 3);
+  e.byzantine_ids = {};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    e.seed = seed++;
+    benchmark::DoNotOptimize(workload::run_async_experiment(e));
+  }
+}
+BENCHMARK(BM_AsyncAveragingRun)->Arg(4)->Arg(6);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

@@ -1,0 +1,91 @@
+// E6 -- Theorem 3's impossibility construction (synchronous k-relaxed,
+// f = 1, k = 2): the gamma/epsilon input matrix makes Psi_2(Y) empty at
+// n = d+1, certifying that n >= (d+1)f + 1 is necessary. The control rows
+// show the same machinery reporting non-empty Psi for n = d+2 inputs --
+// the bound is exactly tight.
+#include "bench_util.h"
+
+#include <chrono>
+
+#include "hull/psi.h"
+#include "workload/adversarial_inputs.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace rbvc;
+
+void report() {
+  std::printf("E6: Theorem 3 construction -- Psi_2 emptiness at n = d+1\n");
+  rbvc::bench::Table t({"d", "n", "inputs", "k", "Psi_k", "verdict",
+                        "LP time (ms)"});
+  Rng rng(1009);
+  for (std::size_t d = 3; d <= 8; ++d) {
+    {
+      const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool nonempty = psi_k_point(y, 1, 2).has_value();
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      t.add_row({std::to_string(d), std::to_string(d + 1), "paper matrix",
+                 "2", nonempty ? "non-empty" : "EMPTY",
+                 nonempty ? "UNEXPECTED" : "matches Thm 3",
+                 rbvc::bench::Table::num(ms, 3)});
+    }
+    {
+      const auto y = workload::gaussian_cloud(rng, d + 2, d);
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool nonempty = psi_k_point(y, 1, 2).has_value();
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      t.add_row({std::to_string(d), std::to_string(d + 2), "random control",
+                 "2", nonempty ? "non-empty" : "EMPTY",
+                 nonempty ? "matches tightness" : "UNEXPECTED",
+                 rbvc::bench::Table::num(ms, 3)});
+    }
+  }
+  t.print("Psi_2 feasibility at and above the bound");
+
+  // Lemma 2 lift: emptiness propagates from k = 2 upward.
+  rbvc::bench::Table t2({"d", "k", "Psi_k of paper matrix"});
+  for (std::size_t k : {2u, 3u, 4u}) {
+    const std::size_t d = 4;
+    const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+    t2.add_row({std::to_string(d), std::to_string(k),
+                psi_k_point(y, 1, k).has_value() ? "non-empty (UNEXPECTED)"
+                                                 : "EMPTY (Lemma 2)"});
+  }
+  t2.print("Lemma 2: emptiness lifts to larger k");
+
+  // k = 1 stays solvable at n = d+1 (Sec. 5.3).
+  const auto y = workload::thm3_inputs(4, 1.0, 0.5);
+  std::printf("\nk = 1 on the same inputs: Psi_1 %s (k=1 needs only 3f+1)\n",
+              psi_k_point(y, 1, 1).has_value() ? "non-empty" : "EMPTY");
+}
+
+void BM_PsiAdversarial(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi_k_point(y, 1, 2).has_value());
+  }
+}
+BENCHMARK(BM_PsiAdversarial)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_PsiRandomControl(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto y = workload::gaussian_cloud(rng, d + 2, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi_k_point(y, 1, 2).has_value());
+  }
+}
+BENCHMARK(BM_PsiRandomControl)->Arg(3)->Arg(5)->Arg(7);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

@@ -1,0 +1,129 @@
+// E10 -- Section 8: Tverberg's theorem and its tightness under the relaxed
+// hulls. Three exhibits:
+//   (a) n = (d+1)f + 1 random points always admit a Tverberg partition
+//       (exhaustive search + LP certificates);
+//   (b) n = (d+1)f moment-curve points admit none -- tightness;
+//   (c) tightness survives when H is replaced by H_k or H_(delta,p) with
+//       small delta (the paper's observation), and breaks for huge delta.
+#include "bench_util.h"
+
+#include <chrono>
+
+#include "geometry/tverberg.h"
+#include "hull/psi.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace rbvc;
+
+IntersectionOracle k_oracle(std::size_t k) {
+  return [k](const std::vector<std::vector<Vec>>& parts) {
+    RelaxedIntersectionSpec spec;
+    spec.parts = parts;
+    spec.k = k;
+    return relaxed_intersection_point(spec).has_value();
+  };
+}
+
+IntersectionOracle delta_oracle(double delta) {
+  return [delta](const std::vector<std::vector<Vec>>& parts) {
+    RelaxedIntersectionSpec spec;
+    spec.parts = parts;
+    spec.k = 0;
+    spec.delta = delta;
+    spec.p = kInfNorm;
+    return relaxed_intersection_point(spec).has_value();
+  };
+}
+
+void report() {
+  std::printf("E10: Tverberg partitions (paper Sec. 8)\n");
+
+  // (a) Guaranteed partitions at the bound.
+  {
+    rbvc::bench::Table t({"d", "f", "n", "partitions (Stirling)",
+                          "partition found", "time (ms)"});
+    Rng rng(9001);
+    struct Case {
+      std::size_t d, f;
+    };
+    for (const auto c : {Case{2, 1}, Case{3, 1}, Case{4, 1}, Case{2, 2},
+                         Case{3, 2}}) {
+      const std::size_t n = (c.d + 1) * c.f + 1;
+      const auto pts = workload::gaussian_cloud(rng, n, c.d);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto part = find_tverberg_partition(pts, c.f + 1);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      t.add_row({std::to_string(c.d), std::to_string(c.f), std::to_string(n),
+                 rbvc::bench::Table::num(stirling2(n, c.f + 1), 6),
+                 part ? "yes" : "NO (violates Tverberg!)",
+                 rbvc::bench::Table::num(ms, 3)});
+    }
+    t.print("(a) n = (d+1)f + 1 random points");
+  }
+
+  // (b) Tightness below the bound (moment curve).
+  {
+    rbvc::bench::Table t({"d", "f", "n", "partition found"});
+    for (std::size_t d : {2u, 3u, 4u}) {
+      const std::size_t f = 1, n = (d + 1) * f;
+      const auto pts = moment_curve_points(n, d);
+      t.add_row({std::to_string(d), std::to_string(f), std::to_string(n),
+                 find_tverberg_partition(pts, f + 1)
+                     ? "yes (UNEXPECTED)"
+                     : "none -- bound tight"});
+    }
+    const auto pts6 = moment_curve_points(6, 2);
+    t.add_row({"2", "2", "6",
+               find_tverberg_partition(pts6, 3) ? "yes (UNEXPECTED)"
+                                                : "none -- bound tight"});
+    t.print("(b) n = (d+1)f moment-curve points");
+  }
+
+  // (c) Relaxed hulls keep the bound tight (small relaxation), and a large
+  // relaxation eventually admits partitions.
+  {
+    rbvc::bench::Table t({"hull", "relaxation", "partition at n=(d+1)f"});
+    const auto pts = moment_curve_points(4, 3);
+    t.add_row({"H_k", "k = 2",
+               find_tverberg_partition(pts, 2, k_oracle(2))
+                   ? "yes (UNEXPECTED)"
+                   : "none -- Thm 3 keeps it tight"});
+    t.add_row({"H_(delta,inf)", "delta = 1e-6",
+               find_tverberg_partition(pts, 2, delta_oracle(1e-6))
+                   ? "yes (UNEXPECTED)"
+                   : "none -- Thm 5 keeps it tight"});
+    t.add_row({"H_(delta,inf)", "delta = 1e3",
+               find_tverberg_partition(pts, 2, delta_oracle(1e3))
+                   ? "yes -- huge delta trivializes validity"
+                   : "none (UNEXPECTED)"});
+    t.print("(c) relaxed-hull Tverberg tightness (d = 3, f = 1)");
+  }
+}
+
+void BM_TverbergSearch(benchmark::State& state) {
+  Rng rng(17);
+  const std::size_t d = 2, f = static_cast<std::size_t>(state.range(0));
+  const auto pts = workload::gaussian_cloud(rng, (d + 1) * f + 1, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_tverberg_partition(pts, f + 1));
+  }
+}
+BENCHMARK(BM_TverbergSearch)->Arg(1)->Arg(2);
+
+void BM_HullsIntersect(benchmark::State& state) {
+  Rng rng(19);
+  const auto a = workload::gaussian_cloud(rng, 4, 3);
+  const auto b = workload::gaussian_cloud(rng, 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hulls_intersect({a, b}));
+  }
+}
+BENCHMARK(BM_HullsIntersect);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

@@ -1,0 +1,69 @@
+// Shared helpers for the experiment benches: fixed-width table printing and
+// a standard main() that first regenerates the experiment's paper-style
+// table, then runs the registered google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rbvc::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  static std::string num(double v, int precision = 4) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    return buf;
+  }
+
+  void print(const char* title) const {
+    std::printf("\n== %s ==\n", title);
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("| %-*s ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("|\n");
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("|%s", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("|\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rbvc::bench
+
+/// Defines a main() that prints the experiment report, then runs timings.
+#define RBVC_BENCH_MAIN(report_fn)                      \
+  int main(int argc, char** argv) {                     \
+    report_fn();                                        \
+    ::benchmark::Initialize(&argc, argv);               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();              \
+    ::benchmark::Shutdown();                            \
+    return 0;                                           \
+  }

@@ -1,0 +1,86 @@
+// Asynchronous federated aggregation with stragglers and Byzantine workers.
+//
+// n workers hold d-dimensional model-parameter vectors and must converge on
+// a common vector without any timing assumptions: messages can be delayed
+// arbitrarily (stragglers), and up to f workers are Byzantine. This is
+// approximate Byzantine vector consensus; the classic bound demands
+// n >= (d+2)f+1 workers, which for d = 8, f = 1 means 11 workers. The
+// paper's Relaxed Verified Averaging (Sec. 10) runs with just 3f+1 = 4,
+// trading exact hull validity for an input-dependent tolerance.
+#include <cstdio>
+
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+int main() {
+  using namespace rbvc;
+  constexpr std::size_t kD = 8;
+  constexpr std::size_t kF = 1;
+  Rng rng(777);
+
+  // Honest workers' parameters cluster around the "true" model.
+  const Vec true_model = scale(0.5, rng.normal_vec(kD));
+  auto params = [&](std::size_t count) {
+    std::vector<Vec> ps;
+    for (std::size_t i = 0; i < count; ++i) {
+      Vec p = true_model;
+      axpy(0.1, rng.normal_vec(kD), p);
+      ps.push_back(std::move(p));
+    }
+    return ps;
+  };
+
+  std::printf("async federated aggregation: d=%zu, f=%zu\n", kD, kF);
+  std::printf("classic bound (d+2)f+1 = %zu workers; relaxed bound 3f+1 = "
+              "%zu\n\n", (kD + 2) * kF + 1, 3 * kF + 1);
+
+  // Run Relaxed Verified Averaging with only 4 workers, one Byzantine,
+  // under an adversarial scheduler that starves one correct worker.
+  workload::AsyncExperiment e;
+  e.prm.n = 4;
+  e.prm.f = kF;
+  e.prm.rounds = 10;
+  e.prm.rule = consensus::AsyncAveragingProcess::Round0Rule::kRelaxedL2;
+  e.d = kD;
+  e.honest_inputs = params(3);
+  e.byzantine_ids = {1};
+  e.strategy = workload::AsyncStrategy::kOutlierInput;
+  e.scheduler = workload::SchedulerKind::kLaggard;
+  e.seed = 31;
+
+  const auto out = workload::run_async_experiment(e);
+  if (out.failed) {
+    std::printf("aggregation failed to terminate\n");
+    return 1;
+  }
+
+  std::printf("correct workers' aggregated models:\n");
+  for (const Vec& d : out.decisions) {
+    std::printf("  %s\n", to_string(d).c_str());
+  }
+
+  const auto agree = check_agreement(out.decisions);
+  std::printf("\nepsilon-agreement: max pairwise Linf = %.3g after %zu "
+              "averaging rounds\n", agree.max_pairwise_linf, e.prm.rounds);
+
+  double max_dist = 0.0;
+  for (const Vec& d : out.decisions) {
+    max_dist = std::max(max_dist,
+                        distance_to_hull(d, out.honest_inputs, 2.0));
+  }
+  const double budget = input_dependent_delta(out.honest_inputs, 1.0);
+  std::printf("validity: aggregate within %.4f of the honest-parameter hull "
+              "(honest spread budget %.4f) -> %s\n", max_dist, budget,
+              max_dist <= budget + 1e-9 ? "OK" : "VIOLATED");
+  for (std::size_t i = 0; i < out.round0_deltas.size(); ++i) {
+    std::printf("  worker %zu round-0 relaxation delta: %.4f\n", i,
+                out.round0_deltas[i]);
+  }
+  std::printf("\nmessages: %zu sends, %zu deliveries (straggler-adversarial "
+              "schedule)\n", out.stats.sends, out.stats.deliveries);
+  std::printf("error vs true model: %.4f (honest workers' own noise ~0.1)\n",
+              dist2(out.decisions.front(), true_model));
+  return 0;
+}

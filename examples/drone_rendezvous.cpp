@@ -1,0 +1,109 @@
+// Drone rendezvous with hijacked fleet members.
+//
+// A fleet of drones must agree on a single 3-D rendezvous point. Each drone
+// proposes its preferred point; up to f drones are hijacked and behave
+// arbitrarily (lying differently to different peers, proposing far-away
+// points, or going silent). Safety requires the agreed point to be close to
+// the hull of the honest proposals -- a hijacker must not be able to drag
+// the fleet to an ambush site.
+//
+// The demo sweeps hijack strategies and fleet sizes, comparing exact BVC
+// (n >= 4f+1 drones for d = 3) against ALGO (n >= 3f+1), and showing the
+// ambush distance stays bounded by the honest-proposal spread.
+#include <cstdio>
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/exact_bvc.h"
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+int main() {
+  using namespace rbvc;
+  constexpr std::size_t kD = 3;
+  Rng rng(1234);
+
+  // Honest drones propose points near the mission area centered at (10, 5, 2).
+  const Vec mission_center = {10.0, 5.0, 2.0};
+  auto propose = [&](std::size_t count, double spread) {
+    std::vector<Vec> ps;
+    for (std::size_t i = 0; i < count; ++i) {
+      Vec p = mission_center;
+      axpy(spread, rng.normal_vec(kD), p);
+      ps.push_back(std::move(p));
+    }
+    return ps;
+  };
+
+  std::printf("drone rendezvous: d = 3, hijack budget f, mission center %s\n",
+              to_string(mission_center).c_str());
+
+  const workload::SyncStrategy attacks[] = {
+      workload::SyncStrategy::kOutlierInput,  // propose an ambush site
+      workload::SyncStrategy::kEquivocate,    // tell each drone different
+      workload::SyncStrategy::kLyingRelay,    // corrupt relayed gossip
+      workload::SyncStrategy::kSilent,        // jammed / destroyed
+  };
+
+  std::printf("\n%-14s %-8s %-10s %-12s %-14s %s\n", "attack", "fleet",
+              "algorithm", "agreed?", "dist-to-hull", "rendezvous");
+  for (const auto attack : attacks) {
+    // Minimal fleet for ALGO: n = 3f+1 = 4 with f = 1.
+    {
+      workload::SyncExperiment e;
+      e.n = 4;
+      e.f = 1;
+      e.honest_inputs = propose(3, 0.5);
+      e.byzantine_ids = {2};
+      e.strategy = attack;
+      e.decision = consensus::algo_decision(1);
+      e.seed = rng.next_u64();
+      const auto out = workload::run_sync_experiment(e);
+      if (out.decision_failed) {
+        std::printf("%-14s %-8s %-10s FAILED: %s\n",
+                    workload::to_string(attack), "4", "ALGO",
+                    out.failure.c_str());
+        continue;
+      }
+      const double drift =
+          distance_to_hull(out.decisions.front(), out.honest_inputs, 2.0);
+      std::printf("%-14s %-8d %-10s %-12s %-14.4f %s\n",
+                  workload::to_string(attack), 4, "ALGO",
+                  check_agreement(out.decisions).identical ? "yes" : "NO",
+                  drift, to_string(out.decisions.front()).c_str());
+    }
+    // Exact fleet: n = 4f+1 = 5.
+    {
+      workload::SyncExperiment e;
+      e.n = 5;
+      e.f = 1;
+      e.honest_inputs = propose(4, 0.5);
+      e.byzantine_ids = {2};
+      e.strategy = attack;
+      e.decision = consensus::exact_bvc_decision(1);
+      e.seed = rng.next_u64();
+      const auto out = workload::run_sync_experiment(e);
+      if (out.decision_failed) {
+        std::printf("%-14s %-8s %-10s FAILED: %s\n",
+                    workload::to_string(attack), "5", "exact",
+                    out.failure.c_str());
+        continue;
+      }
+      const double drift =
+          distance_to_hull(out.decisions.front(), out.honest_inputs, 2.0);
+      std::printf("%-14s %-8d %-10s %-12s %-14.4f %s\n",
+                  workload::to_string(attack), 5, "exact",
+                  check_agreement(out.decisions).identical ? "yes" : "NO",
+                  drift, to_string(out.decisions.front()).c_str());
+    }
+  }
+
+  // Safety claim: the ambush drift of ALGO is bounded by the honest spread.
+  std::printf(
+      "\nSafety: ALGO's distance-to-honest-hull never exceeds\n"
+      "min(min-edge/2, max-edge/(n-2)) of the honest proposals (Thm 9) --\n"
+      "a hijacker cannot move the rendezvous further than the fleet's own\n"
+      "disagreement, no matter the attack.\n");
+  return 0;
+}

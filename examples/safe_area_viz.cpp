@@ -1,0 +1,48 @@
+// Safe-area visualizer: renders the geometry behind the algorithms as an
+// SVG -- the 2-D inputs, their convex hull, the Byzantine-safe polygons
+// Gamma(S) for f = 1 and f = 2, and ALGO's decision point. Open the output
+// in any browser to see how the safe region shrinks as the fault budget
+// grows, and where the decision lands.
+//
+//   ./build/examples/safe_area_viz [output.svg]
+#include <cstdio>
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/hull_consensus.h"
+#include "workload/generators.h"
+#include "workload/svg.h"
+
+int main(int argc, char** argv) {
+  using namespace rbvc;
+  const std::string path = argc > 1 ? argv[1] : "safe_area.svg";
+
+  Rng rng(20160130);  // the paper's arXiv date, why not
+  const auto inputs = workload::gaussian_cloud(rng, 9, 2);
+
+  workload::SvgScene scene(720);
+  scene.add_hull(inputs, "#9467bd", "hull of all 9 inputs");
+  scene.add_points(inputs, "#333333", "process inputs");
+
+  for (std::size_t f : {1u, 2u}) {
+    const auto poly = consensus::gamma_polygon(inputs, f);
+    if (!poly) {
+      std::printf("Gamma(S) empty for f = %zu\n", f);
+      continue;
+    }
+    scene.add_polygon(*poly, f == 1 ? "#2ca02c" : "#d62728",
+                      "Gamma(S), f = " + std::to_string(f));
+    std::printf("f = %zu: safe polygon with %zu vertices, area %.4f\n", f,
+                poly->size(), polygon_area(*poly));
+  }
+
+  const Vec decision = consensus::algo_decision(2)(inputs);
+  scene.add_marker(decision, "#ff7f0e", "ALGO decision (f = 2)");
+  std::printf("ALGO (f = 2) decision: %s\n", to_string(decision).c_str());
+
+  if (!scene.write_file(path)) {
+    std::printf("failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s -- open it in a browser\n", path.c_str());
+  return 0;
+}

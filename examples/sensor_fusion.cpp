@@ -1,0 +1,133 @@
+// Sensor fusion with compromised sensors.
+//
+// A plant is monitored by n sensor nodes, each producing a d-dimensional
+// state estimate (temperature, pressure, flow, vibration, ...). Up to f
+// nodes may be compromised and report arbitrary values -- possibly
+// different values to different peers. The nodes must agree on one fused
+// state estimate that is meaningfully close to the honest measurements.
+//
+// This is Byzantine vector consensus verbatim. The demo contrasts:
+//   * exact BVC     -- needs n >= (d+1)f+1 sensors, exact validity;
+//   * ALGO          -- works from n = 3f+1 sensors, validity within an
+//                      input-dependent delta (tiny when sensors agree);
+//   * 1-relaxed     -- per-axis median, box validity.
+// The punchline mirrors the paper: with d = 6 and f = 1 you'd need 8
+// sensors for exact fusion, but 4 suffice once the validity condition is
+// relaxed -- and because honest measurements cluster tightly, the relaxed
+// output is still within sensor noise of the truth.
+#include <cstdio>
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/exact_bvc.h"
+#include "consensus/k_relaxed.h"
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+int main() {
+  using namespace rbvc;
+  constexpr std::size_t kD = 6;  // state dimension
+  constexpr std::size_t kF = 1;  // compromised-sensor budget
+  Rng rng(99);
+
+  // Honest sensors measure the true state plus noise.
+  const Vec true_state = {450.0, 2.1, 13.7, 0.02, 96.0, 7.4};
+  auto measure = [&](std::size_t count) {
+    std::vector<Vec> ms;
+    for (std::size_t i = 0; i < count; ++i) {
+      Vec m = true_state;
+      axpy(0.05, rng.normal_vec(kD), m);  // sensor noise
+      ms.push_back(std::move(m));
+    }
+    return ms;
+  };
+
+  std::printf("sensor fusion: d=%zu state, f=%zu compromised sensor\n",
+              kD, kF);
+  std::printf("true state: %s\n\n", to_string(true_state).c_str());
+
+  // --- Attempt 1: exact BVC with only 4 sensors (below its bound of 8).
+  {
+    workload::SyncExperiment e;
+    e.n = 4;
+    e.f = kF;
+    e.honest_inputs = measure(3);
+    e.byzantine_ids = {1};
+    e.strategy = workload::SyncStrategy::kOutlierInput;
+    e.decision = consensus::exact_bvc_decision(kF);
+    e.seed = 5;
+    const auto out = workload::run_sync_experiment(e);
+    std::printf("[4 sensors] exact BVC: %s\n",
+                out.decision_failed ? out.failure.c_str() : "succeeded");
+  }
+
+  // --- Attempt 2: ALGO with the same 4 sensors.
+  {
+    workload::SyncExperiment e;
+    e.n = 4;
+    e.f = kF;
+    e.honest_inputs = measure(3);
+    e.byzantine_ids = {1};
+    e.strategy = workload::SyncStrategy::kOutlierInput;
+    e.decision = consensus::algo_decision(kF);
+    e.seed = 5;
+    const auto out = workload::run_sync_experiment(e);
+    if (out.decision_failed) {
+      std::printf("[4 sensors] ALGO: unexpectedly failed\n");
+      return 1;
+    }
+    const Vec& fused = out.decisions.front();
+    const double err = dist2(fused, true_state);
+    const double budget = input_dependent_delta(out.honest_inputs, 0.5);
+    std::printf("[4 sensors] ALGO fused estimate: %s\n",
+                to_string(fused).c_str());
+    std::printf("            error vs true state: %.4f "
+                "(honest sensors span %.4f; relaxation budget %.4f)\n",
+                err, edge_extremes(out.honest_inputs).max_edge, budget);
+    std::printf("            agreement: %s\n",
+                check_agreement(out.decisions).identical ? "exact"
+                                                         : "VIOLATED");
+  }
+
+  // --- Attempt 3: per-axis median (1-relaxed) with 4 sensors.
+  {
+    workload::SyncExperiment e;
+    e.n = 4;
+    e.f = kF;
+    e.honest_inputs = measure(3);
+    e.byzantine_ids = {0};
+    e.strategy = workload::SyncStrategy::kEquivocate;
+    e.decision = consensus::k_relaxed_decision(kF, 1);
+    e.seed = 6;
+    const auto out = workload::run_sync_experiment(e);
+    std::printf("[4 sensors] per-axis median estimate: %s (err %.4f)\n",
+                to_string(out.decisions.front()).c_str(),
+                dist2(out.decisions.front(), true_state));
+  }
+
+  // --- Reference: exact BVC with the full 8-sensor array.
+  {
+    workload::SyncExperiment e;
+    e.n = (kD + 1) * kF + 1;  // 8
+    e.f = kF;
+    e.honest_inputs = measure(e.n - 1);
+    e.byzantine_ids = {4};
+    e.strategy = workload::SyncStrategy::kOutlierInput;
+    e.decision = consensus::exact_bvc_decision(kF);
+    e.seed = 7;
+    const auto out = workload::run_sync_experiment(e);
+    if (out.decision_failed) {
+      std::printf("[8 sensors] exact BVC failed unexpectedly\n");
+      return 1;
+    }
+    std::printf("[8 sensors] exact BVC estimate:  %s (err %.4f)\n",
+                to_string(out.decisions.front()).c_str(),
+                dist2(out.decisions.front(), true_state));
+  }
+
+  std::printf("\nTakeaway: relaxed validity halves the sensor count, and the\n"
+              "relaxation budget scales with honest-sensor disagreement --\n"
+              "tightly clustered sensors lose almost nothing.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Signed micro-fleet: consensus with just THREE nodes and one of them
+// Byzantine.
+//
+// Unauthenticated Byzantine consensus needs n >= 3f+1 = 4 processes
+// (Lemma 10 / the classic Fischer-Lynch-Merritt bound) -- a three-node
+// deployment is provably out of reach. But the paper's footnote 3 observes
+// the floor comes from the broadcast substrate, not the vector geometry:
+// give the nodes digital signatures (Dolev-Strong broadcast) and ALGO runs
+// fine at n = 3, f = 1.
+//
+// The demo runs the same 3-node scenario on both backends: EIG refuses at
+// construction; Dolev-Strong reaches exact agreement with bounded validity
+// even against a double-signing equivocator.
+#include <cstdio>
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+int main() {
+  using namespace rbvc;
+  constexpr std::size_t kD = 2;
+  Rng rng(333);
+
+  workload::SyncExperiment e;
+  e.n = 3;
+  e.f = 1;
+  e.honest_inputs = {rng.normal_vec(kD), rng.normal_vec(kD)};
+  e.byzantine_ids = {2};
+  e.strategy = workload::SyncStrategy::kEquivocate;
+  e.decision = consensus::algo_decision(1);
+  e.seed = 12;
+
+  std::printf("signed micro-fleet: n = 3 nodes, f = 1 Byzantine, d = %zu\n\n",
+              kD);
+  std::printf("honest inputs: %s, %s\n",
+              to_string(e.honest_inputs[0]).c_str(),
+              to_string(e.honest_inputs[1]).c_str());
+
+  // --- Attempt 1: unauthenticated (EIG) backend.
+  std::printf("\n[unauthenticated broadcast] ");
+  try {
+    e.backend = workload::SyncBackend::kEig;
+    (void)workload::run_sync_experiment(e);
+    std::printf("unexpectedly ran!\n");
+    return 1;
+  } catch (const invalid_argument& ex) {
+    std::printf("refused as the theory demands:\n  %s\n", ex.what());
+  }
+
+  // --- Attempt 2: authenticated (Dolev-Strong) backend.
+  e.backend = workload::SyncBackend::kDolevStrong;
+  const auto out = workload::run_sync_experiment(e);
+  if (out.decision_failed) {
+    std::printf("\n[signed broadcast] failed: %s\n", out.failure.c_str());
+    return 1;
+  }
+  std::printf("\n[signed broadcast] decisions:\n");
+  for (const Vec& d : out.decisions) {
+    std::printf("  %s\n", to_string(d).c_str());
+  }
+  const auto agree = check_agreement(out.decisions);
+  std::printf("agreement: %s\n", agree.identical ? "EXACT" : "VIOLATED");
+
+  double drift = 0.0;
+  for (const Vec& d : out.decisions) {
+    drift = std::max(drift, distance_to_hull(d, out.honest_inputs, 2.0));
+  }
+  const double spread = edge_extremes(out.honest_inputs).max_edge;
+  std::printf("validity: decision %.4f from the honest segment "
+              "(honest spread %.4f) -> %s\n",
+              drift, spread, drift <= spread + 1e-9 ? "bounded" : "VIOLATED");
+  std::printf("\nmessages: %zu in %zu rounds (Dolev-Strong is O(n^2 f) -- "
+              "cheap at this scale)\n",
+              out.stats.messages, out.stats.rounds);
+  std::printf(
+      "\nTakeaway: the 3f+1 floor is a property of unauthenticated\n"
+      "channels; with signatures, relaxed vector consensus deploys on the\n"
+      "smallest fleet that can out-vote one traitor.\n");
+  return agree.identical ? 0 : 1;
+}

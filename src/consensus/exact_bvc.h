@@ -1,0 +1,23 @@
+// Exact Byzantine vector consensus baseline (Vaidya-Garg [19]):
+// interactive consistency gives every correct process the identical multiset
+// S; the decision is a deterministic point of the safe area
+// Gamma(S) = intersection of H(T) over the drop-f sub-multisets, which
+// Tverberg guarantees non-empty whenever n >= (d+1)f + 1.
+#pragma once
+
+#include "protocols/om_broadcast.h"
+
+namespace rbvc::consensus {
+
+/// Thrown by a decision rule when its feasibility precondition fails (for
+/// instance, exact BVC invoked with n <= (d+1)f: Gamma(S) can be empty).
+class infeasible_instance : public numerical_error {
+ public:
+  using numerical_error::numerical_error;
+};
+
+/// Decision rule: a deterministic point of Gamma(S). Throws
+/// infeasible_instance when Gamma(S) is empty.
+protocols::DecisionFn exact_bvc_decision(std::size_t f, double tol = kTol);
+
+}  // namespace rbvc::consensus

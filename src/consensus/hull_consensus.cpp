@@ -1,0 +1,74 @@
+#include "consensus/hull_consensus.h"
+
+#include "consensus/exact_bvc.h"
+#include "hull/relaxed_hull.h"
+
+namespace rbvc::consensus {
+
+namespace {
+
+std::vector<Point2> to_points2(const std::vector<Vec>& pts) {
+  std::vector<Point2> out;
+  out.reserve(pts.size());
+  for (const Vec& p : pts) {
+    RBVC_REQUIRE(p.size() == 2, "hull consensus: inputs must be 2-D");
+    out.push_back({p[0], p[1]});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<HullDecision> gamma_polygon(const std::vector<Vec>& s,
+                                          std::size_t f, double tol) {
+  const auto subsets = drop_f_subsets(s, f);
+  HullDecision poly = convex_hull_2d(to_points2(subsets.front()), tol);
+  for (std::size_t i = 1; i < subsets.size() && !poly.empty(); ++i) {
+    poly = intersect_convex(poly, convex_hull_2d(to_points2(subsets[i]), tol),
+                            tol);
+  }
+  if (poly.empty()) return std::nullopt;
+  return poly;
+}
+
+bool polygon_in_hull(const HullDecision& poly, const std::vector<Vec>& pts,
+                     double tol) {
+  const auto hull_pts = to_points2(pts);
+  for (const Point2& v : poly) {
+    if (!in_hull_2d(v, hull_pts, tol)) return false;
+  }
+  return true;
+}
+
+protocols::DecisionFn HullConsensusProcess::make_decision(std::size_t f,
+                                                          HullDecision* slot) {
+  return [f, slot](const std::vector<Vec>& s) -> Vec {
+    auto poly = gamma_polygon(s, f);
+    if (!poly) {
+      throw infeasible_instance(
+          "hull consensus: Gamma(S) is empty (n <= 3f for 2-D inputs)");
+    }
+    *slot = *poly;
+    // Representative point: the vertex centroid (deterministic).
+    Vec c = zeros(2);
+    for (const Point2& v : *poly) {
+      c[0] += v.x / static_cast<double>(poly->size());
+      c[1] += v.y / static_cast<double>(poly->size());
+    }
+    return c;
+  };
+}
+
+HullConsensusProcess::HullConsensusProcess(std::size_t n, std::size_t f,
+                                           protocols::ProcessId self,
+                                           Vec input, Vec default_value)
+    : EigConsensusProcess(n, f, self, std::move(input),
+                          std::move(default_value),
+                          make_decision(f, &polygon_)) {}
+
+const HullDecision& HullConsensusProcess::hull_decision() const {
+  RBVC_REQUIRE(decided(), "hull_decision(): process has not decided yet");
+  return polygon_;
+}
+
+}  // namespace rbvc::consensus

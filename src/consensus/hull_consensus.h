@@ -1,0 +1,54 @@
+// Convex Hull Consensus (Tseng-Vaidya [16], the paper's related work):
+// instead of agreeing on a single vector, the processes agree on an entire
+// convex *polytope* that is contained in the hull of the correct inputs --
+// the largest thing they can safely output. Implemented here for d = 2
+// (the polygon algebra is exact via poly2d): after interactive consistency
+// the processes all hold the identical multiset S and deterministically
+// compute the safe polygon
+//
+//     Gamma(S) = intersection over |T| = |S|-f of H(T),
+//
+// which is non-empty whenever n >= (d+1)f + 1 = 3f + 1 (d = 2). The same
+// tight bound as exact BVC -- the paper cites this as evidence that even
+// the hull-valued generalization does not reduce n.
+#pragma once
+
+#include <optional>
+
+#include "geometry/poly2d.h"
+#include "protocols/om_broadcast.h"
+
+namespace rbvc::consensus {
+
+/// The agreed polygon (CCW vertex list; may be degenerate: a segment or a
+/// single point, encoded by 2 or 1 vertices).
+using HullDecision = std::vector<Point2>;
+
+/// Deterministically computes Gamma(S) for 2-D inputs as a polygon, or
+/// nullopt when the intersection is empty. Exact up to clipping tolerance.
+std::optional<HullDecision> gamma_polygon(const std::vector<Vec>& s,
+                                          std::size_t f, double tol = kTol);
+
+/// True iff `poly` is contained in the convex hull of `pts` (within tol).
+bool polygon_in_hull(const HullDecision& poly, const std::vector<Vec>& pts,
+                     double tol = kTol);
+
+/// Synchronous convex-hull-consensus participant: interactive consistency
+/// via EIG, then the Gamma polygon. decision() returns the centroid (a
+/// plain Vec, so the SyncProcess plumbing is reusable); hull_decision()
+/// returns the full polygon.
+class HullConsensusProcess final : public protocols::EigConsensusProcess {
+ public:
+  HullConsensusProcess(std::size_t n, std::size_t f, protocols::ProcessId self,
+                       Vec input, Vec default_value);
+
+  /// The agreed polygon; empty() when Gamma(S) was empty (n <= 3f).
+  const HullDecision& hull_decision() const;
+
+ private:
+  static protocols::DecisionFn make_decision(std::size_t f,
+                                             HullDecision* slot);
+  HullDecision polygon_;
+};
+
+}  // namespace rbvc::consensus

@@ -1,0 +1,64 @@
+// Iterative approximate Byzantine vector consensus (the related-work model
+// of Vaidya [18]): processes do NOT run a broadcast primitive or keep
+// message histories. Each synchronous round every process sends its current
+// value to everyone, collects the received values (a Byzantine process may
+// send a different value to every receiver, every round), and moves to a
+// point of the safe area
+//
+//     Gamma_f(received) = intersection over drop-f subsets of H(T),
+//
+// which is contained in the hull of the correct senders' current values, so
+// validity is preserved round over round while the spread contracts toward
+// epsilon-agreement. Requires n >= (d+1)f + 1 for the safe area to be
+// non-empty (by Tverberg); when a round's safe area is numerically empty
+// (e.g. messages missing), the process holds its value.
+//
+// This contrasts with the paper's ALGO on both axes: cheaper per round
+// (O(n^2) messages, no EIG blowup) but only epsilon-agreement after R
+// rounds rather than exact agreement after f+2, and it needs the full
+// (d+1)f+1 processes -- the iterative model cannot exploit the
+// input-dependent delta relaxation (no common multiset ever exists).
+#pragma once
+
+#include "sim/sync_engine.h"
+
+namespace rbvc::consensus {
+
+class IterativeBvcProcess : public sim::SyncProcess {
+ public:
+  struct Params {
+    std::size_t n = 0;
+    std::size_t f = 0;
+    std::size_t rounds = 10;  // exchange rounds R >= 1
+    double tol = kTol;
+  };
+
+  IterativeBvcProcess(Params prm, sim::ProcessId self, Vec input);
+
+  void round(std::size_t round_no, const std::vector<sim::Message>& inbox,
+             sim::Outbox& out) final;
+  bool decided() const override { return decided_; }
+
+  const Vec& decision() const;
+  const Vec& current() const { return value_; }
+  /// Value at the start of each round (h[0] = input).
+  const std::vector<Vec>& history() const { return history_; }
+
+ protected:
+  /// Hook: the value to send to `recipient` this round. Correct processes
+  /// send current(); Byzantine subclasses equivocate.
+  virtual Vec value_for(sim::ProcessId recipient, std::size_t round_no);
+
+  Params prm_;
+  sim::ProcessId self_;
+
+ private:
+  Vec update(const std::vector<Vec>& received) const;
+  void send_all(std::size_t round_no, sim::Outbox& out);
+
+  Vec value_;
+  std::vector<Vec> history_;
+  bool decided_ = false;
+};
+
+}  // namespace rbvc::consensus

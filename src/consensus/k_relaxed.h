@@ -1,0 +1,22 @@
+// k-relaxed Byzantine vector consensus (paper Sec. 6).
+//
+//   k = 1:          per-coordinate scalar consensus (median of the agreed
+//                   multiset) -- needs only n >= 3f + 1 (the paper's Sec.
+//                   5.3 reduction).
+//   2 <= k <= d:    the tight bound is unchanged from exact BVC,
+//                   n >= (d+1)f + 1 (Thm 3); the decision is a point of
+//                   Gamma(S) when non-empty, falling back to a Psi_k(S)
+//                   point (which contains Gamma(S), so the fallback can
+//                   only widen feasibility below the bound).
+#pragma once
+
+#include "protocols/om_broadcast.h"
+
+namespace rbvc::consensus {
+
+/// Decision rule for k-relaxed exact BVC. Throws infeasible_instance when
+/// even Psi_k(S) is empty (possible iff n is below the Thm 3 bound).
+protocols::DecisionFn k_relaxed_decision(std::size_t f, std::size_t k,
+                                         double tol = kTol);
+
+}  // namespace rbvc::consensus

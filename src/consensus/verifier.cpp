@@ -1,0 +1,59 @@
+#include "consensus/verifier.h"
+
+#include <algorithm>
+
+#include "geometry/hull.h"
+#include "geometry/simplex_geometry.h"
+
+namespace rbvc {
+
+AgreementCheck check_agreement(const std::vector<Vec>& decisions, double tol) {
+  AgreementCheck out;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    for (std::size_t j = i + 1; j < decisions.size(); ++j) {
+      out.max_pairwise_linf = std::max(
+          out.max_pairwise_linf, lp_dist(decisions[i], decisions[j], kInfNorm));
+    }
+  }
+  out.identical = out.max_pairwise_linf <= tol;
+  return out;
+}
+
+bool check_epsilon_agreement(const std::vector<Vec>& decisions, double eps) {
+  return check_agreement(decisions, eps).max_pairwise_linf <= eps;
+}
+
+bool check_exact_validity(const std::vector<Vec>& decisions,
+                          const std::vector<Vec>& honest_inputs, double tol) {
+  for (const Vec& v : decisions) {
+    if (!in_hull(v, honest_inputs, tol)) return false;
+  }
+  return true;
+}
+
+bool check_k_validity(const std::vector<Vec>& decisions,
+                      const std::vector<Vec>& honest_inputs, std::size_t k,
+                      double tol) {
+  for (const Vec& v : decisions) {
+    if (!in_k_relaxed_hull(v, honest_inputs, k, tol)) return false;
+  }
+  return true;
+}
+
+double delta_p_validity_excess(const std::vector<Vec>& decisions,
+                               const std::vector<Vec>& honest_inputs,
+                               double delta, double p, double tol) {
+  double worst = 0.0;
+  for (const Vec& v : decisions) {
+    const double dist = hull_distance(v, honest_inputs, p, tol);
+    worst = std::max(worst, dist - delta);
+  }
+  return std::max(0.0, worst);
+}
+
+double input_dependent_delta(const std::vector<Vec>& honest_inputs,
+                             double kappa, double p) {
+  return kappa * edge_extremes(honest_inputs, p).max_edge;
+}
+
+}  // namespace rbvc

@@ -1,0 +1,47 @@
+// Outcome checking for consensus executions: agreement, epsilon-agreement,
+// and each of the paper's validity conditions (exact, k-relaxed, and
+// (delta,p)-relaxed). Used by tests, benches, and examples to certify runs.
+#pragma once
+
+#include <vector>
+
+#include "hull/relaxed_hull.h"
+
+namespace rbvc {
+
+struct AgreementCheck {
+  bool identical = false;       // exact agreement (within tol)
+  double max_pairwise_linf = 0; // worst pairwise Linf distance
+};
+
+/// Agreement across the correct processes' decisions.
+AgreementCheck check_agreement(const std::vector<Vec>& decisions,
+                               double tol = kTol);
+
+/// Epsilon-agreement: max pairwise Linf distance <= eps.
+bool check_epsilon_agreement(const std::vector<Vec>& decisions, double eps);
+
+/// Exact validity: every decision lies in H(honest_inputs).
+bool check_exact_validity(const std::vector<Vec>& decisions,
+                          const std::vector<Vec>& honest_inputs,
+                          double tol = kTol);
+
+/// k-relaxed validity (Definition 7): every decision lies in
+/// H_k(honest_inputs).
+bool check_k_validity(const std::vector<Vec>& decisions,
+                      const std::vector<Vec>& honest_inputs, std::size_t k,
+                      double tol = kTol);
+
+/// (delta,p)-relaxed validity (Definition 10): every decision within
+/// Lp-distance delta of H(honest_inputs). Returns the worst excess
+/// (max over decisions of dist - delta, clamped at 0): 0 means valid.
+double delta_p_validity_excess(const std::vector<Vec>& decisions,
+                               const std::vector<Vec>& honest_inputs,
+                               double delta, double p, double tol = kTol);
+
+/// The paper's input-dependent delta budget (Sec. 9):
+///   kappa * max edge between honest inputs, measured in Lp.
+double input_dependent_delta(const std::vector<Vec>& honest_inputs,
+                             double kappa, double p = 2.0);
+
+}  // namespace rbvc

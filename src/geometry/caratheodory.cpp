@@ -1,0 +1,105 @@
+#include "geometry/caratheodory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/projection.h"
+#include "linalg/qr.h"
+
+namespace rbvc {
+
+std::optional<CaratheodoryResult> caratheodory_reduce(
+    const Vec& u, const std::vector<Vec>& s, double tol) {
+  auto lambda_opt = hull_coefficients(u, s, tol);
+  if (!lambda_opt) return std::nullopt;
+  const std::size_t d = u.size();
+
+  // Active support with positive weight.
+  std::vector<std::size_t> support;
+  std::vector<double> w;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if ((*lambda_opt)[i] > tol) {
+      support.push_back(i);
+      w.push_back((*lambda_opt)[i]);
+    }
+  }
+  if (support.empty()) {  // u coincided with a vertex at weight ~1
+    support.push_back(0);
+    w.push_back(1.0);
+  }
+
+  // While more than d+1 points support u, they are affinely dependent:
+  // find mu with sum mu_i v_i = 0 and sum mu_i = 0, then walk the weights
+  // along -mu until one hits zero. The combination value and the weight sum
+  // are invariant, and at least one support point drops each iteration.
+  while (support.size() > d + 1) {
+    Matrix a(d + 1, support.size());
+    for (std::size_t j = 0; j < support.size(); ++j) {
+      for (std::size_t r = 0; r < d; ++r) a(r, j) = s[support[j]][r];
+      a(d, j) = 1.0;
+    }
+    auto mu_opt = nullspace_vector(a, tol);
+    if (!mu_opt) break;  // numerically independent; accept current support
+    Vec mu = *mu_opt;
+    // Step length: largest t with w - t*mu >= 0, over mu_j > 0. Flip mu's
+    // sign if needed so some component is positive.
+    double max_pos = 0.0;
+    for (double m : mu) max_pos = std::max(max_pos, m);
+    if (max_pos <= 0.0) {
+      for (double& m : mu) m = -m;
+    }
+    double t = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < mu.size(); ++j) {
+      if (mu[j] > tol) t = std::min(t, w[j] / mu[j]);
+    }
+    if (!std::isfinite(t)) break;  // safety: cannot make progress
+    for (std::size_t j = 0; j < w.size(); ++j) w[j] -= t * mu[j];
+    // Drop zeroed entries.
+    std::vector<std::size_t> nsupport;
+    std::vector<double> nw;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      if (w[j] > tol) {
+        nsupport.push_back(support[j]);
+        nw.push_back(w[j]);
+      }
+    }
+    if (nsupport.size() >= support.size()) break;  // no progress: bail out
+    support = std::move(nsupport);
+    w = std::move(nw);
+  }
+
+  // Renormalize (guards accumulated roundoff).
+  double sum = 0.0;
+  for (double x : w) sum += x;
+  for (double& x : w) x /= sum;
+
+  CaratheodoryResult out;
+  out.support = std::move(support);
+  out.coeffs = Vec(w.begin(), w.end());
+  return out;
+}
+
+HellyCheck helly_check(const std::vector<std::vector<Vec>>& sets,
+                       double tol) {
+  RBVC_REQUIRE(!sets.empty(), "helly_check: no sets");
+  const std::size_t d = sets.front().front().size();
+  HellyCheck out;
+  out.all_intersect = hulls_intersect(sets, tol);
+  if (sets.size() <= d + 1) {
+    out.every_d_plus_1_intersect = out.all_intersect;
+    return out;
+  }
+  out.every_d_plus_1_intersect = true;
+  for (const auto& idx : k_subsets(sets.size(), d + 1)) {
+    std::vector<std::vector<Vec>> sub;
+    sub.reserve(d + 1);
+    for (std::size_t i : idx) sub.push_back(sets[i]);
+    if (!hulls_intersect(sub, tol)) {
+      out.every_d_plus_1_intersect = false;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rbvc

@@ -1,0 +1,37 @@
+// Caratheodory reduction and a Helly verification harness (the two classic
+// convexity theorems the paper's Theorem 12 proof leans on; Theorems 10-11
+// in the paper's numbering).
+#pragma once
+
+#include <optional>
+
+#include "geometry/hull.h"
+
+namespace rbvc {
+
+/// A point of H(S) expressed over at most d+1 support points.
+struct CaratheodoryResult {
+  std::vector<std::size_t> support;  // indices into the original multiset
+  Vec coeffs;                        // positive, sum 1, aligned with support
+};
+
+/// Caratheodory's theorem, constructively: given u in H(S) (within tol),
+/// returns coefficients over at most d+1 points of S reconstructing u.
+/// nullopt when u is not in the hull. Works by repeatedly cancelling affine
+/// dependencies among the support points.
+std::optional<CaratheodoryResult> caratheodory_reduce(
+    const Vec& u, const std::vector<Vec>& s, double tol = kTol);
+
+/// Helly verification harness: checks the implication of Helly's theorem
+/// on a concrete family of polytopes in R^d -- if every subfamily of size
+/// d+1 has a common point, so does the whole family. Returns the observed
+/// (premise, conclusion) pair; Helly guarantees premise implies conclusion,
+/// which the property tests assert on random families.
+struct HellyCheck {
+  bool every_d_plus_1_intersect = false;
+  bool all_intersect = false;
+};
+HellyCheck helly_check(const std::vector<std::vector<Vec>>& sets,
+                       double tol = kTol);
+
+}  // namespace rbvc

@@ -1,0 +1,48 @@
+// Point-to-convex-hull distances and projections in Lp norms.
+//
+//   p = 2        -> Wolfe's min-norm-point algorithm (exact up to tolerance)
+//   p = 1, inf   -> exact linear programs
+//   other p >= 1 -> Frank-Wolfe over the barycentric simplex (iterative)
+//
+// These back the (delta,p)-relaxed hull membership tests of paper Sec. 5.2
+// and the delta* computations of Sec. 9.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc {
+
+/// Result of projecting a point onto a convex hull.
+struct HullProjection {
+  double distance = 0.0;  // ||u - point||_p
+  Vec point;              // nearest (for p=2; near-nearest otherwise) hull point
+  Vec coeffs;             // barycentric coefficients of `point` over S
+};
+
+/// Euclidean projection of u onto H(pts) via Wolfe's algorithm.
+HullProjection project_to_hull(const Vec& u, const std::vector<Vec>& pts,
+                               double tol = kTol);
+
+/// Lp projection of u onto H(pts): exact for p in {1, 2, inf} (LP / Wolfe),
+/// iterative (Frank-Wolfe, accuracy ~ kLooseTol) for other p >= 1.
+HullProjection project_to_hull_p(const Vec& u, const std::vector<Vec>& pts,
+                                 double p, double tol = kTol);
+
+/// Lp distance from u to H(pts) (see project_to_hull_p for exactness).
+double distance_to_hull(const Vec& u, const std::vector<Vec>& pts, double p,
+                        double tol = kTol);
+
+/// Internal entry points, exposed for tests and the ablation bench (E14).
+namespace detail {
+HullProjection wolfe_min_norm(const Vec& u, const std::vector<Vec>& pts,
+                              double tol);
+HullProjection lp_projection_via_lp(const Vec& u, const std::vector<Vec>& pts,
+                                    double p, double tol);  // p in {1, inf}
+HullProjection lp_projection_frank_wolfe(const Vec& u,
+                                         const std::vector<Vec>& pts, double p,
+                                         std::size_t max_iters = 2'000);
+}  // namespace detail
+
+}  // namespace rbvc

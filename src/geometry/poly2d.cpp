@@ -1,0 +1,144 @@
+#include "geometry/poly2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rbvc {
+
+namespace {
+
+double cross(const Point2& o, const Point2& a, const Point2& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+double dist2d(const Point2& a, const Point2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace
+
+std::vector<Point2> convex_hull_2d(std::vector<Point2> pts, double tol) {
+  if (pts.empty()) return {};
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end(),
+                        [tol](const Point2& a, const Point2& b) {
+                          return dist2d(a, b) <= tol;
+                        }),
+            pts.end());
+  const std::size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<Point2> h(2 * n);
+  std::size_t k = 0;
+  // Scale cross-product tolerance by the data spread.
+  double spread = 0.0;
+  for (const Point2& p : pts) {
+    spread = std::max({spread, std::abs(p.x), std::abs(p.y)});
+  }
+  const double ctol = tol * std::max(1.0, spread * spread);
+
+  for (std::size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && cross(h[k - 2], h[k - 1], pts[i]) <= ctol) --k;
+    h[k++] = pts[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {  // upper chain
+    while (k >= t && cross(h[k - 2], h[k - 1], pts[i]) <= ctol) --k;
+    h[k++] = pts[i];
+  }
+  h.resize(k - 1);
+  if (h.size() == 2 && dist2d(h[0], h[1]) <= tol) h.resize(1);
+  return h;
+}
+
+std::vector<Halfplane> hull_halfplanes_2d(const std::vector<Point2>& pts,
+                                          double tol) {
+  const std::vector<Point2> hull = convex_hull_2d(pts, tol);
+  std::vector<Halfplane> hs;
+  if (hull.empty()) return hs;
+  if (hull.size() == 1) {
+    const Point2& p = hull.front();
+    hs.push_back({1.0, 0.0, p.x});
+    hs.push_back({-1.0, 0.0, -p.x});
+    hs.push_back({0.0, 1.0, p.y});
+    hs.push_back({0.0, -1.0, -p.y});
+    return hs;
+  }
+  if (hull.size() == 2) {
+    const Point2 &p = hull[0], &q = hull[1];
+    const double dx = q.x - p.x, dy = q.y - p.y;
+    const double len = std::hypot(dx, dy);
+    const double tx = dx / len, ty = dy / len;   // unit tangent
+    const double nx = -ty, ny = tx;              // unit normal
+    // On the supporting line: n.u = n.p (two inequalities).
+    hs.push_back({nx, ny, nx * p.x + ny * p.y});
+    hs.push_back({-nx, -ny, -(nx * p.x + ny * p.y)});
+    // Between the endpoints along the tangent.
+    const double lo = tx * p.x + ty * p.y, hi = tx * q.x + ty * q.y;
+    hs.push_back({tx, ty, std::max(lo, hi)});
+    hs.push_back({-tx, -ty, -std::min(lo, hi)});
+    return hs;
+  }
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point2& v = hull[i];
+    const Point2& w = hull[(i + 1) % hull.size()];
+    const double ex = w.x - v.x, ey = w.y - v.y;
+    const double len = std::hypot(ex, ey);
+    // Interior is to the left of the CCW edge: e.y*x - e.x*y <= e.y*vx - e.x*vy
+    // Normalize so the halfplane slack is a geometric distance.
+    const double a = ey / len, b = -ex / len;
+    hs.push_back({a, b, a * v.x + b * v.y});
+  }
+  return hs;
+}
+
+bool in_hull_2d(const Point2& q, const std::vector<Point2>& pts, double tol) {
+  for (const Halfplane& h : hull_halfplanes_2d(pts, tol)) {
+    if (h.a * q.x + h.b * q.y > h.c + tol) return false;
+  }
+  return true;
+}
+
+std::vector<Point2> clip(const std::vector<Point2>& poly, const Halfplane& h,
+                         double tol) {
+  std::vector<Point2> out;
+  const std::size_t n = poly.size();
+  if (n == 0) return out;
+  auto val = [&](const Point2& p) { return h.a * p.x + h.b * p.y - h.c; };
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point2& cur = poly[i];
+    const Point2& nxt = poly[(i + 1) % n];
+    const double vc = val(cur), vn = val(nxt);
+    if (vc <= tol) out.push_back(cur);
+    if ((vc <= tol) != (vn <= tol)) {
+      const double t = vc / (vc - vn);
+      out.push_back({cur.x + t * (nxt.x - cur.x), cur.y + t * (nxt.y - cur.y)});
+    }
+  }
+  return out;
+}
+
+std::vector<Point2> intersect_convex(const std::vector<Point2>& p,
+                                     const std::vector<Point2>& q,
+                                     double tol) {
+  std::vector<Point2> out = p;
+  for (const Halfplane& h : hull_halfplanes_2d(q, tol)) {
+    out = clip(out, h, tol);
+    if (out.empty()) break;
+  }
+  return out;
+}
+
+double polygon_area(const std::vector<Point2>& poly) {
+  if (poly.size() < 3) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Point2& a = poly[i];
+    const Point2& b = poly[(i + 1) % poly.size()];
+    s += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * s;
+}
+
+}  // namespace rbvc

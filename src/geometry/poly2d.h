@@ -1,0 +1,52 @@
+// Exact-ish 2-D convex geometry used by the fast k=2 path of the k-relaxed
+// hull oracle: planar convex hulls (monotone chain), halfplane extraction,
+// convex clipping, and containment tests. Coordinates are the two projected
+// components (u[i], u[j]) of the ambient d-dimensional vectors.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Halfplane a*x + b*y <= c.
+struct Halfplane {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+/// Convex hull via Andrew's monotone chain, counter-clockwise, collinear
+/// points removed. Degenerate inputs yield 1 (all coincident) or 2 (all
+/// collinear) vertices.
+std::vector<Point2> convex_hull_2d(std::vector<Point2> pts,
+                                   double tol = kTol);
+
+/// Halfplane representation of the convex hull of `pts`, including the
+/// degenerate segment/point cases (equalities become inequality pairs).
+std::vector<Halfplane> hull_halfplanes_2d(const std::vector<Point2>& pts,
+                                          double tol = kTol);
+
+/// True iff q is within `tol` of the convex hull of `pts`.
+bool in_hull_2d(const Point2& q, const std::vector<Point2>& pts,
+                double tol = kTol);
+
+/// Clips a convex CCW polygon against a halfplane (Sutherland-Hodgman step).
+std::vector<Point2> clip(const std::vector<Point2>& poly, const Halfplane& h,
+                         double tol = kTol);
+
+/// Intersection of two convex CCW polygons (may be empty / degenerate).
+std::vector<Point2> intersect_convex(const std::vector<Point2>& p,
+                                     const std::vector<Point2>& q,
+                                     double tol = kTol);
+
+/// Signed area of a CCW polygon (0 for degenerate).
+double polygon_area(const std::vector<Point2>& poly);
+
+}  // namespace rbvc

@@ -1,0 +1,43 @@
+#include "geometry/projection.h"
+
+namespace rbvc {
+
+std::vector<std::vector<std::size_t>> k_subsets(std::size_t d,
+                                                std::size_t k) {
+  RBVC_REQUIRE(k >= 1 && k <= d, "k_subsets: need 1 <= k <= d");
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> cur(k);
+  for (std::size_t i = 0; i < k; ++i) cur[i] = i;
+  while (true) {
+    out.push_back(cur);
+    // Advance to the next lexicographic combination.
+    std::size_t i = k;
+    while (i-- > 0) {
+      if (cur[i] != i + d - k) {
+        ++cur[i];
+        for (std::size_t j = i + 1; j < k; ++j) cur[j] = cur[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+}
+
+Vec project(const Vec& u, const std::vector<std::size_t>& d_set) {
+  Vec v(d_set.size());
+  for (std::size_t i = 0; i < d_set.size(); ++i) {
+    RBVC_REQUIRE(d_set[i] < u.size(), "project: index out of range");
+    v[i] = u[d_set[i]];
+  }
+  return v;
+}
+
+std::vector<Vec> project_all(const std::vector<Vec>& pts,
+                             const std::vector<std::size_t>& d_set) {
+  std::vector<Vec> out;
+  out.reserve(pts.size());
+  for (const Vec& p : pts) out.push_back(project(p, d_set));
+  return out;
+}
+
+}  // namespace rbvc

@@ -1,0 +1,22 @@
+// Coordinate projections g_D (paper Definitions 1-5) and subset enumeration.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc {
+
+/// All size-k subsets of {0, ..., d-1} in lexicographic order (the paper's
+/// D_k, zero-indexed).
+std::vector<std::vector<std::size_t>> k_subsets(std::size_t d, std::size_t k);
+
+/// g_D(u): retains the coordinates of u listed in D (D must be sorted,
+/// strictly increasing, with entries < u.size()).
+Vec project(const Vec& u, const std::vector<std::size_t>& d_set);
+
+/// g_D applied to a multiset of points.
+std::vector<Vec> project_all(const std::vector<Vec>& pts,
+                             const std::vector<std::size_t>& d_set);
+
+}  // namespace rbvc

@@ -1,0 +1,87 @@
+#include "geometry/simplex_geometry.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace rbvc {
+
+std::optional<SimplexGeometry> SimplexGeometry::build(
+    const std::vector<Vec>& vertices, double tol) {
+  if (vertices.empty()) return std::nullopt;
+  const std::size_t d = vertices.front().size();
+  if (vertices.size() != d + 1) return std::nullopt;
+
+  // A = [a_1 - a_{d+1}, ..., a_d - a_{d+1}].
+  Matrix a(d, d);
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t r = 0; r < d; ++r) {
+      a(r, c) = vertices[c][r] - vertices[d][r];
+    }
+  }
+  auto ainv = inverse(a, tol);
+  if (!ainv) return std::nullopt;  // affinely dependent
+
+  SimplexGeometry g;
+  g.verts_ = vertices;
+  const Matrix b = ainv->transpose();
+  g.b_.reserve(d + 1);
+  Vec b_last = zeros(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    Vec bc = b.col(c);
+    axpy(-1.0, bc, b_last);
+    g.b_.push_back(std::move(bc));
+  }
+  g.b_.push_back(std::move(b_last));  // b_{d+1} = -sum b_i
+
+  double sum_norms = 0.0;
+  for (const Vec& bi : g.b_) sum_norms += norm2(bi);
+  g.inradius_ = 1.0 / sum_norms;
+  g.incenter_ = zeros(d);
+  for (std::size_t i = 0; i <= d; ++i) {
+    axpy(norm2(g.b_[i]) / sum_norms, vertices[i], g.incenter_);
+  }
+  return g;
+}
+
+double SimplexGeometry::facet_inradius(std::size_t k) const {
+  RBVC_REQUIRE(k < b_.size(), "facet_inradius: index out of range");
+  // r_k = 1 / sum_{j != k} ||b_jk||, b_jk = b_j - (<b_j,b_k>/||b_k||^2) b_k.
+  const Vec& bk = b_[k];
+  const double bk2 = dot(bk, bk);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < b_.size(); ++j) {
+    if (j == k) continue;
+    Vec bjk = b_[j];
+    axpy(-dot(b_[j], bk) / bk2, bk, bjk);
+    sum += norm2(bjk);
+  }
+  return 1.0 / sum;
+}
+
+double SimplexGeometry::distance_to_facet_plane(const Vec& x,
+                                                std::size_t k) const {
+  RBVC_REQUIRE(k < b_.size(), "distance_to_facet_plane: index out of range");
+  // Facet pi_k contains every vertex a_j, j != k; b_k is its normal.
+  const std::size_t j = (k == 0) ? 1 : 0;
+  const Vec diff = sub(x, verts_[j]);
+  return std::abs(dot(diff, b_[k])) / norm2(b_[k]);
+}
+
+EdgeExtremes edge_extremes(const std::vector<Vec>& pts, double p) {
+  EdgeExtremes e;
+  if (pts.size() < 2) return e;
+  e.min_edge = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double dij = lp_dist(pts[i], pts[j], p);
+      e.min_edge = std::min(e.min_edge, dij);
+      e.max_edge = std::max(e.max_edge, dij);
+    }
+  }
+  return e;
+}
+
+}  // namespace rbvc

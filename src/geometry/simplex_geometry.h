@@ -1,0 +1,63 @@
+// Geometry of d-simplices per the paper's Lemmas 11-15 (after Akira Toda):
+// dual vectors b_i = columns of B = (A^{-1})^T, inradius r = 1 / sum ||b_i||,
+// the incenter, and facet inradii r_k = 1 / sum_{j != k} ||b_jk|| with
+// b_jk = b_j - (<b_j,b_k>/||b_k||^2) b_k.
+//
+// These closed forms give the exact delta*(S) for ALGO when f = 1 and
+// n = d+1 (Lemma 13: delta* equals the inradius), and cross-check every
+// numerical delta* path.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc {
+
+class SimplexGeometry {
+ public:
+  /// Builds the dual-vector structure for d+1 affinely independent points in
+  /// R^d. Returns nullopt when the points are not a full-dimensional simplex
+  /// (wrong count or affinely dependent within tol).
+  static std::optional<SimplexGeometry> build(const std::vector<Vec>& vertices,
+                                              double tol = kTol);
+
+  /// Radius of the inscribed sphere: r = 1 / sum_i ||b_i||  (Lemma 12).
+  double inradius() const { return inradius_; }
+
+  /// Center of the inscribed sphere: sum_i ||b_i|| a_i / sum_i ||b_i||.
+  const Vec& incenter() const { return incenter_; }
+
+  /// Inradius of facet pi_k (all vertices except vertex k), measured inside
+  /// the facet's own (d-1)-dimensional affine hull (Lemma 14 guarantees
+  /// inradius() < facet_inradius(k) for every k).
+  double facet_inradius(std::size_t k) const;
+
+  /// Distance from x to the supporting hyperplane of facet pi_k.
+  double distance_to_facet_plane(const Vec& x, std::size_t k) const;
+
+  /// The dual vectors b_1..b_{d+1} (b_k is orthogonal to facet pi_k and
+  /// satisfies <a_i - a_j, b_k> = delta_ik - delta_jk, Lemma 11).
+  const std::vector<Vec>& dual_vectors() const { return b_; }
+
+  const std::vector<Vec>& vertices() const { return verts_; }
+
+ private:
+  SimplexGeometry() = default;
+
+  std::vector<Vec> verts_;
+  std::vector<Vec> b_;
+  double inradius_ = 0.0;
+  Vec incenter_;
+};
+
+/// Minimum and maximum pairwise Lp distance over all index pairs i < j.
+/// With fewer than two points both are 0.
+struct EdgeExtremes {
+  double min_edge = 0.0;
+  double max_edge = 0.0;
+};
+EdgeExtremes edge_extremes(const std::vector<Vec>& pts, double p = 2.0);
+
+}  // namespace rbvc

@@ -1,0 +1,98 @@
+#include "geometry/tverberg.h"
+
+#include <cmath>
+
+namespace rbvc {
+
+IntersectionOracle exact_hull_oracle(double tol) {
+  return [tol](const std::vector<std::vector<Vec>>& parts) {
+    return hulls_intersect(parts, tol);
+  };
+}
+
+namespace {
+
+// Enumerates restricted growth strings a[0..n-1] (a[0]=0,
+// a[i] <= 1 + max(a[0..i-1])) with values < max_blocks; yields each complete
+// string to `visit`, which returns true to stop the enumeration.
+bool enumerate_rgs(std::size_t n, std::size_t max_blocks,
+                   std::vector<std::size_t>& a, std::size_t pos,
+                   std::size_t used,
+                   const std::function<bool(const std::vector<std::size_t>&,
+                                            std::size_t)>& visit) {
+  if (pos == n) return visit(a, used);
+  const std::size_t limit = std::min(used + 1, max_blocks);
+  for (std::size_t b = 0; b < limit; ++b) {
+    a[pos] = b;
+    if (enumerate_rgs(n, max_blocks, a, pos + 1, std::max(used, b + 1),
+                      visit)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::vector<std::size_t>>> find_tverberg_partition(
+    const std::vector<Vec>& pts, std::size_t parts,
+    const IntersectionOracle& oracle) {
+  RBVC_REQUIRE(parts >= 1, "find_tverberg_partition: parts must be >= 1");
+  if (pts.size() < parts) return std::nullopt;
+
+  std::optional<std::vector<std::vector<std::size_t>>> found;
+  std::vector<std::size_t> a(pts.size(), 0);
+  enumerate_rgs(
+      pts.size(), parts, a, 0, 0,
+      [&](const std::vector<std::size_t>& assign, std::size_t used) {
+        if (used != parts) return false;  // need exactly `parts` blocks
+        std::vector<std::vector<std::size_t>> blocks(parts);
+        std::vector<std::vector<Vec>> sets(parts);
+        for (std::size_t i = 0; i < assign.size(); ++i) {
+          blocks[assign[i]].push_back(i);
+          sets[assign[i]].push_back(pts[i]);
+        }
+        if (!oracle(sets)) return false;
+        found = std::move(blocks);
+        return true;  // stop enumeration
+      });
+  return found;
+}
+
+std::optional<std::vector<std::vector<std::size_t>>> find_tverberg_partition(
+    const std::vector<Vec>& pts, std::size_t parts, double tol) {
+  return find_tverberg_partition(pts, parts, exact_hull_oracle(tol));
+}
+
+double stirling2(std::size_t n, std::size_t k) {
+  if (k == 0) return n == 0 ? 1.0 : 0.0;
+  if (k > n) return 0.0;
+  std::vector<double> row(k + 1, 0.0);
+  row[0] = 1.0;  // S(0, 0)
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = std::min(i, k); j-- > 0;) {
+      // S(i, j+1) = (j+1) S(i-1, j+1) + S(i-1, j)
+      row[j + 1] = static_cast<double>(j + 1) * row[j + 1] + row[j];
+    }
+    row[0] = 0.0;
+  }
+  return row[k];
+}
+
+std::vector<Vec> moment_curve_points(std::size_t count, std::size_t d) {
+  std::vector<Vec> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = 1.0 + static_cast<double>(i);
+    Vec v(d);
+    double power = t;
+    for (std::size_t j = 0; j < d; ++j) {
+      v[j] = power;
+      power *= t;
+    }
+    pts.push_back(std::move(v));
+  }
+  return pts;
+}
+
+}  // namespace rbvc

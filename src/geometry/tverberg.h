@@ -1,0 +1,48 @@
+// Exhaustive Tverberg partition search (paper Sec. 8).
+//
+// Tverberg's theorem: any multiset of >= (d+1)f + 1 points in R^d admits a
+// partition into f+1 non-empty parts whose convex hulls share a point. The
+// paper observes the bound stays tight when H is replaced by the relaxed
+// hulls H_k or H_(delta,p); the search below therefore takes a pluggable
+// intersection oracle so all three hull notions reuse one enumerator.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geometry/hull.h"
+
+namespace rbvc {
+
+/// Given the parts of a candidate partition (as point multisets), decides
+/// whether the chosen hulls of the parts have a common point.
+using IntersectionOracle =
+    std::function<bool(const std::vector<std::vector<Vec>>&)>;
+
+/// The default oracle: ordinary convex hulls via LP feasibility.
+IntersectionOracle exact_hull_oracle(double tol = kTol);
+
+/// Searches every partition of `pts` into exactly `parts` non-empty blocks
+/// (restricted-growth-string enumeration) and returns the first partition
+/// whose hulls intersect, as index lists; nullopt when every partition has
+/// empty intersection. Exponential in |pts| -- intended for the small
+/// instances of the Tverberg experiments.
+std::optional<std::vector<std::vector<std::size_t>>> find_tverberg_partition(
+    const std::vector<Vec>& pts, std::size_t parts,
+    const IntersectionOracle& oracle);
+
+/// Convenience wrapper with the exact-hull oracle.
+std::optional<std::vector<std::vector<std::size_t>>> find_tverberg_partition(
+    const std::vector<Vec>& pts, std::size_t parts, double tol = kTol);
+
+/// Number of partitions of an n-set into exactly k non-empty blocks
+/// (Stirling number of the second kind), for reporting.
+double stirling2(std::size_t n, std::size_t k);
+
+/// Points on the moment curve t -> (t, t^2, ..., t^d): the classic witness
+/// that (d+1)f points do NOT always admit a Tverberg partition into f+1
+/// parts (general position, no degeneracies).
+std::vector<Vec> moment_curve_points(std::size_t count, std::size_t d);
+
+}  // namespace rbvc

@@ -1,0 +1,151 @@
+// Wolfe's algorithm (1976) for the minimum-norm point in a polytope,
+// specialized to "project u onto conv(pts)": translate so u is the origin,
+// find the min-norm point of conv(pts - u), translate back.
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/distance.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace rbvc::detail {
+
+namespace {
+
+// Affine minimizer: the point of minimum norm in the affine hull of the
+// corral points, expressed as weights alpha with sum(alpha) = 1.
+// Solves the KKT system  [Q e; e^T 0] [alpha; -mu] = [0; 1]  with Q the
+// Gram matrix of the corral.
+std::optional<Vec> affine_minimizer(const std::vector<Vec>& corral,
+                                    double tol) {
+  const std::size_t k = corral.size();
+  Matrix kkt(k + 1, k + 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      const double q = dot(corral[i], corral[j]);
+      kkt(i, j) = q;
+      kkt(j, i) = q;
+    }
+    kkt(i, k) = 1.0;
+    kkt(k, i) = 1.0;
+  }
+  Vec rhs(k + 1, 0.0);
+  rhs[k] = 1.0;
+  auto sol = solve(kkt, rhs, tol);
+  if (!sol) return std::nullopt;
+  sol->resize(k);
+  return sol;
+}
+
+}  // namespace
+
+HullProjection wolfe_min_norm(const Vec& u, const std::vector<Vec>& pts,
+                              double tol) {
+  RBVC_REQUIRE(!pts.empty(), "wolfe: empty point set");
+  const std::size_t n = pts.size();
+
+  // Work in the translated frame q_i = pts_i - u.
+  std::vector<Vec> q(n);
+  double scale = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = sub(pts[i], u);
+    scale = std::max(scale, dot(q[i], q[i]));
+  }
+  const double eps = tol * scale;
+
+  // Start from the closest single point.
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (dot(q[i], q[i]) < dot(q[start], q[start])) start = i;
+  }
+  std::vector<std::size_t> corral = {start};
+  Vec lambda = {1.0};
+  Vec x = q[start];
+
+  constexpr std::size_t kMaxMajor = 10'000;
+  for (std::size_t major = 0; major < kMaxMajor; ++major) {
+    // Optimality: x is the min-norm point iff <x, q_j> >= <x, x> for all j.
+    const double xx = dot(x, x);
+    std::size_t enter = n;
+    double best = xx - eps;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = dot(x, q[j]);
+      if (v < best) {
+        best = v;
+        enter = j;
+      }
+    }
+    if (enter == n) break;
+    if (std::find(corral.begin(), corral.end(), enter) != corral.end()) break;
+    corral.push_back(enter);
+    lambda.push_back(0.0);
+
+    // Minor cycle: move to the affine minimizer of the corral, shrinking the
+    // corral whenever the minimizer leaves the simplex.
+    for (std::size_t minor = 0; minor < n + 2; ++minor) {
+      std::vector<Vec> cpts;
+      cpts.reserve(corral.size());
+      for (std::size_t idx : corral) cpts.push_back(q[idx]);
+      auto alpha_opt = affine_minimizer(cpts, tol);
+      if (!alpha_opt) {
+        // Degenerate corral (affinely dependent): drop the newest point.
+        corral.pop_back();
+        lambda.pop_back();
+        break;
+      }
+      const Vec& alpha = *alpha_opt;
+      const double inner_tol = 1e-12;
+      bool interior = true;
+      for (double a : alpha) {
+        if (a <= inner_tol) {
+          interior = false;
+          break;
+        }
+      }
+      if (interior) {
+        lambda = alpha;
+        break;
+      }
+      // Line search from lambda toward alpha: largest feasible step.
+      double theta = 1.0;
+      for (std::size_t i = 0; i < alpha.size(); ++i) {
+        if (alpha[i] < inner_tol) {
+          const double denom = lambda[i] - alpha[i];
+          if (denom > 0.0) theta = std::min(theta, lambda[i] / denom);
+        }
+      }
+      for (std::size_t i = 0; i < lambda.size(); ++i) {
+        lambda[i] += theta * (alpha[i] - lambda[i]);
+      }
+      // Remove points whose weight hit zero.
+      for (std::size_t i = lambda.size(); i-- > 0;) {
+        if (lambda[i] <= inner_tol) {
+          lambda.erase(lambda.begin() + static_cast<std::ptrdiff_t>(i));
+          corral.erase(corral.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      if (corral.empty()) {  // numerical safety; cannot normally happen
+        corral = {start};
+        lambda = {1.0};
+        break;
+      }
+    }
+
+    // Recompute x from the corral weights.
+    x = zeros(u.size());
+    for (std::size_t i = 0; i < corral.size(); ++i) {
+      axpy(lambda[i], q[corral[i]], x);
+    }
+  }
+
+  HullProjection out;
+  out.coeffs = zeros(n);
+  for (std::size_t i = 0; i < corral.size(); ++i) {
+    out.coeffs[corral[i]] = lambda[i];
+  }
+  out.point = add(u, x);
+  out.distance = norm2(x);
+  return out;
+}
+
+}  // namespace rbvc::detail

@@ -1,0 +1,150 @@
+#include "hull/delta_star.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/hull.h"
+#include "linalg/qr.h"
+
+namespace rbvc {
+
+namespace {
+
+// Isometric coordinates of the points within their own affine span
+// (translate by the last point, express in an orthonormal basis). Valid for
+// the L2 paths only: orthogonal projection preserves Euclidean distances
+// inside the span but not other Lp norms.
+struct SpanFrame {
+  Vec origin;
+  std::vector<Vec> basis;   // orthonormal
+  std::vector<Vec> coords;  // projected points, dimension basis.size()
+
+  Vec lift(const Vec& c) const {
+    Vec x = origin;
+    for (std::size_t j = 0; j < basis.size(); ++j) axpy(c[j], basis[j], x);
+    return x;
+  }
+};
+
+SpanFrame make_frame(const std::vector<Vec>& s, double tol) {
+  SpanFrame fr;
+  fr.origin = s.back();
+  std::vector<Vec> diffs;
+  diffs.reserve(s.size() - 1);
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    diffs.push_back(sub(s[i], s.back()));
+  }
+  fr.basis = orthonormal_basis(diffs, tol);
+  fr.coords.reserve(s.size());
+  for (const Vec& v : s) {
+    fr.coords.push_back(coords_in_basis(fr.basis, sub(v, fr.origin)));
+  }
+  return fr;
+}
+
+}  // namespace
+
+DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
+                             double tol, const MinimaxOptions& opts) {
+  RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_2: need 1 <= f < |S|");
+  DeltaStarResult out;
+
+  const SpanFrame fr = make_frame(s, tol);
+  const std::size_t dprime = fr.basis.size();
+  if (dprime == 0) {  // all inputs identical
+    out.value = 0.0;
+    out.point = s.front();
+    out.exact = true;
+    out.method = DeltaStarResult::Method::kGammaNonempty;
+    return out;
+  }
+
+  // Case 1: the classic safe area Gamma(S) is already non-empty.
+  if (auto g = hull_intersection_point(drop_f_subsets(fr.coords, f), tol)) {
+    out.value = 0.0;
+    out.point = fr.lift(*g);
+    out.exact = true;
+    out.method = DeltaStarResult::Method::kGammaNonempty;
+    return out;
+  }
+
+  // Case 2: Lemma 13 -- for f = 1 and a full simplex in the span, delta* is
+  // exactly the inradius and the incenter is the canonical witness.
+  if (f == 1 && s.size() == dprime + 1) {
+    if (auto geom = SimplexGeometry::build(fr.coords, tol)) {
+      out.value = geom->inradius();
+      out.point = fr.lift(geom->incenter());
+      out.exact = true;
+      out.method = DeltaStarResult::Method::kSimplexInradius;
+      return out;
+    }
+  }
+
+  // Case 3: numerical min-max over the drop-f hulls, inside the span.
+  const auto sets = drop_f_subsets(fr.coords, f);
+  MinimaxResult mm = min_max_hull_distance(sets, mean(fr.coords), opts);
+  out.value = mm.value;
+  out.point = fr.lift(mm.point);
+  out.exact = false;
+  out.method = DeltaStarResult::Method::kNumerical;
+  return out;
+}
+
+DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
+                                  double p, double tol) {
+  RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_linear: need 1 <= f < |S|");
+  RBVC_REQUIRE(p == 1.0 || p >= kInfNorm,
+               "delta_star_linear: p must be 1 or inf");
+  DeltaStarResult out;
+  if (auto g = gamma_point(s, f, tol)) {
+    out.value = 0.0;
+    out.point = *g;
+    out.exact = true;
+    out.method = DeltaStarResult::Method::kGammaNonempty;
+    return out;
+  }
+  double lo = 0.0;
+  double hi = gamma_excess(mean(s), s, f, p, tol);
+  Vec witness = mean(s);
+  const double scale = std::max(1.0, hi);
+  while (hi - lo > tol * scale) {
+    const double mid = 0.5 * (lo + hi);
+    if (auto w = gamma_delta_point_linear(s, f, mid, p, tol)) {
+      hi = mid;
+      witness = *w;
+    } else {
+      lo = mid;
+    }
+  }
+  out.value = hi;
+  out.point = witness;
+  out.exact = true;  // LP bisection: certified to within tol*scale
+  out.method = DeltaStarResult::Method::kNumerical;
+  return out;
+}
+
+DeltaStarResult delta_star_p(const std::vector<Vec>& s, std::size_t f,
+                             double p, double tol, MinimaxOptions opts) {
+  RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_p: need 1 <= f < |S|");
+  if (p == 2.0) return delta_star_2(s, f, tol, opts);
+  if (p == 1.0 || p >= kInfNorm) return delta_star_linear(s, f, p, tol);
+  DeltaStarResult out;
+  if (auto g = gamma_point(s, f, tol)) {
+    out.value = 0.0;
+    out.point = *g;
+    out.exact = true;
+    out.method = DeltaStarResult::Method::kGammaNonempty;
+    return out;
+  }
+  opts.p = p;
+  // Lp norms are not preserved by orthogonal projection, so run the minimax
+  // in the ambient space.
+  MinimaxResult mm = min_max_hull_distance(drop_f_subsets(s, f), mean(s), opts);
+  out.value = mm.value;
+  out.point = mm.point;
+  out.exact = false;
+  out.method = DeltaStarResult::Method::kNumerical;
+  return out;
+}
+
+}  // namespace rbvc

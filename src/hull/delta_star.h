@@ -1,0 +1,48 @@
+// delta*(S): the smallest relaxation for which Gamma_(delta,p)(S) is
+// non-empty -- the quantity ALGO (paper Sec. 9) minimizes in its Step 2,
+// and the quantity Theorems 8, 9, 12 and Conjectures 1-3 upper-bound.
+//
+// Computation strategy (all cases first project S isometrically onto the
+// affine span of its points, per the paper's Case II arguments):
+//   1. Gamma(S) non-empty (LP)            -> delta* = 0, exact.
+//   2. f = 1 and S a full simplex in span -> delta* = inradius (Lemma 13),
+//      point = incenter, exact.
+//   3. otherwise                          -> numerical minimax (upper bound
+//      within solver tolerance), plus an LP lower-bound certificate for
+//      p in {1, inf} via bisection.
+#pragma once
+
+#include <optional>
+
+#include "geometry/simplex_geometry.h"
+#include "hull/gamma.h"
+#include "opt/minimax.h"
+
+namespace rbvc {
+
+struct DeltaStarResult {
+  double value = 0.0;  // delta*(S) (exact or numerical upper bound)
+  Vec point;           // deterministic witness: gamma_(value,2)(S) member
+  bool exact = false;  // true for the LP / closed-form paths
+  enum class Method {
+    kGammaNonempty,    // delta* = 0
+    kSimplexInradius,  // Lemma 13 closed form (possibly in a subspace)
+    kNumerical,        // minimax iteration
+  } method = Method::kNumerical;
+};
+
+/// delta*_2(S) for f faults. Requires 1 <= f < |S|.
+DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
+                             double tol = kTol,
+                             const MinimaxOptions& opts = {});
+
+/// delta*_p(S) for p = 1 or inf: exact bisection on LP feasibility.
+DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
+                                  double p, double tol = kTol);
+
+/// delta*_p(S) for general finite p >= 1: numerical minimax upper bound.
+DeltaStarResult delta_star_p(const std::vector<Vec>& s, std::size_t f,
+                             double p, double tol = kTol,
+                             MinimaxOptions opts = {});
+
+}  // namespace rbvc

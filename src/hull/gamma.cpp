@@ -1,0 +1,93 @@
+#include "hull/gamma.h"
+
+#include <algorithm>
+
+#include "geometry/hull.h"
+#include "lp/model.h"
+#include "opt/pocs.h"
+
+namespace rbvc {
+
+std::optional<Vec> gamma_point(const std::vector<Vec>& y, std::size_t f,
+                               double tol) {
+  return hull_intersection_point(drop_f_subsets(y, f), tol);
+}
+
+std::optional<Vec> gamma_delta_point_linear(const std::vector<Vec>& y,
+                                            std::size_t f, double delta,
+                                            double p, double tol) {
+  RBVC_REQUIRE(p == 1.0 || p >= kInfNorm,
+               "gamma_delta_point_linear: p must be 1 or inf");
+  RBVC_REQUIRE(delta >= 0.0, "gamma_delta_point_linear: delta must be >= 0");
+  const std::size_t d = y.front().size();
+  const auto subsets = drop_f_subsets(y, f);
+
+  lp::Model m;
+  const auto u0 = m.add_vars(d, 0.0, /*free=*/true);
+  for (const auto& t : subsets) {
+    const auto lambda0 = m.add_vars(t.size());
+    // Residual split: s = s+ - s- with s+, s- >= 0.
+    const auto sp0 = m.add_vars(d);
+    const auto sm0 = m.add_vars(d);
+    for (std::size_t r = 0; r < d; ++r) {
+      // u[r] - sum_j lambda_j t_j[r] - s+[r] + s-[r] = 0
+      std::vector<lp::Model::Term> row;
+      row.push_back({u0 + r, 1.0});
+      for (std::size_t j = 0; j < t.size(); ++j) {
+        row.push_back({lambda0 + j, -t[j][r]});
+      }
+      row.push_back({sp0 + r, -1.0});
+      row.push_back({sm0 + r, 1.0});
+      m.add_constraint(row, lp::Rel::kEq, 0.0);
+    }
+    std::vector<lp::Model::Term> sum_row;
+    for (std::size_t j = 0; j < t.size(); ++j) sum_row.push_back({lambda0 + j, 1.0});
+    m.add_constraint(sum_row, lp::Rel::kEq, 1.0);
+
+    if (p == 1.0) {
+      // sum_r (s+[r] + s-[r]) <= delta
+      std::vector<lp::Model::Term> norm_row;
+      for (std::size_t r = 0; r < d; ++r) {
+        norm_row.push_back({sp0 + r, 1.0});
+        norm_row.push_back({sm0 + r, 1.0});
+      }
+      m.add_constraint(norm_row, lp::Rel::kLe, delta);
+    } else {
+      // s+[r] + s-[r] <= delta per coordinate (with both >= 0, at the
+      // optimum at most one side is active, so this bounds |s_r|).
+      for (std::size_t r = 0; r < d; ++r) {
+        m.add_constraint({{sp0 + r, 1.0}, {sm0 + r, 1.0}}, lp::Rel::kLe,
+                         delta);
+      }
+    }
+  }
+
+  lp::SimplexOptions opts;
+  opts.tol = std::min(tol, 1e-8);
+  const lp::Solution sol = m.solve(opts);
+  if (sol.status != lp::Status::kOptimal) return std::nullopt;
+  return Vec(sol.x.begin(), sol.x.begin() + static_cast<std::ptrdiff_t>(d));
+}
+
+std::optional<Vec> gamma_delta2_point(const std::vector<Vec>& y, std::size_t f,
+                                      double delta, double tol) {
+  const auto subsets = drop_f_subsets(y, f);
+  std::optional<Vec> p = pocs_point_within(subsets, delta, mean(y));
+  if (!p) return std::nullopt;
+  // POCS tolerance is loose; accept only genuine witnesses.
+  if (gamma_excess(*p, y, f, 2.0, tol) > delta + kLooseTol * 10.0) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+double gamma_excess(const Vec& u, const std::vector<Vec>& y, std::size_t f,
+                    double p, double tol) {
+  double worst = 0.0;
+  for (const auto& t : drop_f_subsets(y, f)) {
+    worst = std::max(worst, distance_to_hull(u, t, p, tol));
+  }
+  return worst;
+}
+
+}  // namespace rbvc

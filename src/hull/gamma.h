@@ -1,0 +1,38 @@
+// The Gamma operators (paper Sec. 3 and Sec. 9):
+//
+//   Gamma(Y)          = intersection over |T| = |Y|-f of H(T)
+//   Gamma_(delta,p)(Y) = intersection over |T| = |Y|-f of H_(delta,p)(T)
+//
+// Gamma(Y) is the classic Byzantine "safe area" (non-empty whenever
+// |Y| >= (d+1)f + 1 by Tverberg); the (delta,p) variant is what ALGO
+// (Sec. 9) intersects after relaxation.
+#pragma once
+
+#include <optional>
+
+#include "hull/relaxed_hull.h"
+
+namespace rbvc {
+
+/// A point of Gamma(Y) (deterministic for fixed input), or nullopt when the
+/// intersection is empty.
+std::optional<Vec> gamma_point(const std::vector<Vec>& y, std::size_t f,
+                               double tol = kTol);
+
+/// A point of Gamma_(delta,p)(Y) for p = 1 or p = inf (exact, via LP), or
+/// nullopt when empty.
+std::optional<Vec> gamma_delta_point_linear(const std::vector<Vec>& y,
+                                            std::size_t f, double delta,
+                                            double p, double tol = kTol);
+
+/// A point of Gamma_(delta,2)(Y) via cyclic projections seeded at the
+/// centroid; nullopt when no witness was found (empty or budget exhausted).
+std::optional<Vec> gamma_delta2_point(const std::vector<Vec>& y, std::size_t f,
+                                      double delta, double tol = kTol);
+
+/// max_i dist_p(u, H(T_i)) over the size-(|Y|-f) sub-multisets: u lies in
+/// Gamma_(delta,p)(Y) iff this is <= delta.
+double gamma_excess(const Vec& u, const std::vector<Vec>& y, std::size_t f,
+                    double p, double tol = kTol);
+
+}  // namespace rbvc

@@ -1,0 +1,47 @@
+#include "hull/relaxed_hull.h"
+
+#include "geometry/hull.h"
+
+namespace rbvc {
+
+bool in_k_relaxed_hull(const Vec& u, const std::vector<Vec>& s, std::size_t k,
+                       double tol) {
+  RBVC_REQUIRE(!s.empty(), "in_k_relaxed_hull: empty multiset");
+  const std::size_t d = u.size();
+  RBVC_REQUIRE(k >= 1 && k <= d, "in_k_relaxed_hull: need 1 <= k <= d");
+  for (const auto& d_set : k_subsets(d, k)) {
+    if (!in_hull(project(u, d_set), project_all(s, d_set), tol)) return false;
+  }
+  return true;
+}
+
+bool in_delta_p_hull(const Vec& u, const std::vector<Vec>& s, double delta,
+                     double p, double tol) {
+  RBVC_REQUIRE(delta >= 0.0, "in_delta_p_hull: delta must be >= 0");
+  return hull_distance(u, s, p, tol) <= delta + tol;
+}
+
+double hull_distance(const Vec& u, const std::vector<Vec>& s, double p,
+                     double tol) {
+  return distance_to_hull(u, s, p, tol);
+}
+
+std::vector<std::vector<std::size_t>> subsets_minus_f(std::size_t n,
+                                                      std::size_t f) {
+  RBVC_REQUIRE(f < n, "subsets_minus_f: need f < n");
+  return k_subsets(n, n - f);
+}
+
+std::vector<std::vector<Vec>> drop_f_subsets(const std::vector<Vec>& s,
+                                             std::size_t f) {
+  std::vector<std::vector<Vec>> out;
+  for (const auto& idx : subsets_minus_f(s.size(), f)) {
+    std::vector<Vec> t;
+    t.reserve(idx.size());
+    for (std::size_t i : idx) t.push_back(s[i]);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace rbvc

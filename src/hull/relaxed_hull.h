@@ -1,0 +1,40 @@
+// The paper's relaxed convex hulls (Sec. 5):
+//
+//   H_k(S)       = { u : g_D(u) in H(g_D(S)) for every size-k index set D }
+//   H_(delta,p)(S) = { u : dist_p(u, H(S)) <= delta }
+//
+// plus the containment lemmas' membership oracles.
+#pragma once
+
+#include <vector>
+
+#include "geometry/distance.h"
+#include "geometry/projection.h"
+
+namespace rbvc {
+
+/// True iff u lies in the k-relaxed hull H_k(S) (Definition 6).
+bool in_k_relaxed_hull(const Vec& u, const std::vector<Vec>& s, std::size_t k,
+                       double tol = kTol);
+
+/// True iff u lies in the (delta,p)-relaxed hull H_(delta,p)(S)
+/// (Definition 9). p in {1, 2} or rbvc::kInfNorm are exact; other p >= 1 is
+/// iterative.
+bool in_delta_p_hull(const Vec& u, const std::vector<Vec>& s, double delta,
+                     double p, double tol = kTol);
+
+/// dist_p(u, H(S)) -- convenience re-export used throughout the consensus
+/// layer (0 when u is inside the hull).
+double hull_distance(const Vec& u, const std::vector<Vec>& s, double p,
+                     double tol = kTol);
+
+/// All sub-multisets of `s` of size |s| - f, as index combinations into `s`
+/// (the T's of the paper's Gamma and Psi operators). Requires f < |s|.
+std::vector<std::vector<std::size_t>> subsets_minus_f(std::size_t n,
+                                                      std::size_t f);
+
+/// Materializes the point sets for subsets_minus_f.
+std::vector<std::vector<Vec>> drop_f_subsets(const std::vector<Vec>& s,
+                                             std::size_t f);
+
+}  // namespace rbvc

@@ -1,0 +1,130 @@
+#include "linalg/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rbvc {
+
+LU::LU(const Matrix& a, double tol)
+    : n_(a.rows()), lu_(a), p_(a.rows()) {
+  RBVC_REQUIRE(a.rows() == a.cols(), "LU: matrix must be square");
+  std::iota(p_.begin(), p_.end(), std::size_t{0});
+  // Scale tolerance to the magnitude of the matrix so very large or very
+  // small but well-conditioned systems are handled uniformly.
+  const double scale = std::max(1.0, lu_.max_abs());
+  const double pivot_tol = tol * scale;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: largest absolute entry in column k, rows k..n-1.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best <= pivot_tol) {
+      singular_ = true;
+      return;
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c)
+        std::swap(lu_(piv, c), lu_(k, c));
+      std::swap(p_[piv], p_[k]);
+      sign_ = -sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = lu_(r, k) * inv_pivot;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        lu_(r, c) -= m * lu_(k, c);
+      }
+    }
+  }
+}
+
+Vec LU::solve(const Vec& b) const {
+  RBVC_REQUIRE(!singular_, "LU::solve: matrix is singular");
+  RBVC_REQUIRE(b.size() == n_, "LU::solve: size mismatch");
+  Vec x(n_);
+  // Forward substitution with permuted right-hand side (L has unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = b[p_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LU::inverse() const {
+  RBVC_REQUIRE(!singular_, "LU::inverse: matrix is singular");
+  Matrix inv(n_, n_);
+  for (std::size_t c = 0; c < n_; ++c) {
+    Vec e(n_, 0.0);
+    e[c] = 1.0;
+    inv.set_col(c, solve(e));
+  }
+  return inv;
+}
+
+double LU::det() const {
+  if (singular_) return 0.0;
+  double d = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
+  return d;
+}
+
+std::optional<Vec> solve(const Matrix& a, const Vec& b, double tol) {
+  LU lu(a, tol);
+  if (lu.singular()) return std::nullopt;
+  return lu.solve(b);
+}
+
+std::optional<Matrix> inverse(const Matrix& a, double tol) {
+  LU lu(a, tol);
+  if (lu.singular()) return std::nullopt;
+  return lu.inverse();
+}
+
+std::size_t rank(const Matrix& a, double tol) {
+  Matrix m = a;
+  const std::size_t rows = m.rows(), cols = m.cols();
+  const double scale = std::max(1.0, m.max_abs());
+  const double pivot_tol = tol * scale;
+  std::size_t r = 0;
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    std::size_t piv = r;
+    double best = std::abs(m(r, c));
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      if (std::abs(m(i, c)) > best) {
+        best = std::abs(m(i, c));
+        piv = i;
+      }
+    }
+    if (best <= pivot_tol) continue;
+    if (piv != r) {
+      for (std::size_t j = 0; j < cols; ++j) std::swap(m(piv, j), m(r, j));
+    }
+    const double inv_pivot = 1.0 / m(r, c);
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      const double f = m(i, c) * inv_pivot;
+      if (f == 0.0) continue;
+      for (std::size_t j = c; j < cols; ++j) m(i, j) -= f * m(r, j);
+    }
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace rbvc

@@ -1,0 +1,48 @@
+// LU decomposition with partial pivoting: solve, inverse, determinant.
+// Used by the simplex-geometry layer to compute the `b_i` dual vectors of
+// the paper's Lemmas 11-12 (B = (A^{-1})^T).
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace rbvc {
+
+/// LU factorization PA = LU of a square matrix, with partial pivoting.
+/// Construction never throws on singular input; check `singular()`.
+class LU {
+ public:
+  explicit LU(const Matrix& a, double tol = kTol);
+
+  /// True when a pivot fell below tolerance (matrix numerically singular).
+  bool singular() const { return singular_; }
+
+  /// Solves A x = b. Requires !singular(), b.size() == n.
+  Vec solve(const Vec& b) const;
+
+  /// Inverse of A. Requires !singular().
+  Matrix inverse() const;
+
+  /// Determinant of A (0 when singular was detected).
+  double det() const;
+
+ private:
+  std::size_t n_;
+  Matrix lu_;                   // combined L (unit lower) and U factors
+  std::vector<std::size_t> p_;  // row permutation
+  int sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience: solves A x = b, or nullopt when A is numerically singular.
+std::optional<Vec> solve(const Matrix& a, const Vec& b, double tol = kTol);
+
+/// Convenience: inverse of A, or nullopt when numerically singular.
+std::optional<Matrix> inverse(const Matrix& a, double tol = kTol);
+
+/// Numerical rank via Gaussian elimination with full column search and
+/// relative tolerance. Works for rectangular matrices.
+std::size_t rank(const Matrix& a, double tol = kTol);
+
+}  // namespace rbvc

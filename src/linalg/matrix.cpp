@@ -1,0 +1,99 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rbvc {
+
+Matrix Matrix::from_columns(const std::vector<Vec>& cols) {
+  RBVC_REQUIRE(!cols.empty(), "from_columns: empty column list");
+  const std::size_t d = cols.front().size();
+  Matrix m(d, cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    RBVC_REQUIRE(cols[c].size() == d, "from_columns: ragged columns");
+    for (std::size_t r = 0; r < d; ++r) m(r, c) = cols[c][r];
+  }
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vec>& rows) {
+  RBVC_REQUIRE(!rows.empty(), "from_rows: empty row list");
+  const std::size_t d = rows.front().size();
+  Matrix m(rows.size(), d);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    RBVC_REQUIRE(rows[r].size() == d, "from_rows: ragged rows");
+    for (std::size_t c = 0; c < d; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vec Matrix::row(std::size_t r) const {
+  RBVC_REQUIRE(r < rows_, "row: index out of range");
+  Vec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vec Matrix::col(std::size_t c) const {
+  RBVC_REQUIRE(c < cols_, "col: index out of range");
+  Vec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vec& v) {
+  RBVC_REQUIRE(r < rows_ && v.size() == cols_, "set_row: shape mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::set_col(std::size_t c, const Vec& v) {
+  RBVC_REQUIRE(c < cols_ && v.size() == rows_, "set_col: shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vec Matrix::operator*(const Vec& x) const {
+  RBVC_REQUIRE(x.size() == cols_, "matvec: shape mismatch");
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  RBVC_REQUIRE(cols_ == other.rows(), "matmul: shape mismatch");
+  Matrix out(rows_, other.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols(); ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace rbvc

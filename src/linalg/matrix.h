@@ -1,0 +1,60 @@
+// Dense row-major matrix with the handful of operations the geometry and LP
+// layers need. Sized for the paper's regime (tens of rows/columns), so the
+// implementation favors clarity and numerical care over blocking/SIMD.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix whose columns are the given equal-dimension vectors.
+  static Matrix from_columns(const std::vector<Vec>& cols);
+
+  /// Builds a matrix whose rows are the given equal-dimension vectors.
+  static Matrix from_rows(const std::vector<Vec>& rows);
+
+  /// The n-by-n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Vec row(std::size_t r) const;
+  Vec col(std::size_t c) const;
+  void set_row(std::size_t r, const Vec& v);
+  void set_col(std::size_t c, const Vec& v);
+
+  Matrix transpose() const;
+
+  /// Matrix-vector product (cols() must equal x.size()).
+  Vec operator*(const Vec& x) const;
+
+  /// Matrix-matrix product (cols() must equal other.rows()).
+  Matrix operator*(const Matrix& other) const;
+
+  /// Maximum absolute entry; 0 for an empty matrix.
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace rbvc

@@ -1,0 +1,111 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace rbvc {
+
+std::vector<Vec> orthonormal_basis(const std::vector<Vec>& vs, double tol) {
+  std::vector<Vec> basis;
+  double max_norm = 0.0;
+  for (const Vec& v : vs) max_norm = std::max(max_norm, norm2(v));
+  if (max_norm == 0.0) return basis;
+  const double drop = tol * max_norm;
+
+  for (const Vec& v : vs) {
+    Vec r = v;
+    // Two MGS passes for re-orthogonalization stability.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Vec& q : basis) axpy(-dot(q, r), q, r);
+    }
+    const double nr = norm2(r);
+    if (nr > drop) basis.push_back(scale(1.0 / nr, r));
+  }
+  return basis;
+}
+
+Vec coords_in_basis(const std::vector<Vec>& basis, const Vec& x) {
+  Vec c(basis.size());
+  for (std::size_t i = 0; i < basis.size(); ++i) c[i] = dot(basis[i], x);
+  return c;
+}
+
+double dist2_to_span(const std::vector<Vec>& basis, const Vec& x) {
+  Vec r = x;
+  for (const Vec& q : basis) axpy(-dot(q, r), q, r);
+  return dot(r, r);
+}
+
+std::optional<Vec> least_squares(const Matrix& a, const Vec& b, double tol) {
+  RBVC_REQUIRE(a.rows() == b.size(), "least_squares: shape mismatch");
+  const Matrix at = a.transpose();
+  const Matrix ata = at * a;
+  const Vec atb = at * b;
+  return solve(ata, atb, tol);
+}
+
+std::optional<Vec> nullspace_vector(const Matrix& a, double tol) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  if (cols == 0) return std::nullopt;
+  // Reduce to row echelon form tracking pivot columns.
+  Matrix m = a;
+  const double scale_tol = tol * std::max(1.0, m.max_abs());
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t r = 0;
+  std::vector<bool> is_pivot(cols, false);
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    std::size_t piv = r;
+    double best = std::abs(m(r, c));
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      if (std::abs(m(i, c)) > best) {
+        best = std::abs(m(i, c));
+        piv = i;
+      }
+    }
+    if (best <= scale_tol) continue;
+    if (piv != r) {
+      for (std::size_t j = 0; j < cols; ++j) std::swap(m(piv, j), m(r, j));
+    }
+    const double inv = 1.0 / m(r, c);
+    for (std::size_t j = 0; j < cols; ++j) m(r, j) *= inv;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (i == r) continue;
+      const double f = m(i, c);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < cols; ++j) m(i, j) -= f * m(r, j);
+    }
+    pivot_col_of_row.push_back(c);
+    is_pivot[c] = true;
+    ++r;
+  }
+  // Pick the first free column; back-substitute a kernel vector.
+  std::size_t free_col = cols;
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (!is_pivot[c]) {
+      free_col = c;
+      break;
+    }
+  }
+  if (free_col == cols) return std::nullopt;  // full column rank
+  Vec x(cols, 0.0);
+  x[free_col] = 1.0;
+  for (std::size_t row = 0; row < pivot_col_of_row.size(); ++row) {
+    x[pivot_col_of_row[row]] = -m(row, free_col);
+  }
+  const double nx = norm2(x);
+  return scale(1.0 / nx, x);
+}
+
+bool affinely_independent(const std::vector<Vec>& points, double tol) {
+  if (points.size() <= 1) return true;
+  std::vector<Vec> diffs;
+  diffs.reserve(points.size() - 1);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    diffs.push_back(sub(points[i], points.back()));
+  }
+  return orthonormal_basis(diffs, tol).size() == points.size() - 1;
+}
+
+}  // namespace rbvc

@@ -1,0 +1,43 @@
+// Orthonormalization utilities (modified Gram-Schmidt) and least squares.
+//
+// The paper's Theorems 8 and 9 (Case II) rely on a distance-preserving
+// projection of n points onto the subspace their differences span; that
+// projection is implemented here as "coordinates in an orthonormal basis".
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace rbvc {
+
+/// Orthonormal basis of span{vs...} via modified Gram-Schmidt; vectors whose
+/// residual falls below `tol * max_input_norm` are dropped. Result may be
+/// empty (all inputs ~ zero).
+std::vector<Vec> orthonormal_basis(const std::vector<Vec>& vs,
+                                   double tol = kTol);
+
+/// Coordinates of x in the given orthonormal basis. If x lies in the span,
+/// the map is an isometry: distances between projected points equal
+/// distances between originals.
+Vec coords_in_basis(const std::vector<Vec>& basis, const Vec& x);
+
+/// Squared distance from x to span(basis) (basis must be orthonormal).
+double dist2_to_span(const std::vector<Vec>& basis, const Vec& x);
+
+/// Least-squares solution of min ||A x - b||_2 via normal equations.
+/// Returns nullopt when A^T A is numerically singular (rank-deficient A).
+std::optional<Vec> least_squares(const Matrix& a, const Vec& b,
+                                 double tol = kTol);
+
+/// True if the points are affinely independent (the d+1-point general
+/// position test of the paper's Lemmas 11-15): differences to the last
+/// point have full rank points.size()-1.
+bool affinely_independent(const std::vector<Vec>& points, double tol = kTol);
+
+/// A non-trivial vector x with A x ~= 0 (unit norm), or nullopt when A has
+/// full column rank (trivial kernel) within tol. Used by the Caratheodory
+/// reduction to find affine dependencies.
+std::optional<Vec> nullspace_vector(const Matrix& a, double tol = kTol);
+
+}  // namespace rbvc

@@ -1,0 +1,116 @@
+#include "linalg/vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rbvc {
+
+namespace {
+void check_same_dim(const Vec& x, const Vec& y, const char* op) {
+  RBVC_REQUIRE(x.size() == y.size(),
+               std::string(op) + ": dimension mismatch (" +
+                   std::to_string(x.size()) + " vs " +
+                   std::to_string(y.size()) + ")");
+}
+}  // namespace
+
+Vec add(const Vec& x, const Vec& y) {
+  check_same_dim(x, y, "add");
+  Vec r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) r[i] = x[i] + y[i];
+  return r;
+}
+
+Vec sub(const Vec& x, const Vec& y) {
+  check_same_dim(x, y, "sub");
+  Vec r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) r[i] = x[i] - y[i];
+  return r;
+}
+
+Vec scale(double a, const Vec& x) {
+  Vec r(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) r[i] = a * x[i];
+  return r;
+}
+
+void axpy(double a, const Vec& x, Vec& y) {
+  check_same_dim(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(const Vec& x, const Vec& y) {
+  check_same_dim(x, y, "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double lp_norm(const Vec& x, double p) {
+  RBVC_REQUIRE(p >= 1.0, "lp_norm: p must be >= 1");
+  if (p >= kInfNorm) {
+    double m = 0.0;
+    for (double v : x) m = std::max(m, std::abs(v));
+    return m;
+  }
+  if (p == 1.0) {
+    double s = 0.0;
+    for (double v : x) s += std::abs(v);
+    return s;
+  }
+  if (p == 2.0) return norm2(x);
+  double s = 0.0;
+  for (double v : x) s += std::pow(std::abs(v), p);
+  return std::pow(s, 1.0 / p);
+}
+
+double norm2(const Vec& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+double lp_dist(const Vec& x, const Vec& y, double p) {
+  return lp_norm(sub(x, y), p);
+}
+
+double dist2(const Vec& x, const Vec& y) { return norm2(sub(x, y)); }
+
+Vec mean(const std::vector<Vec>& xs) {
+  RBVC_REQUIRE(!xs.empty(), "mean: empty list");
+  Vec r = zeros(xs.front().size());
+  for (const Vec& x : xs) axpy(1.0, x, r);
+  return scale(1.0 / static_cast<double>(xs.size()), r);
+}
+
+bool approx_equal(const Vec& x, const Vec& y, double tol) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i] - y[i]) > tol) return false;
+  }
+  return true;
+}
+
+Vec zeros(std::size_t d) { return Vec(d, 0.0); }
+
+Vec basis(std::size_t d, std::size_t i) {
+  RBVC_REQUIRE(i < d, "basis: index out of range");
+  Vec r(d, 0.0);
+  r[i] = 1.0;
+  return r;
+}
+
+std::string to_string(const Vec& x) {
+  std::string s = "(";
+  char buf[32];
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", x[i]);
+    s += buf;
+    if (i + 1 < x.size()) s += ", ";
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace rbvc

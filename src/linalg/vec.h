@@ -1,0 +1,59 @@
+// Dense d-dimensional real vectors and Lp-norm utilities.
+//
+// Vectors are plain `std::vector<double>` so they interoperate directly with
+// the simulator's message payloads; all arithmetic lives in free functions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rbvc/common.h"
+
+namespace rbvc {
+
+using Vec = std::vector<double>;
+
+/// Returns x + y. Dimensions must match.
+Vec add(const Vec& x, const Vec& y);
+
+/// Returns x - y. Dimensions must match.
+Vec sub(const Vec& x, const Vec& y);
+
+/// Returns a * x.
+Vec scale(double a, const Vec& x);
+
+/// In-place y += a * x. Dimensions must match.
+void axpy(double a, const Vec& x, Vec& y);
+
+/// Dot product <x, y>. Dimensions must match.
+double dot(const Vec& x, const Vec& y);
+
+/// Lp norm of x for p >= 1; pass rbvc::kInfNorm (or any p >= kInfNorm)
+/// for the L-infinity norm.
+double lp_norm(const Vec& x, double p);
+
+/// Euclidean (L2) norm.
+double norm2(const Vec& x);
+
+/// Lp distance ||x - y||_p. Dimensions must match.
+double lp_dist(const Vec& x, const Vec& y, double p);
+
+/// Euclidean distance ||x - y||_2.
+double dist2(const Vec& x, const Vec& y);
+
+/// Component-wise mean of a non-empty list of equal-dimension vectors.
+Vec mean(const std::vector<Vec>& xs);
+
+/// True if ||x - y||_inf <= tol.
+bool approx_equal(const Vec& x, const Vec& y, double tol = kTol);
+
+/// The all-zero vector of dimension d.
+Vec zeros(std::size_t d);
+
+/// The i-th standard basis vector (d-dimensional, e_i[i] = 1).
+Vec basis(std::size_t d, std::size_t i);
+
+/// Human-readable "(x1, x2, ...)" rendering, for traces and reports.
+std::string to_string(const Vec& x);
+
+}  // namespace rbvc

@@ -1,0 +1,87 @@
+#include "lp/model.h"
+
+namespace rbvc::lp {
+
+Model::VarId Model::add_var(double objective_coeff, bool free) {
+  obj_.push_back(objective_coeff);
+  free_.push_back(free);
+  return obj_.size() - 1;
+}
+
+Model::VarId Model::add_vars(std::size_t count, double objective_coeff,
+                             bool free) {
+  RBVC_REQUIRE(count > 0, "add_vars: count must be positive");
+  const VarId first = obj_.size();
+  for (std::size_t i = 0; i < count; ++i) add_var(objective_coeff, free);
+  return first;
+}
+
+void Model::add_constraint(const std::vector<Term>& terms, Rel rel,
+                           double rhs) {
+  for (const Term& t : terms) {
+    RBVC_REQUIRE(t.var < obj_.size(), "add_constraint: unknown variable");
+  }
+  rows_.push_back(terms);
+  rels_.push_back(rel);
+  rhs_.push_back(rhs);
+}
+
+void Model::set_objective_coeff(VarId v, double c) {
+  RBVC_REQUIRE(v < obj_.size(), "set_objective_coeff: unknown variable");
+  obj_[v] = c;
+}
+
+Solution Model::solve(const SimplexOptions& opts) const {
+  // Column layout: for each model variable, one standard column (x >= 0) or
+  // two (x+ and x-) when free; then one slack/surplus column per inequality.
+  const std::size_t nv = obj_.size();
+  std::vector<std::size_t> col_of(nv);        // positive-part column
+  std::vector<std::size_t> neg_col_of(nv, 0); // negative-part column (free)
+  std::size_t ncols = 0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    col_of[v] = ncols++;
+    if (free_[v]) neg_col_of[v] = ncols++;
+  }
+  std::size_t n_slack = 0;
+  for (Rel r : rels_) {
+    if (r != Rel::kEq) ++n_slack;
+  }
+  const std::size_t total = ncols + n_slack;
+  const std::size_t m = rows_.size();
+
+  Matrix a(m, total);
+  Vec b = rhs_;
+  Vec c(total, 0.0);
+  const double obj_sign = (sense_ == Sense::kMinimize) ? 1.0 : -1.0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    c[col_of[v]] = obj_sign * obj_[v];
+    if (free_[v]) c[neg_col_of[v]] = -obj_sign * obj_[v];
+  }
+  std::size_t slack = ncols;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const Term& t : rows_[i]) {
+      a(i, col_of[t.var]) += t.coeff;
+      if (free_[t.var]) a(i, neg_col_of[t.var]) -= t.coeff;
+    }
+    if (rels_[i] == Rel::kLe) {
+      a(i, slack++) = 1.0;
+    } else if (rels_[i] == Rel::kGe) {
+      a(i, slack++) = -1.0;
+    }
+  }
+
+  Solution raw = solve_standard(a, b, c, opts);
+  if (raw.status != Status::kOptimal) return raw;
+
+  Solution out;
+  out.status = Status::kOptimal;
+  out.objective = obj_sign * raw.objective;
+  out.x.resize(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    out.x[v] = raw.x[col_of[v]];
+    if (free_[v]) out.x[v] -= raw.x[neg_col_of[v]];
+  }
+  return out;
+}
+
+}  // namespace rbvc::lp

@@ -1,0 +1,57 @@
+// High-level LP model builder on top of the standard-form simplex core.
+//
+// Supports nonnegative and free variables, <= / >= / == rows, and both
+// optimization senses. Free variables are split (x = x+ - x-) and slack /
+// surplus columns are added during lowering; the reported solution is in
+// terms of the modeled variables.
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace rbvc::lp {
+
+enum class Sense { kMinimize, kMaximize };
+enum class Rel { kLe, kGe, kEq };
+
+class Model {
+ public:
+  using VarId = std::size_t;
+
+  /// Adds a variable with the given objective coefficient.
+  /// `free` variables range over all reals; otherwise x >= 0.
+  VarId add_var(double objective_coeff = 0.0, bool free = false);
+
+  /// Adds `count` variables sharing the same settings; returns the first id
+  /// (ids are consecutive).
+  VarId add_vars(std::size_t count, double objective_coeff = 0.0,
+                 bool free = false);
+
+  /// Adds the constraint  sum_i terms[i].coeff * x_{terms[i].var}  REL  rhs.
+  struct Term {
+    VarId var;
+    double coeff;
+  };
+  void add_constraint(const std::vector<Term>& terms, Rel rel, double rhs);
+
+  void set_objective_coeff(VarId v, double c);
+  void set_sense(Sense s) { sense_ = s; }
+
+  std::size_t num_vars() const { return free_.size(); }
+  std::size_t num_constraints() const { return rels_.size(); }
+
+  /// Lowers to standard form and solves. `objective` in the result is in the
+  /// model's sense (i.e. negated back for maximization).
+  Solution solve(const SimplexOptions& opts = {}) const;
+
+ private:
+  Sense sense_ = Sense::kMinimize;
+  std::vector<double> obj_;
+  std::vector<bool> free_;
+  std::vector<std::vector<Term>> rows_;
+  std::vector<Rel> rels_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace rbvc::lp

@@ -1,0 +1,82 @@
+#include "opt/minimax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rbvc {
+
+namespace {
+
+struct Farthest {
+  double dist = 0.0;
+  Vec proj;  // projection of p onto the farthest hull
+};
+
+Farthest farthest_hull(const Vec& p, const std::vector<std::vector<Vec>>& sets,
+                       double tol, double norm_p, std::size_t& evals) {
+  Farthest far;
+  far.proj = p;
+  for (const auto& s : sets) {
+    const HullProjection pr = project_to_hull_p(p, s, norm_p, tol);
+    ++evals;
+    if (pr.distance > far.dist) {
+      far.dist = pr.distance;
+      far.proj = pr.point;
+    }
+  }
+  return far;
+}
+
+}  // namespace
+
+MinimaxResult min_max_hull_distance(const std::vector<std::vector<Vec>>& sets,
+                                    Vec init, const MinimaxOptions& opts) {
+  RBVC_REQUIRE(!sets.empty(), "min_max_hull_distance: no sets");
+  MinimaxResult best;
+  Vec p = std::move(init);
+  {
+    const Farthest f0 = farthest_hull(p, sets, opts.tol, opts.p, best.evals);
+    best.value = f0.dist;
+    best.point = p;
+  }
+
+  // Phase 1: Badoiu-Clarkson schedule. Move toward the projection onto the
+  // farthest hull; the 1/(k+2) damping makes the iterates converge to the
+  // min-max center.
+  for (std::size_t k = 0; k < opts.iters; ++k) {
+    const Farthest far = farthest_hull(p, sets, opts.tol, opts.p, best.evals);
+    if (far.dist < best.value) {
+      best.value = far.dist;
+      best.point = p;
+    }
+    if (far.dist <= opts.tol) break;  // intersection reached: delta* = 0
+    const double step = 1.0 / (static_cast<double>(k) + 2.0);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] += step * (far.proj[i] - p[i]);
+    }
+  }
+
+  // Phase 2: Polyak subgradient polishing from the best point found. The
+  // subgradient of max_i dist(p, H_i) is the unit vector away from the
+  // farthest hull; Polyak's step uses best.value as the target estimate
+  // with a shrinking over-relaxation.
+  p = best.point;
+  for (std::size_t k = 0; k < opts.polish_iters; ++k) {
+    const Farthest far = farthest_hull(p, sets, opts.tol, opts.p, best.evals);
+    if (far.dist < best.value) {
+      best.value = far.dist;
+      best.point = p;
+    }
+    if (far.dist <= opts.tol) break;
+    // target = (1 - gamma_k) * current best; gamma decays so steps vanish.
+    const double gamma = 0.5 / std::sqrt(static_cast<double>(k) + 1.0);
+    const double target = best.value * (1.0 - gamma);
+    const double step = std::max(0.0, far.dist - target) / far.dist;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] += step * (far.proj[i] - p[i]);
+    }
+  }
+  return best;
+}
+
+}  // namespace rbvc

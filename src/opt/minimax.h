@@ -1,0 +1,35 @@
+// Numerical solver for the min-max hull-distance problem at the heart of
+// ALGO's Step 2 (paper Sec. 9):
+//
+//     delta* = min_{p in R^d}  max_i  dist_2(p, H(S_i))
+//
+// The objective is convex; we run a Badoiu-Clarkson style iteration (move
+// toward the projection onto the currently-farthest hull with a 1/(k+2)
+// schedule) followed by subgradient polishing. Exact closed forms (simplex
+// inradius) cross-check this path in tests.
+#pragma once
+
+#include <vector>
+
+#include "geometry/distance.h"
+
+namespace rbvc {
+
+struct MinimaxOptions {
+  std::size_t iters = 4'000;       // main schedule length
+  std::size_t polish_iters = 500;  // Polyak subgradient polishing steps
+  double tol = kTol;
+  double p = 2.0;  // norm for the hull distances (2 exact; others iterative)
+};
+
+struct MinimaxResult {
+  double value = 0.0;   // best max-distance found (upper bound on delta*)
+  Vec point;            // the minimizing point found
+  std::size_t evals = 0;  // hull-projection evaluations performed
+};
+
+/// Minimizes max_i dist_2(p, H(sets[i])) starting from `init`.
+MinimaxResult min_max_hull_distance(const std::vector<std::vector<Vec>>& sets,
+                                    Vec init, const MinimaxOptions& opts = {});
+
+}  // namespace rbvc

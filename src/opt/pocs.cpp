@@ -1,0 +1,30 @@
+#include "opt/pocs.h"
+
+namespace rbvc {
+
+std::optional<Vec> pocs_point_within(const std::vector<std::vector<Vec>>& sets,
+                                     double delta, Vec init,
+                                     const PocsOptions& opts) {
+  RBVC_REQUIRE(!sets.empty(), "pocs_point_within: no sets");
+  RBVC_REQUIRE(delta >= 0.0, "pocs_point_within: delta must be >= 0");
+  Vec p = std::move(init);
+  for (std::size_t sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    double worst = 0.0;
+    for (const auto& s : sets) {
+      const HullProjection pr = project_to_hull(p, s, kTol);
+      if (pr.distance > delta) {
+        // Project onto the delta-fattened hull: move toward the hull until
+        // exactly delta away.
+        const double move = (pr.distance - delta) / pr.distance;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+          p[i] += move * (pr.point[i] - p[i]);
+        }
+        worst = std::max(worst, pr.distance - delta);
+      }
+    }
+    if (worst <= opts.tol) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rbvc

@@ -1,0 +1,27 @@
+// Projection-onto-convex-sets (cyclic alternating projections) feasibility:
+// find a point whose L2 distance to every listed hull is at most delta.
+// Used as an independent witness generator for Gamma_(delta,2)(S) and as a
+// cross-check on the minimax delta* solver.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/distance.h"
+
+namespace rbvc {
+
+struct PocsOptions {
+  std::size_t max_sweeps = 2'000;
+  double tol = kLooseTol;
+};
+
+/// Cyclic projections onto the delta-fattened hulls H_(delta,2)(sets[i]).
+/// Returns a point within delta + tol of every hull, or nullopt when the
+/// sweep budget is exhausted without converging (suggests the intersection
+/// is empty -- POCS cannot certify emptiness, only fail to find a witness).
+std::optional<Vec> pocs_point_within(const std::vector<std::vector<Vec>>& sets,
+                                     double delta, Vec init,
+                                     const PocsOptions& opts = {});
+
+}  // namespace rbvc

@@ -1,0 +1,82 @@
+// Bracha's asynchronous reliable broadcast (1987), n >= 3f + 1.
+//
+// Guarantees used by the paper's asynchronous algorithms (Sec. 10):
+//   * if a correct process broadcasts v, every correct process delivers v;
+//   * if any correct process delivers (s, inst, v), every correct process
+//     eventually delivers the same v for (s, inst) -- a Byzantine source
+//     cannot equivocate within one instance.
+//
+// Besides the vector value, a broadcast can carry an `extra` integer list
+// (Relaxed Verified Averaging attaches the sender's view -- the source ids
+// its value was computed from -- so receivers can recompute and verify).
+// The extra data is part of the broadcast content: equivocating on it is
+// equivalent to equivocating on the value.
+//
+// Implemented as a reusable component driven by its owning AsyncProcess:
+// INIT -> ECHO (quorum ceil((n+f+1)/2)) -> READY (amplify at f+1, deliver
+// at 2f+1).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/async_engine.h"
+
+namespace rbvc::protocols {
+
+using sim::Message;
+using sim::Outbox;
+using sim::ProcessId;
+
+class BrachaRbc {
+ public:
+  BrachaRbc(std::size_t n, std::size_t f, ProcessId self);
+
+  /// Starts broadcasting `value` (+ optional extra ints) as the source of
+  /// instance (self, instance).
+  void broadcast(int instance, const Vec& value, Outbox& out,
+                 const std::vector<int>& extra = {});
+
+  struct Delivery {
+    ProcessId source;
+    int instance;
+    Vec value;
+    std::vector<int> extra;
+  };
+
+  /// Feeds a received message. Non-RBC messages are ignored. Returns the
+  /// deliveries (zero or one) triggered by this message.
+  std::vector<Delivery> on_message(const Message& m, Outbox& out);
+
+  static bool is_rbc(const Message& m) { return m.kind == kKind; }
+
+  /// Messages sent by this component so far (for the protocol-cost bench).
+  std::size_t sent() const { return sent_; }
+
+ private:
+  using Content = std::pair<std::vector<int>, Vec>;  // (extra, value)
+
+  struct Slot {
+    // Per-sender first votes, and counts per distinct content.
+    std::set<ProcessId> echoed, readied;
+    std::map<Content, std::size_t> echo_votes, ready_votes;
+    bool sent_echo = false, sent_ready = false, delivered = false;
+  };
+
+  static constexpr const char* kKind = "rbc";
+  enum Phase : int { kInit = 0, kEcho = 1, kReady = 2 };
+
+  Slot& slot(ProcessId source, int instance) {
+    return slots_[{source, instance}];
+  }
+  void emit(Phase phase, ProcessId source, int instance,
+            const Content& content, Outbox& out);
+
+  std::size_t n_, f_;
+  ProcessId self_;
+  std::size_t sent_ = 0;
+  std::map<std::pair<ProcessId, int>, Slot> slots_;
+};
+
+}  // namespace rbvc::protocols

@@ -1,0 +1,92 @@
+// Dolev-Strong authenticated Byzantine broadcast (1983) and interactive
+// consistency built from n parallel instances.
+//
+// With signatures, broadcast tolerates ANY number of faults f < n in f+1
+// rounds with O(n^2 f) messages -- no 3f+1 floor. This realizes the paper's
+// footnote 3: "when the underlying network is a reliable broadcast channel
+// ... n does not need to exceed 3f", letting ALGO run with e.g. n = 3,
+// f = 1 (impossible in the unauthenticated model, Lemma 10).
+//
+// Protocol (per source instance): the source signs its value and sends it
+// to everyone. A process that, in round r, receives a value carried by a
+// chain of exactly r valid signatures from distinct signers starting with
+// the source, "extracts" it; if r <= f it appends its own signature and
+// relays. After round f+1 a process outputs the unique extracted value, or
+// the default when zero or several values were extracted. All correct
+// processes provably extract identical sets.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "protocols/om_broadcast.h"  // DecisionFn
+#include "sim/signatures.h"
+
+namespace rbvc::protocols {
+
+/// A signature chain: (signer, signature) pairs in signing order.
+using SigChain = std::vector<std::pair<ProcessId, sim::Signature>>;
+
+/// Wire helpers (exposed for tests and Byzantine strategies).
+namespace ds_wire {
+constexpr const char* kKind = "ds";
+/// meta = [instance, signer_0, sig0_lo, sig0_hi, signer_1, ...].
+Message encode(ProcessId instance, const Vec& value, const SigChain& chain);
+/// Parses a ds message; nullopt when structurally malformed.
+std::optional<std::pair<ProcessId, SigChain>> decode(const Message& m,
+                                                     std::size_t n);
+/// Digest the i-th signer of a chain must sign: covers instance, value, and
+/// the entire chain prefix.
+std::uint64_t chain_digest(ProcessId instance, const Vec& value,
+                           const SigChain& prefix);
+/// Validates the full chain: distinct signers, first == instance, all
+/// signatures verify against the authority.
+bool chain_valid(const sim::SignatureAuthority& authority, ProcessId instance,
+                 const Vec& value, const SigChain& chain);
+}  // namespace ds_wire
+
+/// Correct-process interactive consistency via n parallel Dolev-Strong
+/// broadcasts; works for any f < n - 1 (you still need two correct
+/// processes for consensus to be meaningful).
+class DolevStrongProcess : public sim::SyncProcess {
+ public:
+  DolevStrongProcess(std::size_t n, std::size_t f, ProcessId self, Vec input,
+                     Vec default_value, DecisionFn decide, sim::Signer signer,
+                     const sim::SignatureAuthority* authority);
+
+  void round(std::size_t round_no, const std::vector<Message>& inbox,
+             Outbox& out) final;
+  bool decided() const override { return decided_; }
+
+  const Vec& decision() const;
+  const std::vector<Vec>& resolved_inputs() const;
+  const Vec& input() const { return input_; }
+
+  static std::size_t rounds_needed(std::size_t f) { return f + 2; }
+
+ protected:
+  /// Hook for Byzantine subclasses: the initial (value, chain) messages to
+  /// send per recipient. Correct processes sign their input once.
+  virtual std::vector<std::pair<ProcessId, Message>> initial_messages();
+
+  /// Hook: whether to relay a newly extracted value (correct: always).
+  virtual bool should_relay(ProcessId instance, const Vec& value);
+
+  std::size_t n_;
+  std::size_t f_;
+  ProcessId self_;
+  Vec input_;
+  Vec default_;
+  sim::Signer signer_;
+  const sim::SignatureAuthority* authority_;
+
+ private:
+  DecisionFn decide_;
+  // Per-instance extracted values (std::set for deterministic order).
+  std::vector<std::set<Vec>> extracted_;
+  std::vector<Vec> resolved_;
+  Vec decision_;
+  bool decided_ = false;
+};
+
+}  // namespace rbvc::protocols

@@ -1,0 +1,187 @@
+#include "protocols/om_broadcast.h"
+
+#include <algorithm>
+
+namespace rbvc::protocols {
+
+namespace {
+constexpr const char* kEigKind = "eig";
+
+bool path_valid(const std::vector<int>& path, std::size_t n,
+                ProcessId source, ProcessId from,
+                std::size_t protocol_round) {
+  if (path.size() != protocol_round) return false;
+  if (path.empty()) return false;
+  if (static_cast<std::size_t>(path.front()) != source) return false;
+  if (static_cast<std::size_t>(path.back()) != from) return false;
+  for (int p : path) {
+    if (p < 0 || static_cast<std::size_t>(p) >= n) return false;
+  }
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      if (path[i] == path[j]) return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+EigInstance::EigInstance(std::size_t n, std::size_t f, ProcessId source,
+                         Vec default_value)
+    : n_(n), f_(f), source_(source), default_(std::move(default_value)) {}
+
+void EigInstance::absorb(const std::vector<int>& path, const Vec& value,
+                         ProcessId from, std::size_t protocol_round) {
+  if (!path_valid(path, n_, source_, from, protocol_round)) return;
+  if (value.size() != default_.size()) return;  // malformed payload
+  vals_.emplace(path, value);  // first write wins; duplicates ignored
+}
+
+std::vector<std::pair<std::vector<int>, Vec>> EigInstance::level(
+    std::size_t path_len) const {
+  std::vector<std::pair<std::vector<int>, Vec>> out;
+  for (const auto& [path, v] : vals_) {
+    if (path.size() == path_len) out.emplace_back(path, v);
+  }
+  return out;
+}
+
+Vec EigInstance::resolve() const { return resolve_node({static_cast<int>(source_)}); }
+
+Vec EigInstance::resolve_node(const std::vector<int>& path) const {
+  if (path.size() == f_ + 1) {  // leaf level
+    const auto it = vals_.find(path);
+    return it == vals_.end() ? default_ : it->second;
+  }
+  // Internal node: strict majority over the children's resolutions.
+  std::map<Vec, std::size_t> votes;
+  std::size_t children = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (std::find(path.begin(), path.end(), static_cast<int>(j)) !=
+        path.end()) {
+      continue;
+    }
+    std::vector<int> child = path;
+    child.push_back(static_cast<int>(j));
+    ++children;
+    ++votes[resolve_node(child)];
+  }
+  for (const auto& [v, count] : votes) {
+    if (2 * count > children) return v;
+  }
+  return default_;
+}
+
+EigConsensusProcess::EigConsensusProcess(std::size_t n, std::size_t f,
+                                         ProcessId self, Vec input,
+                                         Vec default_value,
+                                         DecisionFn decide)
+    : n_(n),
+      f_(f),
+      self_(self),
+      input_(std::move(input)),
+      default_(std::move(default_value)),
+      decide_(std::move(decide)) {
+  RBVC_REQUIRE(n_ >= 3 * f_ + 1, "EIG broadcast requires n >= 3f + 1");
+  RBVC_REQUIRE(self_ < n_, "process id out of range");
+  instances_.reserve(n_);
+  for (ProcessId s = 0; s < n_; ++s) {
+    instances_.emplace_back(n_, f_, s, default_);
+  }
+}
+
+void EigConsensusProcess::round(std::size_t round_no,
+                                const std::vector<Message>& inbox,
+                                Outbox& out) {
+  if (decided_) return;
+
+  // Absorb the protocol-round `round_no` messages delivered this round.
+  for (const Message& m : inbox) {
+    if (m.kind != kEigKind || m.meta.empty()) continue;
+    const int src = m.meta.front();
+    if (src < 0 || static_cast<std::size_t>(src) >= n_) continue;
+    const std::vector<int> path(m.meta.begin() + 1, m.meta.end());
+    instances_[static_cast<std::size_t>(src)].absorb(path, m.payload, m.from,
+                                                     round_no);
+  }
+
+  if (round_no == 0) {
+    // Protocol round 1: act as the source of our own instance.
+    // Our own value is recorded directly (we trivially trust ourselves).
+    for (ProcessId r = 0; r < n_; ++r) {
+      const Vec v = initial_value_for(r);
+      if (r == self_) {
+        instances_[self_].absorb({static_cast<int>(self_)}, input_, self_, 1);
+        continue;
+      }
+      Message m;
+      m.kind = kEigKind;
+      m.meta = {static_cast<int>(self_), static_cast<int>(self_)};
+      m.payload = v;
+      out.send(r, std::move(m));
+    }
+    return;
+  }
+
+  if (round_no <= f_) {
+    // Protocol round round_no+1: relay every level-round_no node we hold in
+    // every instance, skipping paths that already contain us.
+    for (const EigInstance& inst : instances_) {
+      for (const auto& [path, v] : inst.level(round_no)) {
+        if (std::find(path.begin(), path.end(), static_cast<int>(self_)) !=
+            path.end()) {
+          continue;
+        }
+        for (ProcessId r = 0; r < n_; ++r) {
+          std::optional<Vec> to_send =
+              relay_value_for(inst.source(), path, v, r);
+          if (!to_send) continue;
+          if (r == self_) {
+            std::vector<int> extended = path;
+            extended.push_back(static_cast<int>(self_));
+            instances_[inst.source()].absorb(extended, *to_send, self_,
+                                             round_no + 1);
+            continue;
+          }
+          Message m;
+          m.kind = kEigKind;
+          m.meta.reserve(path.size() + 2);
+          m.meta.push_back(static_cast<int>(inst.source()));
+          m.meta.insert(m.meta.end(), path.begin(), path.end());
+          m.meta.push_back(static_cast<int>(self_));
+          m.payload = std::move(*to_send);
+          out.send(r, std::move(m));
+        }
+      }
+    }
+    return;
+  }
+
+  // round_no == f_ + 1: all protocol rounds delivered; resolve and decide.
+  resolved_.clear();
+  resolved_.reserve(n_);
+  for (const EigInstance& inst : instances_) {
+    resolved_.push_back(inst.resolve());
+  }
+  decision_ = decide_(resolved_);
+  decided_ = true;
+}
+
+const Vec& EigConsensusProcess::decision() const {
+  RBVC_REQUIRE(decided_, "decision(): process has not decided yet");
+  return decision_;
+}
+
+const std::vector<Vec>& EigConsensusProcess::resolved_inputs() const {
+  RBVC_REQUIRE(decided_, "resolved_inputs(): process has not decided yet");
+  return resolved_;
+}
+
+Vec EigConsensusProcess::initial_value_for(ProcessId) { return input_; }
+
+std::optional<Vec> EigConsensusProcess::relay_value_for(
+    ProcessId, const std::vector<int>&, const Vec& honest, ProcessId) {
+  return honest;
+}
+
+}  // namespace rbvc::protocols

@@ -1,0 +1,111 @@
+// Synchronous Byzantine broadcast via Exponential Information Gathering
+// (the message pattern of Lamport-Shostak-Pease OM(f)), and interactive
+// consistency built from n parallel instances.
+//
+// ALGO Step 1 (paper Sec. 9) is exactly interactive consistency: every
+// process Byzantine-broadcasts its input vector, after which all correct
+// processes hold the *identical* multiset S = {a_1, ..., a_n} with a_i the
+// true input for every correct i. Requires n >= 3f + 1 and f + 2 rounds.
+//
+// Byzantine processes are modeled as subclasses overriding the send hooks
+// (send different initial values per recipient, lie while relaying, or stay
+// silent); the EIG resolution at correct processes tolerates all of it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "sim/sync_engine.h"
+
+namespace rbvc::protocols {
+
+using sim::Message;
+using sim::Outbox;
+using sim::ProcessId;
+
+/// Receiver-side state of one EIG broadcast instance (one source).
+/// Stores values keyed by relay path and resolves the tree by recursive
+/// strict-majority with a default for missing/tied nodes.
+class EigInstance {
+ public:
+  EigInstance(std::size_t n, std::size_t f, ProcessId source,
+              Vec default_value);
+
+  /// Validates and stores a received relay. `protocol_round` is 1-based;
+  /// the path must have that length, start at the source, end at `from`,
+  /// and contain no repeats. Invalid or duplicate messages are ignored.
+  void absorb(const std::vector<int>& path, const Vec& value, ProcessId from,
+              std::size_t protocol_round);
+
+  /// The stored values of the given level (paths of this length), for
+  /// relaying in the next round.
+  std::vector<std::pair<std::vector<int>, Vec>> level(
+      std::size_t path_len) const;
+
+  /// Recursive majority resolution of the root (call after round f+1).
+  Vec resolve() const;
+
+  ProcessId source() const { return source_; }
+
+ private:
+  Vec resolve_node(const std::vector<int>& path) const;
+
+  std::size_t n_;
+  std::size_t f_;
+  ProcessId source_;
+  Vec default_;
+  std::map<std::vector<int>, Vec> vals_;
+};
+
+/// Deterministic function from the agreed multiset S (indexed by process id)
+/// to the decision vector. This is where ALGO / exact BVC / k-relaxed BVC
+/// plug in their geometry.
+using DecisionFn = std::function<Vec(const std::vector<Vec>&)>;
+
+/// Correct-process implementation of interactive consistency + decision.
+/// Runs n parallel EIG instances (one per source) over f+2 engine rounds.
+class EigConsensusProcess : public sim::SyncProcess {
+ public:
+  EigConsensusProcess(std::size_t n, std::size_t f, ProcessId self, Vec input,
+                      Vec default_value, DecisionFn decide);
+
+  void round(std::size_t round_no, const std::vector<Message>& inbox,
+             Outbox& out) final;
+  bool decided() const override { return decided_; }
+
+  const Vec& decision() const;
+  /// The agreed multiset (identical at every correct process).
+  const std::vector<Vec>& resolved_inputs() const;
+  const Vec& input() const { return input_; }
+  ProcessId id() const { return self_; }
+
+  static std::size_t rounds_needed(std::size_t f) { return f + 2; }
+
+ protected:
+  /// Hook: the initial value this process claims to `recipient` (round 0 of
+  /// its own instance). Correct processes return input() for everyone.
+  virtual Vec initial_value_for(ProcessId recipient);
+
+  /// Hook: the value this process relays to `recipient` for tree node
+  /// `path` of instance `source`. Correct processes relay honestly.
+  virtual std::optional<Vec> relay_value_for(ProcessId source,
+                                             const std::vector<int>& path,
+                                             const Vec& honest,
+                                             ProcessId recipient);
+
+  std::size_t n_;
+  std::size_t f_;
+  ProcessId self_;
+  Vec input_;
+  Vec default_;
+
+ private:
+  DecisionFn decide_;
+  std::vector<EigInstance> instances_;
+  std::vector<Vec> resolved_;
+  Vec decision_;
+  bool decided_ = false;
+};
+
+}  // namespace rbvc::protocols

@@ -1,0 +1,50 @@
+#include "protocols/scalar_consensus.h"
+
+#include <algorithm>
+
+#include "rbvc/common.h"
+
+namespace rbvc::protocols {
+
+double median(std::vector<double> values) {
+  RBVC_REQUIRE(!values.empty(), "median: empty input");
+  const std::size_t mid = (values.size() - 1) / 2;  // lower median
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+double trimmed_mean(std::vector<double> values, std::size_t f) {
+  RBVC_REQUIRE(values.size() > 2 * f, "trimmed_mean: need |values| > 2f");
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (std::size_t i = f; i < values.size() - f; ++i) sum += values[i];
+  return sum / static_cast<double>(values.size() - 2 * f);
+}
+
+Vec coordinatewise_median(const std::vector<Vec>& s) {
+  RBVC_REQUIRE(!s.empty(), "coordinatewise_median: empty multiset");
+  const std::size_t d = s.front().size();
+  Vec out(d);
+  std::vector<double> column(s.size());
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t i = 0; i < s.size(); ++i) column[i] = s[i][c];
+    out[c] = median(column);
+  }
+  return out;
+}
+
+Vec coordinatewise_trimmed_mean(const std::vector<Vec>& s, std::size_t f) {
+  RBVC_REQUIRE(!s.empty(), "coordinatewise_trimmed_mean: empty multiset");
+  const std::size_t d = s.front().size();
+  Vec out(d);
+  std::vector<double> column(s.size());
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t i = 0; i < s.size(); ++i) column[i] = s[i][c];
+    out[c] = trimmed_mean(column, f);
+  }
+  return out;
+}
+
+}  // namespace rbvc::protocols

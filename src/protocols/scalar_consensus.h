@@ -1,0 +1,33 @@
+// Scalar Byzantine consensus decision rules (paper Sec. 5.3, k = 1 case).
+//
+// After interactive consistency every correct process holds the identical
+// multiset S of n values with at most f forged entries. Any deterministic
+// selection applied to S yields agreement; the rules here additionally give
+// validity for scalar (per-coordinate) inputs:
+//   * median: with n >= 2f+1 the median of S lies within the range of the
+//     correct values -- f outliers cannot drag it outside. Applied per
+//     coordinate this solves 1-relaxed exact BVC with n >= 3f+1 (the 3f+1
+//     floor coming from the broadcast itself).
+//   * f-trimmed mean: drop the f lowest and f highest, average the rest.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc::protocols {
+
+/// Lower median of the values (deterministic; values are copied and sorted).
+double median(std::vector<double> values);
+
+/// Mean after removing the f smallest and f largest values.
+/// Requires values.size() > 2f.
+double trimmed_mean(std::vector<double> values, std::size_t f);
+
+/// Per-coordinate median of a multiset of equal-dimension vectors.
+Vec coordinatewise_median(const std::vector<Vec>& s);
+
+/// Per-coordinate f-trimmed mean.
+Vec coordinatewise_trimmed_mean(const std::vector<Vec>& s, std::size_t f);
+
+}  // namespace rbvc::protocols

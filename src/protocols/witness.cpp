@@ -1,0 +1,59 @@
+#include "protocols/witness.h"
+
+#include <algorithm>
+
+namespace rbvc::protocols {
+
+WitnessExchange::WitnessExchange(std::size_t n, std::size_t f,
+                                 sim::ProcessId self)
+    : n_(n), f_(f), self_(self) {}
+
+void WitnessExchange::send_report(int round,
+                                  const std::set<sim::ProcessId>& collected,
+                                  sim::Outbox& out) {
+  sim::Message m;
+  m.kind = kKind;
+  m.meta.push_back(round);
+  for (sim::ProcessId id : collected) {
+    m.meta.push_back(static_cast<int>(id));
+  }
+  for (sim::ProcessId p = 0; p < n_; ++p) {
+    sim::Message copy = m;
+    out.send(p, std::move(copy));
+  }
+  // Record our own report locally as well.
+  reports_[round][self_] = collected;
+}
+
+void WitnessExchange::on_message(const sim::Message& m) {
+  if (!is_witness(m) || m.meta.empty()) return;
+  const int round = m.meta.front();
+  std::set<sim::ProcessId> ids;
+  for (std::size_t i = 1; i < m.meta.size(); ++i) {
+    const int id = m.meta[i];
+    if (id < 0 || static_cast<std::size_t>(id) >= n_) return;  // malformed
+    ids.insert(static_cast<sim::ProcessId>(id));
+  }
+  // A meaningful report names at least n-f sources; Byzantine senders may
+  // send fewer (which only makes them easier witnesses, harmless) -- but we
+  // require the minimum so a trivial empty report cannot count.
+  if (ids.size() < n_ - f_) return;
+  auto& per_round = reports_[round];
+  per_round.emplace(m.from, std::move(ids));  // first report wins
+}
+
+bool WitnessExchange::ready(int round,
+                            const std::set<sim::ProcessId>& collected) const {
+  const auto it = reports_.find(round);
+  if (it == reports_.end()) return false;
+  std::size_t witnesses = 0;
+  for (const auto& [sender, ids] : it->second) {
+    if (std::includes(collected.begin(), collected.end(), ids.begin(),
+                      ids.end())) {
+      ++witnesses;
+    }
+  }
+  return witnesses >= n_ - f_;
+}
+
+}  // namespace rbvc::protocols

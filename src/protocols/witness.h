@@ -1,0 +1,46 @@
+// Witness exchange (the "common core" technique of Abraham-Amit-Dolev and
+// Mendes-Herlihy): after collecting n-f reliably-broadcast values in a
+// round, each process broadcasts the id set it collected (its report) and
+// waits until n-f processes' reports are entirely contained in its own
+// collection. Any two correct processes then have at least n-2f >= f+1
+// common witnesses, hence at least one *correct* common witness, hence at
+// least n-f common values -- the overlap property the convergence proof of
+// Relaxed Verified Averaging (paper Thm 15) needs.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/async_engine.h"
+
+namespace rbvc::protocols {
+
+class WitnessExchange {
+ public:
+  WitnessExchange(std::size_t n, std::size_t f, sim::ProcessId self);
+
+  /// Broadcasts this process's report for `round`: the sources whose
+  /// round-`round` values it has collected so far.
+  void send_report(int round, const std::set<sim::ProcessId>& collected,
+                   sim::Outbox& out);
+
+  /// Feeds a witness message (others ignored).
+  void on_message(const sim::Message& m);
+
+  /// Re-evaluates which witnesses are satisfied given the (grown) collected
+  /// set, and returns true once n-f witnesses' reports are subsets of it.
+  bool ready(int round, const std::set<sim::ProcessId>& collected) const;
+
+  static bool is_witness(const sim::Message& m) { return m.kind == kKind; }
+
+ private:
+  static constexpr const char* kKind = "witness";
+
+  std::size_t n_, f_;
+  sim::ProcessId self_;
+  // reports_[round][sender] = id set the sender claims to have collected.
+  std::map<int, std::map<sim::ProcessId, std::set<sim::ProcessId>>> reports_;
+};
+
+}  // namespace rbvc::protocols

@@ -1,0 +1,106 @@
+#include "sim/async_engine.h"
+
+#include <algorithm>
+
+namespace rbvc::sim {
+
+std::size_t RandomScheduler::pick(const std::vector<Message>& pending) {
+  return rng_.below(pending.size());
+}
+
+LaggardScheduler::LaggardScheduler(std::uint64_t seed,
+                                   std::vector<ProcessId> laggards,
+                                   double leak_probability)
+    : rng_(seed), laggards_(std::move(laggards)), leak_(leak_probability) {}
+
+bool LaggardScheduler::lagged(const Message& m) const {
+  return std::find(laggards_.begin(), laggards_.end(), m.from) !=
+             laggards_.end() ||
+         std::find(laggards_.begin(), laggards_.end(), m.to) !=
+             laggards_.end();
+}
+
+std::size_t LaggardScheduler::pick(const std::vector<Message>& pending) {
+  if (rng_.next_double() >= leak_) {
+    // Prefer a random fast-path message when one exists.
+    std::vector<std::size_t> fast;
+    fast.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (!lagged(pending[i])) fast.push_back(i);
+    }
+    if (!fast.empty()) return fast[rng_.below(fast.size())];
+  }
+  return rng_.below(pending.size());
+}
+
+namespace {
+
+class PoolOutbox final : public Outbox {
+ public:
+  PoolOutbox(ProcessId self, std::size_t n, std::vector<Message>& pool,
+             Trace& trace, std::size_t time, std::size_t& counter)
+      : self_(self),
+        n_(n),
+        pool_(pool),
+        trace_(trace),
+        time_(time),
+        counter_(counter) {}
+
+  void send(ProcessId to, Message m) override {
+    RBVC_REQUIRE(to < n_, "send: unknown recipient");
+    m.from = self_;
+    m.to = to;
+    trace_.record(EventType::kSend, time_, self_, describe(m));
+    pool_.push_back(std::move(m));
+    ++counter_;
+  }
+
+ private:
+  ProcessId self_;
+  std::size_t n_;
+  std::vector<Message>& pool_;
+  Trace& trace_;
+  std::size_t time_;
+  std::size_t& counter_;
+};
+
+}  // namespace
+
+ProcessId AsyncEngine::add(std::unique_ptr<AsyncProcess> p) {
+  procs_.push_back(std::move(p));
+  return procs_.size() - 1;
+}
+
+AsyncRunStats AsyncEngine::run(const std::vector<ProcessId>& wait_for,
+                               std::size_t max_events) {
+  const std::size_t n = procs_.size();
+  AsyncRunStats stats;
+  std::vector<Message> pending;
+
+  for (ProcessId id = 0; id < n; ++id) {
+    PoolOutbox out(id, n, pending, trace_, 0, stats.sends);
+    procs_[id]->init(out);
+  }
+
+  auto all_done = [&]() {
+    for (ProcessId id : wait_for) {
+      if (!procs_.at(id)->decided()) return false;
+    }
+    return true;
+  };
+
+  while (stats.deliveries < max_events && !pending.empty() && !all_done()) {
+    const std::size_t idx = sched_->pick(pending);
+    RBVC_REQUIRE(idx < pending.size(), "scheduler picked out of range");
+    const Message m = pending[idx];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(idx));
+    ++stats.deliveries;
+    trace_.record(EventType::kDeliver, stats.deliveries, m.to, describe(m));
+    PoolOutbox out(m.to, n, pending, trace_, stats.deliveries, stats.sends);
+    procs_[m.to]->on_message(m, out);
+  }
+  stats.all_decided = all_done();
+  return stats;
+}
+
+}  // namespace rbvc::sim

@@ -1,0 +1,16 @@
+#include "sim/message.h"
+
+namespace rbvc::sim {
+
+std::string describe(const Message& m) {
+  std::string s = m.kind + " " + std::to_string(m.from) + "->" +
+                  std::to_string(m.to) + " meta=[";
+  for (std::size_t i = 0; i < m.meta.size(); ++i) {
+    s += std::to_string(m.meta[i]);
+    if (i + 1 < m.meta.size()) s += ",";
+  }
+  s += "] payload=" + to_string(m.payload);
+  return s;
+}
+
+}  // namespace rbvc::sim

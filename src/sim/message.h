@@ -1,0 +1,58 @@
+// Message fabric shared by the synchronous and asynchronous engines.
+//
+// Payloads are deliberately schema-light: a protocol tag, a small vector of
+// integers (instance ids, EIG paths, round numbers, ...) and a numeric
+// vector. This keeps the engines protocol-agnostic while letting Byzantine
+// strategies forge arbitrary messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc::sim {
+
+using ProcessId = std::size_t;
+
+struct Message {
+  ProcessId from = 0;
+  ProcessId to = 0;
+  std::string kind;        // protocol-defined discriminator
+  std::vector<int> meta;   // protocol-defined metadata
+  Vec payload;             // numeric payload (often a d-dimensional input)
+
+  bool same_content(const Message& o) const {
+    return kind == o.kind && meta == o.meta && payload == o.payload;
+  }
+};
+
+/// Send-side interface handed to processes. `self` is stamped as sender; a
+/// Byzantine process may stamp content however it likes but cannot spoof the
+/// `from` field (the network is authenticated point-to-point, as the paper
+/// assumes reliable channels between every pair).
+class Outbox {
+ public:
+  virtual ~Outbox() = default;
+  virtual void send(ProcessId to, Message m) = 0;
+  void broadcast(std::size_t n, const Message& m) {
+    for (ProcessId p = 0; p < n; ++p) {
+      send(p, m);
+    }
+  }
+};
+
+/// Deterministic content ordering, used for canonical multiset keys
+/// (e.g. exact-equality majority voting over vector values).
+struct MessageContentLess {
+  bool operator()(const Message& a, const Message& b) const {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.meta != b.meta) return a.meta < b.meta;
+    return a.payload < b.payload;
+  }
+};
+
+std::string describe(const Message& m);
+
+}  // namespace rbvc::sim

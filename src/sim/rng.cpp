@@ -1,0 +1,27 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace rbvc {
+
+double Rng::normal() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = next_double();
+  while (u1 <= 1e-300) u1 = next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+Vec Rng::normal_vec(std::size_t d) {
+  Vec v(d);
+  for (double& x : v) x = normal();
+  return v;
+}
+
+Vec Rng::uniform_vec(std::size_t d, double lo, double hi) {
+  Vec v(d);
+  for (double& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+}  // namespace rbvc

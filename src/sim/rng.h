@@ -1,0 +1,65 @@
+// Deterministic, splittable pseudo-randomness for reproducible simulations.
+// Every experiment takes an explicit seed; identical seeds replay identical
+// executions (schedulers included), which the property tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc {
+
+/// SplitMix64-based generator: tiny state, good quality for simulation use,
+/// and cheap to fork into independent streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ 0x9E3779B97F4A7C15ULL) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  std::size_t below(std::size_t n) {
+    return static_cast<std::size_t>(next_u64() % n);
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Independent child stream (deterministic function of current state).
+  Rng fork() { return Rng(next_u64()); }
+
+  /// Random vector with iid N(0,1) entries.
+  Vec normal_vec(std::size_t d);
+
+  /// Random vector uniform in the cube [lo, hi]^d.
+  Vec uniform_vec(std::size_t d, double lo, double hi);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rbvc

@@ -1,0 +1,68 @@
+// Simulated digital signatures for authenticated protocols (Dolev-Strong).
+//
+// A SignatureAuthority models an idealized signature scheme: each process
+// holds a Signer capability for its own id only, and anyone can verify.
+// Unforgeability is by construction -- signatures are keyed hashes with a
+// per-authority secret that processes cannot read, and the only way to
+// produce a signature for id i is through i's Signer. This gives exactly
+// the abstraction the authenticated-broadcast literature assumes, without
+// pulling a crypto library into the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/message.h"
+
+namespace rbvc::sim {
+
+using Signature = std::uint64_t;
+
+/// Order-sensitive digest of arbitrary (ints, doubles) content.
+class Digest {
+ public:
+  void absorb(std::uint64_t v);
+  void absorb(int v) { absorb(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void absorb(double v);
+  void absorb(const Vec& v);
+  void absorb(const std::vector<int>& v);
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+class SignatureAuthority;
+
+/// Signing capability for one process id. Only the authority can mint these.
+class Signer {
+ public:
+  Signature sign(std::uint64_t digest) const;
+  ProcessId id() const { return id_; }
+
+ private:
+  friend class SignatureAuthority;
+  Signer(const SignatureAuthority* authority, ProcessId id)
+      : authority_(authority), id_(id) {}
+  const SignatureAuthority* authority_;
+  ProcessId id_;
+};
+
+class SignatureAuthority {
+ public:
+  explicit SignatureAuthority(std::uint64_t secret_seed);
+
+  /// Hands out the signing capability for `id` (call once per process at
+  /// setup; the experiment runner plays the role of the PKI).
+  Signer signer_for(ProcessId id) const { return Signer(this, id); }
+
+  /// True iff `sig` is a valid signature by `id` over `digest`.
+  bool verify(ProcessId id, std::uint64_t digest, Signature sig) const;
+
+ private:
+  friend class Signer;
+  Signature compute(ProcessId id, std::uint64_t digest) const;
+  std::uint64_t secret_;
+};
+
+}  // namespace rbvc::sim

@@ -1,0 +1,52 @@
+// Lock-step synchronous round engine (the paper's synchronous system model):
+// in every round each process reads the messages addressed to it that were
+// sent in the previous round, then emits the messages for this round.
+// Byzantine behavior is expressed by registering adversarial SyncProcess
+// implementations -- the network itself is reliable and authenticated.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/trace.h"
+
+namespace rbvc::sim {
+
+class SyncProcess {
+ public:
+  virtual ~SyncProcess() = default;
+
+  /// Called once per round, with the messages delivered this round (those
+  /// sent to this process in the previous round; empty in round 0).
+  virtual void round(std::size_t round_no, const std::vector<Message>& inbox,
+                     Outbox& out) = 0;
+
+  /// True once the process has produced its final output.
+  virtual bool decided() const = 0;
+};
+
+struct SyncRunStats {
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+  bool all_decided = false;
+};
+
+class SyncEngine {
+ public:
+  /// Registers a process; its id is the registration order.
+  ProcessId add(std::unique_ptr<SyncProcess> p);
+
+  std::size_t size() const { return procs_.size(); }
+  SyncProcess& process(ProcessId id) { return *procs_.at(id); }
+  Trace& trace() { return trace_; }
+
+  /// Runs until every process reports decided() or `max_rounds` elapse.
+  SyncRunStats run(std::size_t max_rounds);
+
+ private:
+  std::vector<std::unique_ptr<SyncProcess>> procs_;
+  Trace trace_;
+};
+
+}  // namespace rbvc::sim

@@ -1,0 +1,45 @@
+#include "sim/trace.h"
+
+namespace rbvc::sim {
+
+namespace {
+const char* name(EventType t) {
+  switch (t) {
+    case EventType::kSend:
+      return "send";
+    case EventType::kDeliver:
+      return "deliver";
+    case EventType::kDecide:
+      return "decide";
+    case EventType::kNote:
+      return "note";
+  }
+  return "?";
+}
+}  // namespace
+
+void Trace::record(EventType type, std::size_t time, ProcessId process,
+                   std::string detail) {
+  if (!enabled_) return;
+  events_.push_back({type, time, process, std::move(detail)});
+}
+
+std::size_t Trace::count(EventType type) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+std::string Trace::dump() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += "[t=" + std::to_string(e.time) + "] p" +
+           std::to_string(e.process) + " " + name(e.type) + ": " + e.detail +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace rbvc::sim

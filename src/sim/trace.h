@@ -1,0 +1,40 @@
+// Optional execution tracing: engines record message/deliver/decide events
+// so tests can assert on protocol behavior (message complexity, ordering)
+// and failures can be replayed from a printout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace rbvc::sim {
+
+enum class EventType { kSend, kDeliver, kDecide, kNote };
+
+struct TraceEvent {
+  EventType type = EventType::kNote;
+  std::size_t time = 0;  // round (sync) or event index (async)
+  ProcessId process = 0;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(EventType type, std::size_t time, ProcessId process,
+              std::string detail);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t count(EventType type) const;
+  std::string dump() const;
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rbvc::sim

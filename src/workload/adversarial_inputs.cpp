@@ -1,0 +1,79 @@
+#include "workload/adversarial_inputs.h"
+
+#include "rbvc/common.h"
+
+namespace rbvc::workload {
+
+std::vector<Vec> thm3_inputs(std::size_t d, double gamma, double epsilon) {
+  RBVC_REQUIRE(d >= 3, "thm3_inputs: requires d >= 3");
+  RBVC_REQUIRE(0.0 < epsilon && epsilon <= gamma,
+               "thm3_inputs: requires 0 < epsilon <= gamma");
+  std::vector<Vec> cols;
+  cols.reserve(d + 1);
+  for (std::size_t i = 0; i < d; ++i) {  // paper column i+1
+    Vec c(d, epsilon);
+    for (std::size_t r = 0; r < i; ++r) c[r] = 0.0;
+    c[i] = gamma;
+    cols.push_back(std::move(c));
+  }
+  cols.push_back(Vec(d, -gamma));
+  return cols;
+}
+
+std::vector<Vec> appendix_b_inputs(std::size_t d, double gamma,
+                                   double epsilon) {
+  RBVC_REQUIRE(d >= 3, "appendix_b_inputs: requires d >= 3");
+  RBVC_REQUIRE(0.0 < 2.0 * epsilon && 2.0 * epsilon < gamma,
+               "appendix_b_inputs: requires 0 < 2 epsilon < gamma");
+  std::vector<Vec> cols;
+  cols.reserve(d + 2);
+  for (std::size_t i = 0; i < d; ++i) {
+    Vec c(d, 2.0 * epsilon);
+    for (std::size_t r = 0; r < i; ++r) c[r] = 0.0;
+    c[i] = gamma;
+    cols.push_back(std::move(c));
+  }
+  cols.push_back(Vec(d, -gamma));
+  cols.push_back(Vec(d, 0.0));
+  return cols;
+}
+
+std::vector<Vec> thm5_inputs(std::size_t d, double x) {
+  RBVC_REQUIRE(d >= 2, "thm5_inputs: requires d >= 2");
+  RBVC_REQUIRE(x > 0.0, "thm5_inputs: requires x > 0");
+  std::vector<Vec> cols;
+  cols.reserve(d + 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    Vec c(d, 0.0);
+    c[i] = x;
+    cols.push_back(std::move(c));
+  }
+  cols.push_back(Vec(d, 0.0));
+  return cols;
+}
+
+std::vector<Vec> appendix_c_inputs(std::size_t d, double x) {
+  std::vector<Vec> cols = thm5_inputs(d, x);
+  cols.push_back(Vec(d, 0.0));
+  return cols;
+}
+
+std::vector<std::vector<Vec>> async_proof_subsets(const std::vector<Vec>& s,
+                                                  std::size_t i) {
+  RBVC_REQUIRE(s.size() >= 2, "async_proof_subsets: too few inputs");
+  const std::size_t m = s.size() - 1;  // the first d+1 inputs participate
+  RBVC_REQUIRE(i < s.size(), "async_proof_subsets: index out of range");
+  std::vector<std::vector<Vec>> subsets;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == i) continue;
+    std::vector<Vec> sj;
+    sj.reserve(m - 1);
+    for (std::size_t l = 0; l < m; ++l) {
+      if (l != j) sj.push_back(s[l]);
+    }
+    subsets.push_back(std::move(sj));
+  }
+  return subsets;
+}
+
+}  // namespace rbvc::workload

@@ -1,0 +1,42 @@
+// The explicit input constructions from the paper's impossibility proofs.
+// Each returns the columns of the quoted matrix as the per-process inputs
+// (0-indexed process i gets column i+1 of the paper's matrix).
+#pragma once
+
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc::workload {
+
+/// Theorem 3 (synchronous k-relaxed, n = d+1, f = 1, k = 2): column i has
+/// i-1 zeros, then gamma, then epsilons; column d+1 is all -gamma.
+/// Requires 0 < epsilon <= gamma. Psi_2 of these d+1 inputs is empty.
+std::vector<Vec> thm3_inputs(std::size_t d, double gamma, double epsilon);
+
+/// Appendix B / Theorem 4 (asynchronous k-relaxed, n = d+2, f = 1, k = 2):
+/// like Thm 3 with 2*epsilon fills (0 < 2 epsilon < gamma), plus an all-zero
+/// column d+2. Forces ||v1 - v2||_inf >= 2 epsilon between the output sets
+/// of processes 1 and 2.
+std::vector<Vec> appendix_b_inputs(std::size_t d, double gamma,
+                                   double epsilon);
+
+/// Theorem 5 (synchronous (delta,inf)-relaxed, n = d+1, f = 1): scaled
+/// standard basis x*e_i plus the origin. For x > 2*d*delta the
+/// Gamma_(delta,inf) intersection is empty.
+std::vector<Vec> thm5_inputs(std::size_t d, double x);
+
+/// Appendix C / Theorem 6 (asynchronous (delta,inf)-relaxed, n = d+2,
+/// f = 1): scaled basis plus two origins. For x > 2*d*delta + epsilon the
+/// forced output gap exceeds epsilon.
+std::vector<Vec> appendix_c_inputs(std::size_t d, double x);
+
+/// The sub-multisets S^j = {s_i : 1 <= i <= d+1, i != j} (and
+/// S^{d+2} = first d+1 inputs) used by the asynchronous proofs: process i's
+/// output must lie in the intersection over j != i, 1 <= j <= d+1 of the
+/// relaxed hulls of S^j. Returns those d (for the given i, 0-indexed)
+/// multisets.
+std::vector<std::vector<Vec>> async_proof_subsets(const std::vector<Vec>& s,
+                                                  std::size_t i);
+
+}  // namespace rbvc::workload

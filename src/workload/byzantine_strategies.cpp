@@ -1,0 +1,220 @@
+#include "workload/byzantine_strategies.h"
+
+namespace rbvc::workload {
+
+namespace {
+/// Byzantine processes never use their decision rule; give them a stub.
+protocols::DecisionFn dummy_decision() {
+  return [](const std::vector<Vec>& s) { return s.front(); };
+}
+}  // namespace
+
+EquivocatingSyncProcess::EquivocatingSyncProcess(std::size_t n, std::size_t f,
+                                                 protocols::ProcessId self,
+                                                 Vec input, Vec default_value,
+                                                 double spread)
+    : EigConsensusProcess(n, f, self, std::move(input),
+                          std::move(default_value), dummy_decision()),
+      spread_(spread) {}
+
+Vec EquivocatingSyncProcess::initial_value_for(protocols::ProcessId r) {
+  Vec v = input();
+  const double sign = (r % 2 == 0) ? 1.0 : -1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] += sign * spread_ * static_cast<double>(i + 1);
+  }
+  return v;
+}
+
+LyingRelaySyncProcess::LyingRelaySyncProcess(std::size_t n, std::size_t f,
+                                             protocols::ProcessId self,
+                                             Vec input, Vec default_value,
+                                             std::uint64_t seed,
+                                             double lie_prob, double noise)
+    : EigConsensusProcess(n, f, self, std::move(input),
+                          std::move(default_value), dummy_decision()),
+      rng_(seed),
+      lie_prob_(lie_prob),
+      noise_(noise) {}
+
+std::optional<Vec> LyingRelaySyncProcess::relay_value_for(
+    protocols::ProcessId source, const std::vector<int>&, const Vec& honest,
+    protocols::ProcessId) {
+  if (source == id()) return honest;  // keep own instance plausible
+  const double roll = rng_.next_double();
+  if (roll < lie_prob_ * 0.5) return std::nullopt;  // selective silence
+  if (roll < lie_prob_) {
+    Vec lie = honest;
+    axpy(noise_, rng_.normal_vec(lie.size()), lie);
+    return lie;
+  }
+  return honest;
+}
+
+const char* to_string(SyncStrategy s) {
+  switch (s) {
+    case SyncStrategy::kSilent:
+      return "silent";
+    case SyncStrategy::kEquivocate:
+      return "equivocate";
+    case SyncStrategy::kLyingRelay:
+      return "lying-relay";
+    case SyncStrategy::kOutlierInput:
+      return "outlier-input";
+    case SyncStrategy::kCrashMidway:
+      return "crash-midway";
+  }
+  return "?";
+}
+
+std::unique_ptr<sim::SyncProcess> make_sync_byzantine(
+    SyncStrategy strategy, std::size_t n, std::size_t f,
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (strategy) {
+    case SyncStrategy::kSilent:
+      return std::make_unique<SilentSyncProcess>();
+    case SyncStrategy::kEquivocate:
+      return std::make_unique<EquivocatingSyncProcess>(
+          n, f, self, rng.normal_vec(d), zeros(d), /*spread=*/5.0);
+    case SyncStrategy::kLyingRelay:
+      return std::make_unique<LyingRelaySyncProcess>(
+          n, f, self, rng.normal_vec(d), zeros(d), rng.next_u64());
+    case SyncStrategy::kOutlierInput: {
+      // Honest protocol with a far-away input.
+      Vec outlier = scale(100.0, rng.normal_vec(d));
+      return std::make_unique<protocols::EigConsensusProcess>(
+          n, f, self, std::move(outlier), zeros(d), dummy_decision());
+    }
+    case SyncStrategy::kCrashMidway:
+      return std::make_unique<CrashingSyncProcess>(
+          std::make_unique<protocols::EigConsensusProcess>(
+              n, f, self, rng.normal_vec(d), zeros(d), dummy_decision()),
+          /*crash_round=*/1);
+  }
+  throw invalid_argument("unknown sync strategy");
+}
+
+DsEquivocatingProcess::DsEquivocatingProcess(
+    std::size_t n, std::size_t f, protocols::ProcessId self, Vec value_a,
+    Vec value_b, Vec default_value, sim::Signer signer,
+    const sim::SignatureAuthority* authority)
+    : DolevStrongProcess(n, f, self, std::move(value_a),
+                         std::move(default_value), dummy_decision(), signer,
+                         authority),
+      value_b_(std::move(value_b)) {}
+
+std::vector<std::pair<protocols::ProcessId, sim::Message>>
+DsEquivocatingProcess::initial_messages() {
+  namespace wire = protocols::ds_wire;
+  const Vec& a = input();
+  protocols::SigChain chain_a, chain_b;
+  chain_a.emplace_back(self_,
+                       signer_.sign(wire::chain_digest(self_, a, {})));
+  chain_b.emplace_back(
+      self_, signer_.sign(wire::chain_digest(self_, value_b_, {})));
+  const sim::Message ma = wire::encode(self_, a, chain_a);
+  const sim::Message mb = wire::encode(self_, value_b_, chain_b);
+  std::vector<std::pair<protocols::ProcessId, sim::Message>> out;
+  for (protocols::ProcessId r = 0; r < n_; ++r) {
+    if (r == self_) continue;
+    out.emplace_back(r, (r < n_ / 2) ? ma : mb);
+  }
+  return out;
+}
+
+std::unique_ptr<sim::SyncProcess> make_ds_byzantine(
+    SyncStrategy strategy, std::size_t n, std::size_t f,
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed,
+    sim::Signer signer, const sim::SignatureAuthority* authority) {
+  Rng rng(seed);
+  switch (strategy) {
+    case SyncStrategy::kSilent:
+      return std::make_unique<SilentSyncProcess>();
+    case SyncStrategy::kEquivocate:
+      return std::make_unique<DsEquivocatingProcess>(
+          n, f, self, rng.normal_vec(d), scale(8.0, rng.normal_vec(d)),
+          zeros(d), signer, authority);
+    case SyncStrategy::kLyingRelay:
+      return std::make_unique<DsWithholdingProcess>(
+          n, f, self, rng.normal_vec(d), zeros(d), dummy_decision(), signer,
+          authority);
+    case SyncStrategy::kOutlierInput:
+      return std::make_unique<protocols::DolevStrongProcess>(
+          n, f, self, scale(100.0, rng.normal_vec(d)), zeros(d),
+          dummy_decision(), signer, authority);
+    case SyncStrategy::kCrashMidway:
+      return std::make_unique<CrashingSyncProcess>(
+          std::make_unique<protocols::DolevStrongProcess>(
+              n, f, self, rng.normal_vec(d), zeros(d), dummy_decision(),
+              signer, authority),
+          /*crash_round=*/1);
+  }
+  throw invalid_argument("unknown sync strategy");
+}
+
+EquivocatingAsyncProcess::EquivocatingAsyncProcess(std::size_t n,
+                                                   protocols::ProcessId self,
+                                                   Vec value_a, Vec value_b)
+    : n_(n), self_(self), a_(std::move(value_a)), b_(std::move(value_b)) {}
+
+void EquivocatingAsyncProcess::init(sim::Outbox& out) {
+  for (sim::ProcessId p = 0; p < n_; ++p) {
+    sim::Message m;
+    m.kind = "rbc";
+    // meta = [source, instance 0, INIT]. The engine stamps `from` with our
+    // real id, so we must truthfully name ourselves as source for the INIT
+    // to count -- but nothing stops us sending different payloads per
+    // recipient, which is exactly the equivocation RBC exists to contain.
+    m.meta = {static_cast<int>(self_), 0, 0};
+    m.payload = (p < n_ / 2) ? a_ : b_;
+    out.send(p, std::move(m));
+  }
+}
+
+const char* to_string(AsyncStrategy s) {
+  switch (s) {
+    case AsyncStrategy::kSilent:
+      return "silent";
+    case AsyncStrategy::kEquivocate:
+      return "equivocate";
+    case AsyncStrategy::kOutlierInput:
+      return "outlier-input";
+    case AsyncStrategy::kCrashMidway:
+      return "crash-midway";
+  }
+  return "?";
+}
+
+std::unique_ptr<sim::AsyncProcess> make_async_outlier(
+    consensus::AsyncAveragingProcess::Params prm, protocols::ProcessId self,
+    std::size_t d, double magnitude, std::uint64_t seed) {
+  Rng rng(seed);
+  Vec outlier = scale(magnitude, rng.normal_vec(d));
+  return std::make_unique<consensus::AsyncAveragingProcess>(
+      prm, self, std::move(outlier));
+}
+
+std::unique_ptr<sim::AsyncProcess> make_async_byzantine(
+    AsyncStrategy strategy, consensus::AsyncAveragingProcess::Params prm,
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (strategy) {
+    case AsyncStrategy::kSilent:
+      return std::make_unique<SilentAsyncProcess>();
+    case AsyncStrategy::kEquivocate:
+      return std::make_unique<EquivocatingAsyncProcess>(
+          prm.n, self, scale(10.0, rng.normal_vec(d)),
+          scale(-10.0, rng.normal_vec(d)));
+    case AsyncStrategy::kOutlierInput:
+      return make_async_outlier(prm, self, d, 25.0, rng.next_u64());
+    case AsyncStrategy::kCrashMidway:
+      return std::make_unique<CrashingAsyncProcess>(
+          std::make_unique<consensus::AsyncAveragingProcess>(
+              prm, self, rng.normal_vec(d)),
+          /*max_deliveries=*/40);
+  }
+  throw invalid_argument("unknown async strategy");
+}
+
+}  // namespace rbvc::workload

@@ -1,0 +1,213 @@
+// Byzantine process implementations for both engines. A strategy factory
+// builds the process for a given id, so experiment harnesses can mix
+// correct and faulty processes declaratively.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "consensus/async_averaging.h"
+#include "protocols/dolev_strong.h"
+#include "protocols/om_broadcast.h"
+#include "sim/rng.h"
+
+namespace rbvc::workload {
+
+// ---------------------------------------------------------------------------
+// Synchronous (EIG interactive consistency) adversaries.
+// ---------------------------------------------------------------------------
+
+/// Stays completely silent (crash from the start).
+class SilentSyncProcess final : public sim::SyncProcess {
+ public:
+  void round(std::size_t, const std::vector<sim::Message>&,
+             sim::Outbox&) override {}
+  bool decided() const override { return true; }
+};
+
+/// Follows the protocol but equivocates on its own input: recipient r gets
+/// input + spread * dir_r where dir_r alternates sign by recipient parity.
+class EquivocatingSyncProcess final : public protocols::EigConsensusProcess {
+ public:
+  EquivocatingSyncProcess(std::size_t n, std::size_t f,
+                          protocols::ProcessId self, Vec input,
+                          Vec default_value, double spread);
+
+ protected:
+  Vec initial_value_for(protocols::ProcessId recipient) override;
+
+ private:
+  double spread_;
+};
+
+/// Relays honestly for its own instance but lies about everyone else's
+/// values with probability `lie_prob`, adding seeded noise.
+class LyingRelaySyncProcess final : public protocols::EigConsensusProcess {
+ public:
+  LyingRelaySyncProcess(std::size_t n, std::size_t f,
+                        protocols::ProcessId self, Vec input,
+                        Vec default_value, std::uint64_t seed,
+                        double lie_prob = 0.5, double noise = 10.0);
+
+ protected:
+  std::optional<Vec> relay_value_for(protocols::ProcessId source,
+                                     const std::vector<int>& path,
+                                     const Vec& honest,
+                                     protocols::ProcessId recipient) override;
+
+ private:
+  Rng rng_;
+  double lie_prob_;
+  double noise_;
+};
+
+/// Wraps any process and crashes it (permanent silence) from a given round
+/// on -- the benign end of the Byzantine spectrum.
+class CrashingSyncProcess final : public sim::SyncProcess {
+ public:
+  CrashingSyncProcess(std::unique_ptr<sim::SyncProcess> inner,
+                      std::size_t crash_round)
+      : inner_(std::move(inner)), crash_round_(crash_round) {}
+
+  void round(std::size_t round_no, const std::vector<sim::Message>& inbox,
+             sim::Outbox& out) override {
+    if (round_no >= crash_round_) return;
+    inner_->round(round_no, inbox, out);
+  }
+  bool decided() const override { return true; }
+
+ private:
+  std::unique_ptr<sim::SyncProcess> inner_;
+  std::size_t crash_round_;
+};
+
+/// Named synchronous strategies, for sweeps.
+enum class SyncStrategy {
+  kSilent,
+  kEquivocate,
+  kLyingRelay,
+  kOutlierInput,  // honest protocol, adversarially distant input
+  kCrashMidway,   // honest until round 1, then permanently silent
+};
+
+const char* to_string(SyncStrategy s);
+
+/// Builds a Byzantine synchronous process implementing `strategy`.
+std::unique_ptr<sim::SyncProcess> make_sync_byzantine(
+    SyncStrategy strategy, std::size_t n, std::size_t f,
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Authenticated (Dolev-Strong) adversaries. Signatures make forging other
+// processes' statements impossible: the strategy space shrinks to input
+// equivocation (double-signing), withholding relays, outlier inputs, and
+// silence -- which is exactly why the bounds drop (paper footnote 3).
+// ---------------------------------------------------------------------------
+
+/// Double-signs two different initial values and sends them to different
+/// halves; never relays anything.
+class DsEquivocatingProcess final : public protocols::DolevStrongProcess {
+ public:
+  DsEquivocatingProcess(std::size_t n, std::size_t f,
+                        protocols::ProcessId self, Vec value_a, Vec value_b,
+                        Vec default_value, sim::Signer signer,
+                        const sim::SignatureAuthority* authority);
+
+ protected:
+  std::vector<std::pair<protocols::ProcessId, sim::Message>>
+  initial_messages() override;
+  bool should_relay(protocols::ProcessId, const Vec&) override {
+    return false;
+  }
+
+ private:
+  Vec value_b_;
+};
+
+/// Follows the protocol but never relays others' values (the strongest
+/// "omission" behavior signatures leave available besides equivocation).
+class DsWithholdingProcess final : public protocols::DolevStrongProcess {
+ public:
+  using DolevStrongProcess::DolevStrongProcess;
+
+ protected:
+  bool should_relay(protocols::ProcessId, const Vec&) override {
+    return false;
+  }
+};
+
+/// Builds a Byzantine Dolev-Strong participant for `strategy` (kLyingRelay
+/// maps to withholding: lying about others is unforgeable).
+std::unique_ptr<sim::SyncProcess> make_ds_byzantine(
+    SyncStrategy strategy, std::size_t n, std::size_t f,
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed,
+    sim::Signer signer, const sim::SignatureAuthority* authority);
+
+// ---------------------------------------------------------------------------
+// Asynchronous adversaries.
+// ---------------------------------------------------------------------------
+
+/// Stays silent forever.
+class SilentAsyncProcess final : public sim::AsyncProcess {
+ public:
+  void init(sim::Outbox&) override {}
+  void on_message(const sim::Message&, sim::Outbox&) override {}
+  bool decided() const override { return true; }
+};
+
+/// Sends conflicting RBC INITs for its round-0 value (value A to low ids,
+/// value B to high ids), then never assists the protocol again. Bracha RBC
+/// prevents any two correct processes from delivering different values; the
+/// usual outcome is that no one delivers this source at all.
+class EquivocatingAsyncProcess final : public sim::AsyncProcess {
+ public:
+  EquivocatingAsyncProcess(std::size_t n, protocols::ProcessId self,
+                           Vec value_a, Vec value_b);
+  void init(sim::Outbox& out) override;
+  void on_message(const sim::Message&, sim::Outbox&) override {}
+  bool decided() const override { return true; }
+
+ private:
+  std::size_t n_;
+  protocols::ProcessId self_;
+  Vec a_, b_;
+};
+
+/// Runs the Relaxed Verified Averaging protocol correctly but with an
+/// adversarially chosen input (the strongest behavior verification leaves
+/// open besides view selection).
+std::unique_ptr<sim::AsyncProcess> make_async_outlier(
+    consensus::AsyncAveragingProcess::Params prm, protocols::ProcessId self,
+    std::size_t d, double magnitude, std::uint64_t seed);
+
+/// Wraps an async process and crashes it after `max_deliveries` handled
+/// messages.
+class CrashingAsyncProcess final : public sim::AsyncProcess {
+ public:
+  CrashingAsyncProcess(std::unique_ptr<sim::AsyncProcess> inner,
+                       std::size_t max_deliveries)
+      : inner_(std::move(inner)), budget_(max_deliveries) {}
+
+  void init(sim::Outbox& out) override { inner_->init(out); }
+  void on_message(const sim::Message& m, sim::Outbox& out) override {
+    if (handled_ >= budget_) return;
+    ++handled_;
+    inner_->on_message(m, out);
+  }
+  bool decided() const override { return true; }
+
+ private:
+  std::unique_ptr<sim::AsyncProcess> inner_;
+  std::size_t budget_;
+  std::size_t handled_ = 0;
+};
+
+enum class AsyncStrategy { kSilent, kEquivocate, kOutlierInput, kCrashMidway };
+
+const char* to_string(AsyncStrategy s);
+
+std::unique_ptr<sim::AsyncProcess> make_async_byzantine(
+    AsyncStrategy strategy, consensus::AsyncAveragingProcess::Params prm,
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed);
+
+}  // namespace rbvc::workload

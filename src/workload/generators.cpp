@@ -1,0 +1,101 @@
+#include "workload/generators.h"
+
+#include "linalg/qr.h"
+
+namespace rbvc::workload {
+
+std::vector<Vec> gaussian_cloud(Rng& rng, std::size_t n, std::size_t d,
+                                double sigma) {
+  std::vector<Vec> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(scale(sigma, rng.normal_vec(d)));
+  }
+  return pts;
+}
+
+std::vector<Vec> uniform_cube(Rng& rng, std::size_t n, std::size_t d,
+                              double lo, double hi) {
+  std::vector<Vec> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back(rng.uniform_vec(d, lo, hi));
+  return pts;
+}
+
+std::vector<Vec> sphere_points(Rng& rng, std::size_t n, std::size_t d,
+                               double radius) {
+  std::vector<Vec> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec v = rng.normal_vec(d);
+    double nv = norm2(v);
+    while (nv < 1e-12) {  // astronomically unlikely; regenerate
+      v = rng.normal_vec(d);
+      nv = norm2(v);
+    }
+    pts.push_back(scale(radius / nv, v));
+  }
+  return pts;
+}
+
+std::vector<Vec> clustered(Rng& rng, std::size_t n, std::size_t d,
+                           double separation, double sigma) {
+  Vec dir = rng.normal_vec(d);
+  dir = scale(1.0 / norm2(dir), dir);
+  std::vector<Vec> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double side = (i % 2 == 0) ? 0.5 : -0.5;
+    Vec p = scale(side * separation, dir);
+    axpy(sigma, rng.normal_vec(d), p);
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+std::vector<Vec> random_simplex(Rng& rng, std::size_t d, double scale_factor) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<Vec> pts = gaussian_cloud(rng, d + 1, d, scale_factor);
+    if (affinely_independent(pts, 1e-6)) return pts;
+  }
+  throw numerical_error("random_simplex: could not generate a simplex");
+}
+
+std::vector<Vec> degenerate_subspace(Rng& rng, std::size_t n, std::size_t d,
+                                     std::size_t subspace_dim) {
+  RBVC_REQUIRE(subspace_dim <= d, "degenerate_subspace: dim too large");
+  // Random orthonormal frame for the subspace.
+  std::vector<Vec> frame_raw;
+  for (std::size_t i = 0; i < subspace_dim; ++i) {
+    frame_raw.push_back(rng.normal_vec(d));
+  }
+  const std::vector<Vec> frame = orthonormal_basis(frame_raw);
+  RBVC_REQUIRE(frame.size() == subspace_dim,
+               "degenerate_subspace: frame generation failed");
+  std::vector<Vec> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec p = zeros(d);
+    for (const Vec& q : frame) axpy(rng.normal(), q, p);
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+std::vector<Vec> identical_points(Rng& rng, std::size_t n, std::size_t d) {
+  const Vec p = rng.normal_vec(d);
+  return std::vector<Vec>(n, p);
+}
+
+std::vector<Vec> duplicated_simplex(Rng& rng, std::size_t d, std::size_t f) {
+  RBVC_REQUIRE(f >= 1, "duplicated_simplex: f must be >= 1");
+  const std::vector<Vec> verts = random_simplex(rng, d);
+  std::vector<Vec> pts;
+  pts.reserve((d + 1) * f);
+  for (const Vec& v : verts) {
+    for (std::size_t i = 0; i < f; ++i) pts.push_back(v);
+  }
+  return pts;
+}
+
+}  // namespace rbvc::workload

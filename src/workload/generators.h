@@ -1,0 +1,42 @@
+// Input-vector workload generators for experiments and property tests.
+// All are deterministic functions of an explicit Rng.
+#pragma once
+
+#include "sim/rng.h"
+
+namespace rbvc::workload {
+
+/// n iid Gaussian points, N(0, sigma^2 I_d).
+std::vector<Vec> gaussian_cloud(Rng& rng, std::size_t n, std::size_t d,
+                                double sigma = 1.0);
+
+/// n iid uniform points in the cube [lo, hi]^d.
+std::vector<Vec> uniform_cube(Rng& rng, std::size_t n, std::size_t d,
+                              double lo = -1.0, double hi = 1.0);
+
+/// n points uniform on the unit sphere S^{d-1}, scaled by radius.
+std::vector<Vec> sphere_points(Rng& rng, std::size_t n, std::size_t d,
+                               double radius = 1.0);
+
+/// Two Gaussian clusters at +/- separation/2 along a random direction.
+std::vector<Vec> clustered(Rng& rng, std::size_t n, std::size_t d,
+                           double separation, double sigma = 0.1);
+
+/// d+1 affinely independent points in R^d (a random non-degenerate simplex);
+/// retries until the affine-independence check passes.
+std::vector<Vec> random_simplex(Rng& rng, std::size_t d, double scale = 1.0);
+
+/// n points confined to a random subspace of the given dimension
+/// (affinely dependent whenever subspace_dim < n - 1).
+std::vector<Vec> degenerate_subspace(Rng& rng, std::size_t n, std::size_t d,
+                                     std::size_t subspace_dim);
+
+/// n copies of one random point (the fully degenerate multiset).
+std::vector<Vec> identical_points(Rng& rng, std::size_t n, std::size_t d);
+
+/// The tight Theorem 12 instance: each vertex of a random d-simplex
+/// repeated f times, giving n = (d+1)f points whose Gamma is empty (any
+/// drop-f subset can erase a vertex entirely), so delta* > 0.
+std::vector<Vec> duplicated_simplex(Rng& rng, std::size_t d, std::size_t f);
+
+}  // namespace rbvc::workload

@@ -1,0 +1,129 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+
+#include "consensus/exact_bvc.h"
+#include "sim/sync_engine.h"
+
+namespace rbvc::workload {
+
+namespace {
+bool is_byzantine(const std::vector<std::size_t>& ids, std::size_t id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+}  // namespace
+
+SyncOutcome run_sync_experiment(const SyncExperiment& e) {
+  RBVC_REQUIRE(e.decision, "run_sync_experiment: missing decision rule");
+  RBVC_REQUIRE(e.byzantine_ids.size() <= e.f,
+               "run_sync_experiment: more faulty ids than the fault budget");
+  RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.n,
+               "run_sync_experiment: inputs + faulty ids must cover n");
+  const std::size_t d = e.honest_inputs.front().size();
+
+  sim::SyncEngine engine;
+  Rng seeds(e.seed);
+  // The authority outlives the engine run; only used for kDolevStrong.
+  sim::SignatureAuthority authority(seeds.next_u64());
+  std::vector<std::size_t> correct_ids;
+  std::size_t next_input = 0;
+  for (std::size_t id = 0; id < e.n; ++id) {
+    if (is_byzantine(e.byzantine_ids, id)) {
+      if (e.backend == SyncBackend::kEig) {
+        engine.add(make_sync_byzantine(e.strategy, e.n, e.f, id, d,
+                                       seeds.next_u64()));
+      } else {
+        engine.add(make_ds_byzantine(e.strategy, e.n, e.f, id, d,
+                                     seeds.next_u64(),
+                                     authority.signer_for(id), &authority));
+      }
+    } else {
+      if (e.backend == SyncBackend::kEig) {
+        engine.add(std::make_unique<protocols::EigConsensusProcess>(
+            e.n, e.f, id, e.honest_inputs.at(next_input++), zeros(d),
+            e.decision));
+      } else {
+        engine.add(std::make_unique<protocols::DolevStrongProcess>(
+            e.n, e.f, id, e.honest_inputs.at(next_input++), zeros(d),
+            e.decision, authority.signer_for(id), &authority));
+      }
+      correct_ids.push_back(id);
+    }
+  }
+
+  SyncOutcome out;
+  out.honest_inputs = e.honest_inputs;
+  const std::size_t rounds =
+      protocols::EigConsensusProcess::rounds_needed(e.f);  // f+2 for both
+  try {
+    out.stats = engine.run(rounds);
+  } catch (const consensus::infeasible_instance& ex) {
+    out.decision_failed = true;
+    out.failure = ex.what();
+    return out;
+  }
+  for (std::size_t id : correct_ids) {
+    if (e.backend == SyncBackend::kEig) {
+      out.decisions.push_back(
+          dynamic_cast<protocols::EigConsensusProcess&>(engine.process(id))
+              .decision());
+    } else {
+      out.decisions.push_back(
+          dynamic_cast<protocols::DolevStrongProcess&>(engine.process(id))
+              .decision());
+    }
+  }
+  return out;
+}
+
+AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
+  RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.prm.n,
+               "run_async_experiment: inputs + faulty ids must cover n");
+  RBVC_REQUIRE(e.byzantine_ids.size() <= e.prm.f,
+               "run_async_experiment: more faulty ids than the fault budget");
+
+  Rng seeds(e.seed);
+  std::unique_ptr<sim::Scheduler> sched;
+  if (e.scheduler == SchedulerKind::kRandom) {
+    sched = std::make_unique<sim::RandomScheduler>(seeds.next_u64());
+  } else {
+    // Lag the Byzantine processes plus (arbitrarily) the highest correct id,
+    // modelling "f slow correct processes" when there are no faults.
+    std::vector<sim::ProcessId> laggards(e.byzantine_ids.begin(),
+                                         e.byzantine_ids.end());
+    if (laggards.empty() && e.prm.n > 0) laggards.push_back(e.prm.n - 1);
+    sched = std::make_unique<sim::LaggardScheduler>(seeds.next_u64(),
+                                                    std::move(laggards));
+  }
+  sim::AsyncEngine engine(std::move(sched));
+
+  std::vector<sim::ProcessId> correct_ids;
+  std::size_t next_input = 0;
+  for (std::size_t id = 0; id < e.prm.n; ++id) {
+    if (is_byzantine(e.byzantine_ids, id)) {
+      engine.add(make_async_byzantine(e.strategy, e.prm, id, e.d,
+                                      seeds.next_u64()));
+    } else {
+      engine.add(std::make_unique<consensus::AsyncAveragingProcess>(
+          e.prm, id, e.honest_inputs.at(next_input++)));
+      correct_ids.push_back(id);
+    }
+  }
+
+  AsyncOutcome out;
+  out.honest_inputs = e.honest_inputs;
+  out.stats = engine.run(correct_ids, e.max_events);
+  for (sim::ProcessId id : correct_ids) {
+    auto& p = dynamic_cast<consensus::AsyncAveragingProcess&>(
+        engine.process(id));
+    if (!p.decided() || p.failed()) {
+      out.failed = true;
+      continue;
+    }
+    out.decisions.push_back(p.decision());
+    out.round0_deltas.push_back(p.round0_delta());
+  }
+  return out;
+}
+
+}  // namespace rbvc::workload

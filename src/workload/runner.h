@@ -1,0 +1,71 @@
+// Declarative experiment runners: build an engine with the requested mix of
+// correct and Byzantine processes, run it, and collect the correct
+// processes' decisions plus verification-ready metadata. Used by tests,
+// benches, and the examples.
+#pragma once
+
+#include "consensus/async_averaging.h"
+#include "sim/async_engine.h"
+#include "workload/byzantine_strategies.h"
+
+namespace rbvc::workload {
+
+// ---------------------------------------------------------------------------
+// Synchronous experiments (interactive consistency + decision rule).
+// ---------------------------------------------------------------------------
+
+/// Which broadcast substrate carries Step 1 of the synchronous algorithms.
+///   kEig         -- unauthenticated EIG/OM broadcast, needs n >= 3f+1
+///   kDolevStrong -- signature-authenticated broadcast, needs only
+///                   n >= f+2 (the paper's footnote-3 regime)
+enum class SyncBackend { kEig, kDolevStrong };
+
+struct SyncExperiment {
+  std::size_t n = 0;
+  std::size_t f = 0;                      // fault budget given to processes
+  std::vector<Vec> honest_inputs;         // one per correct process
+  std::vector<std::size_t> byzantine_ids; // actual faulty ids (size <= f)
+  SyncStrategy strategy = SyncStrategy::kSilent;
+  protocols::DecisionFn decision;
+  SyncBackend backend = SyncBackend::kEig;
+  std::uint64_t seed = 1;
+};
+
+struct SyncOutcome {
+  std::vector<Vec> decisions;      // correct processes' outputs, id order
+  std::vector<Vec> honest_inputs;  // echo of the experiment's inputs
+  sim::SyncRunStats stats;
+  bool decision_failed = false;    // a decision rule threw (infeasible)
+  std::string failure;             // its message
+};
+
+SyncOutcome run_sync_experiment(const SyncExperiment& e);
+
+// ---------------------------------------------------------------------------
+// Asynchronous experiments (Relaxed Verified Averaging and baseline).
+// ---------------------------------------------------------------------------
+
+enum class SchedulerKind { kRandom, kLaggard };
+
+struct AsyncExperiment {
+  consensus::AsyncAveragingProcess::Params prm;
+  std::size_t d = 0;
+  std::vector<Vec> honest_inputs;
+  std::vector<std::size_t> byzantine_ids;
+  AsyncStrategy strategy = AsyncStrategy::kSilent;
+  SchedulerKind scheduler = SchedulerKind::kRandom;
+  std::uint64_t seed = 1;
+  std::size_t max_events = 2'000'000;
+};
+
+struct AsyncOutcome {
+  std::vector<Vec> decisions;       // correct processes' outputs, id order
+  std::vector<Vec> honest_inputs;
+  std::vector<double> round0_deltas;  // per correct process
+  sim::AsyncRunStats stats;
+  bool failed = false;  // some correct process failed or did not decide
+};
+
+AsyncOutcome run_async_experiment(const AsyncExperiment& e);
+
+}  // namespace rbvc::workload

@@ -1,0 +1,153 @@
+#include "workload/svg.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace rbvc::workload {
+
+Point2 SvgScene::to_point(const Vec& v) {
+  RBVC_REQUIRE(v.size() == 2, "SvgScene: vectors must be 2-D");
+  return {v[0], v[1]};
+}
+
+void SvgScene::extend_bounds(const Point2& p) {
+  min_x_ = std::min(min_x_, p.x);
+  max_x_ = std::max(max_x_, p.x);
+  min_y_ = std::min(min_y_, p.y);
+  max_y_ = std::max(max_y_, p.y);
+}
+
+void SvgScene::add_points(const std::vector<Vec>& pts,
+                          const std::string& color, const std::string& label,
+                          double radius) {
+  PointGroup g;
+  for (const Vec& v : pts) {
+    g.pts.push_back(to_point(v));
+    extend_bounds(g.pts.back());
+  }
+  g.color = color;
+  g.label = label;
+  g.radius = radius;
+  g.marker = false;
+  groups_.push_back(std::move(g));
+}
+
+void SvgScene::add_polygon(const std::vector<Point2>& poly,
+                           const std::string& color,
+                           const std::string& label) {
+  Polygon p;
+  p.pts = poly;
+  for (const Point2& v : poly) extend_bounds(v);
+  p.color = color;
+  p.label = label;
+  polys_.push_back(std::move(p));
+}
+
+void SvgScene::add_hull(const std::vector<Vec>& pts, const std::string& color,
+                        const std::string& label) {
+  std::vector<Point2> raw;
+  raw.reserve(pts.size());
+  for (const Vec& v : pts) raw.push_back(to_point(v));
+  add_polygon(convex_hull_2d(raw), color, label);
+}
+
+void SvgScene::add_marker(const Vec& p, const std::string& color,
+                          const std::string& label) {
+  PointGroup g;
+  g.pts.push_back(to_point(p));
+  extend_bounds(g.pts.back());
+  g.color = color;
+  g.label = label;
+  g.radius = 7.0;
+  g.marker = true;
+  groups_.push_back(std::move(g));
+}
+
+std::string SvgScene::render() const {
+  // Map logical coords to pixels with 10% padding; flip y (SVG grows down).
+  const double span_x = std::max(1e-9, max_x_ - min_x_);
+  const double span_y = std::max(1e-9, max_y_ - min_y_);
+  const double span = std::max(span_x, span_y);
+  const double pad = 0.1 * span;
+  const double scale = size_px_ / (span + 2 * pad);
+  auto px = [&](const Point2& p) {
+    return Point2{(p.x - min_x_ + pad) * scale,
+                  size_px_ - (p.y - min_y_ + pad) * scale};
+  };
+
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "<svg xmlns='http://www.w3.org/2000/svg' width='%d' "
+                "height='%d' viewBox='0 0 %d %d'>\n",
+                size_px_, size_px_, size_px_, size_px_);
+  out += buf;
+  out += "<rect width='100%' height='100%' fill='white'/>\n";
+
+  for (const Polygon& poly : polys_) {
+    if (poly.pts.empty()) continue;
+    out += "<polygon points='";
+    for (const Point2& v : poly.pts) {
+      const Point2 q = px(v);
+      std::snprintf(buf, sizeof(buf), "%.2f,%.2f ", q.x, q.y);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "' fill='%s' fill-opacity='0.15' stroke='%s' "
+                  "stroke-width='2'><title>%s</title></polygon>\n",
+                  poly.color.c_str(), poly.color.c_str(),
+                  poly.label.c_str());
+    out += buf;
+  }
+  for (const PointGroup& g : groups_) {
+    for (const Point2& v : g.pts) {
+      const Point2 q = px(v);
+      if (g.marker) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "<circle cx='%.2f' cy='%.2f' r='%.1f' fill='%s' stroke='black' "
+            "stroke-width='2'><title>%s</title></circle>\n",
+            q.x, q.y, g.radius, g.color.c_str(), g.label.c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "<circle cx='%.2f' cy='%.2f' r='%.1f' fill='%s'>"
+                      "<title>%s</title></circle>\n",
+                      q.x, q.y, g.radius, g.color.c_str(), g.label.c_str());
+      }
+      out += buf;
+    }
+  }
+  // Legend.
+  double ly = 18.0;
+  for (const PointGroup& g : groups_) {
+    if (g.label.empty()) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "<circle cx='14' cy='%.1f' r='5' fill='%s'/>"
+                  "<text x='26' y='%.1f' font-size='13' "
+                  "font-family='sans-serif'>%s</text>\n",
+                  ly - 4, g.color.c_str(), ly, g.label.c_str());
+    out += buf;
+    ly += 18.0;
+  }
+  for (const Polygon& p : polys_) {
+    if (p.label.empty()) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "<rect x='9' y='%.1f' width='10' height='10' fill='%s' "
+                  "fill-opacity='0.4'/><text x='26' y='%.1f' font-size='13' "
+                  "font-family='sans-serif'>%s</text>\n",
+                  ly - 12, p.color.c_str(), ly, p.label.c_str());
+    out += buf;
+    ly += 18.0;
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+bool SvgScene::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+}  // namespace rbvc::workload

@@ -1,0 +1,65 @@
+// Tiny SVG writer for 2-D scenes: input points, convex hulls, safe
+// polygons, and decision points. Used by the examples to render what the
+// consensus geometry actually did (e.g. the drone rendezvous picture) and
+// by humans debugging adversarial instances. No dependencies; output is a
+// self-contained .svg file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/poly2d.h"
+
+namespace rbvc::workload {
+
+class SvgScene {
+ public:
+  /// Logical coordinate bounds are computed from the added elements; the
+  /// viewport adds 10% padding. `size_px` is the output square's side.
+  explicit SvgScene(int size_px = 640) : size_px_(size_px) {}
+
+  /// Scatter of points with a per-group color and label.
+  void add_points(const std::vector<Vec>& pts, const std::string& color,
+                  const std::string& label, double radius = 4.0);
+
+  /// Closed polygon outline with translucent fill.
+  void add_polygon(const std::vector<Point2>& poly, const std::string& color,
+                   const std::string& label);
+
+  /// Convex hull outline of the given points.
+  void add_hull(const std::vector<Vec>& pts, const std::string& color,
+                const std::string& label);
+
+  /// A single highlighted point (e.g. the decision).
+  void add_marker(const Vec& p, const std::string& color,
+                  const std::string& label);
+
+  /// Serializes the scene to SVG markup.
+  std::string render() const;
+
+  /// Convenience: render() to a file. Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct PointGroup {
+    std::vector<Point2> pts;
+    std::string color, label;
+    double radius;
+    bool marker;
+  };
+  struct Polygon {
+    std::vector<Point2> pts;
+    std::string color, label;
+  };
+
+  void extend_bounds(const Point2& p);
+  static Point2 to_point(const Vec& v);
+
+  int size_px_;
+  double min_x_ = 1e300, max_x_ = -1e300;
+  double min_y_ = 1e300, max_y_ = -1e300;
+  std::vector<PointGroup> groups_;
+  std::vector<Polygon> polys_;
+};
+
+}  // namespace rbvc::workload

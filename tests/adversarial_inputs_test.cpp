@@ -1,0 +1,73 @@
+// Structural tests that the adversarial matrices match the paper exactly.
+#include "workload/adversarial_inputs.h"
+
+#include <gtest/gtest.h>
+
+namespace rbvc::workload {
+namespace {
+
+TEST(AdversarialTest, Thm3MatrixLayout) {
+  const double g = 2.0, eps = 0.5;
+  const auto s = thm3_inputs(4, g, eps);
+  ASSERT_EQ(s.size(), 5u);
+  // Column 2 (0-indexed 1): first 1 element 0, then gamma, then epsilons.
+  EXPECT_EQ(s[1], (Vec{0.0, g, eps, eps}));
+  // Column 1: gamma then epsilons.
+  EXPECT_EQ(s[0], (Vec{g, eps, eps, eps}));
+  // Column d: zeros then gamma at the end.
+  EXPECT_EQ(s[3], (Vec{0.0, 0.0, 0.0, g}));
+  // Column d+1: all -gamma.
+  EXPECT_EQ(s[4], (Vec{-g, -g, -g, -g}));
+}
+
+TEST(AdversarialTest, Thm3Validation) {
+  EXPECT_THROW(thm3_inputs(2, 1.0, 0.5), invalid_argument);   // d < 3
+  EXPECT_THROW(thm3_inputs(3, 1.0, 2.0), invalid_argument);   // eps > gamma
+  EXPECT_THROW(thm3_inputs(3, 1.0, 0.0), invalid_argument);   // eps = 0
+  EXPECT_NO_THROW(thm3_inputs(3, 1.0, 1.0));                  // eps = gamma ok
+}
+
+TEST(AdversarialTest, AppendixBMatrixLayout) {
+  const double g = 2.0, eps = 0.5;
+  const auto s = appendix_b_inputs(3, g, eps);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0], (Vec{g, 2 * eps, 2 * eps}));
+  EXPECT_EQ(s[3], (Vec{-g, -g, -g}));
+  EXPECT_EQ(s[4], (Vec{0.0, 0.0, 0.0}));
+  EXPECT_THROW(appendix_b_inputs(3, 1.0, 0.5), invalid_argument);  // 2eps=gamma
+}
+
+TEST(AdversarialTest, Thm5MatrixLayout) {
+  const auto s = thm5_inputs(3, 4.0);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], (Vec{4.0, 0.0, 0.0}));
+  EXPECT_EQ(s[2], (Vec{0.0, 0.0, 4.0}));
+  EXPECT_EQ(s[3], (Vec{0.0, 0.0, 0.0}));
+  EXPECT_THROW(thm5_inputs(3, -1.0), invalid_argument);
+}
+
+TEST(AdversarialTest, AppendixCMatrixLayout) {
+  const auto s = appendix_c_inputs(3, 4.0);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[3], (Vec{0.0, 0.0, 0.0}));
+  EXPECT_EQ(s[4], (Vec{0.0, 0.0, 0.0}));
+}
+
+TEST(AdversarialTest, AsyncProofSubsets) {
+  const auto s = appendix_b_inputs(3, 2.0, 0.5);  // 5 inputs, first 4 used
+  const auto subs = async_proof_subsets(s, 0);    // process 1 (0-indexed 0)
+  // j ranges over {1,2,3} (0-indexed), each subset has m-1 = 3 elements.
+  ASSERT_EQ(subs.size(), 3u);
+  for (const auto& t : subs) EXPECT_EQ(t.size(), 3u);
+  // The first subset is S^2 = {s_0, s_2, s_3} (0-indexed, j=1 removed).
+  EXPECT_EQ(subs[0][0], s[0]);
+  EXPECT_EQ(subs[0][1], s[2]);
+  EXPECT_EQ(subs[0][2], s[3]);
+  // Input s_4 (the "slow" process) never appears in any subset.
+  for (const auto& t : subs) {
+    for (const auto& v : t) EXPECT_NE(v, s[4]);
+  }
+}
+
+}  // namespace
+}  // namespace rbvc::workload

@@ -1,0 +1,180 @@
+// End-to-end tests for Relaxed Verified Averaging (paper Sec. 10).
+#include "consensus/async_averaging.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace rbvc::consensus {
+namespace {
+
+using Rule = AsyncAveragingProcess::Round0Rule;
+
+workload::AsyncExperiment base_experiment(Rng& rng, std::size_t n,
+                                          std::size_t f, std::size_t d,
+                                          Rule rule) {
+  workload::AsyncExperiment e;
+  e.prm.n = n;
+  e.prm.f = f;
+  e.prm.rounds = 8;
+  e.prm.rule = rule;
+  e.d = d;
+  e.honest_inputs = workload::gaussian_cloud(rng, n - 1, d);
+  e.byzantine_ids = {n - 1};
+  e.strategy = workload::AsyncStrategy::kSilent;
+  e.seed = rng.next_u64();
+  return e;
+}
+
+TEST(AsyncAveragingTest, FaultFreeConvergence) {
+  Rng rng(461);
+  workload::AsyncExperiment e;
+  e.prm.n = 4;
+  e.prm.f = 1;
+  e.prm.rounds = 10;
+  e.prm.rule = Rule::kRelaxedL2;
+  e.d = 3;
+  e.honest_inputs = workload::gaussian_cloud(rng, 4, 3);
+  const auto out = run_async_experiment(e);
+  ASSERT_FALSE(out.failed);
+  ASSERT_EQ(out.decisions.size(), 4u);
+  EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.05));
+}
+
+TEST(AsyncAveragingTest, BelowClassicBoundWithRelaxation) {
+  // n = 4 < (d+2)f+1 = 5 for d = 3: the relaxed rule still terminates with
+  // epsilon-agreement and input-dependent validity (the paper's point).
+  Rng rng(463);
+  for (auto strat : {workload::AsyncStrategy::kSilent,
+                     workload::AsyncStrategy::kEquivocate,
+                     workload::AsyncStrategy::kOutlierInput}) {
+    auto e = base_experiment(rng, 4, 1, 3, Rule::kRelaxedL2);
+    e.strategy = strat;
+    const auto out = run_async_experiment(e);
+    ASSERT_FALSE(out.failed) << workload::to_string(strat);
+    ASSERT_EQ(out.decisions.size(), 3u);
+    EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.2))
+        << workload::to_string(strat);
+    // Theorem 15-flavoured validity: within kappa * max-edge of the honest
+    // hull, kappa = 1 is generous for d = 3 (bound is 1/(d-1) = 0.5 plus
+    // averaging slack).
+    EXPECT_LT(delta_p_validity_excess(
+                  out.decisions, out.honest_inputs,
+                  input_dependent_delta(out.honest_inputs, 1.0), 2.0),
+              1e-4)
+        << workload::to_string(strat);
+  }
+}
+
+TEST(AsyncAveragingTest, ExactBaselineAtItsBound) {
+  // n = (d+2)f+1 = 5, d = 3: the exact rule works and gives exact validity.
+  Rng rng(467);
+  auto e = base_experiment(rng, 5, 1, 3, Rule::kExactGamma);
+  e.strategy = workload::AsyncStrategy::kOutlierInput;
+  const auto out = run_async_experiment(e);
+  ASSERT_FALSE(out.failed);
+  EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.2));
+  for (double dl : out.round0_deltas) EXPECT_DOUBLE_EQ(dl, 0.0);
+}
+
+TEST(AsyncAveragingTest, MoreRoundsTightenAgreement) {
+  Rng rng(479);
+  const auto inputs = workload::gaussian_cloud(rng, 3, 3);
+  double prev_spread = 1e300;
+  for (std::size_t rounds : {2u, 6u, 12u}) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4;
+    e.prm.f = 1;
+    e.prm.rounds = rounds;
+    e.prm.rule = Rule::kRelaxedL2;
+    e.d = 3;
+    e.honest_inputs = inputs;
+    e.byzantine_ids = {0};
+    e.strategy = workload::AsyncStrategy::kOutlierInput;
+    e.seed = 555;  // same schedule family across rounds
+    const auto out = run_async_experiment(e);
+    ASSERT_FALSE(out.failed);
+    const double spread = check_agreement(out.decisions).max_pairwise_linf;
+    EXPECT_LE(spread, prev_spread * 1.5 + 1e-9) << rounds;
+    prev_spread = spread;
+  }
+  EXPECT_LT(prev_spread, 0.05);
+}
+
+TEST(AsyncAveragingTest, LaggardScheduleStillTerminates) {
+  Rng rng(487);
+  auto e = base_experiment(rng, 5, 1, 3, Rule::kRelaxedL2);
+  e.scheduler = workload::SchedulerKind::kLaggard;
+  e.strategy = workload::AsyncStrategy::kSilent;
+  const auto out = run_async_experiment(e);
+  ASSERT_FALSE(out.failed);
+  EXPECT_EQ(out.decisions.size(), 4u);
+}
+
+TEST(AsyncAveragingTest, LinfRuleWorks) {
+  Rng rng(491);
+  auto e = base_experiment(rng, 4, 1, 3, Rule::kRelaxedLinf);
+  e.strategy = workload::AsyncStrategy::kOutlierInput;
+  const auto out = run_async_experiment(e);
+  ASSERT_FALSE(out.failed);
+  EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.2));
+}
+
+TEST(AsyncAveragingTest, HistoryTracksRounds) {
+  AsyncAveragingProcess::Params prm;
+  prm.n = 4;
+  prm.f = 1;
+  prm.rounds = 3;
+  AsyncAveragingProcess p(prm, 0, {1.0, 2.0});
+  EXPECT_EQ(p.history().size(), 1u);  // input recorded up front
+  EXPECT_FALSE(p.decided());
+  EXPECT_THROW(p.decision(), invalid_argument);
+}
+
+TEST(AsyncAveragingTest, WitnessExchangeImprovesAgreement) {
+  // Design-choice regression: disabling the witness common-core wait must
+  // degrade one-round agreement in aggregate (n = 7, f = 2, outliers).
+  auto sweep = [](bool witness) {
+    double sum = 0.0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Rng rng(seed);
+      workload::AsyncExperiment e;
+      e.prm.n = 7;
+      e.prm.f = 2;
+      e.prm.rounds = 1;
+      e.prm.rule = Rule::kRelaxedL2;
+      e.prm.use_witness = witness;
+      e.d = 3;
+      e.honest_inputs = workload::gaussian_cloud(rng, 5, 3);
+      e.byzantine_ids = {1, 4};
+      e.strategy = workload::AsyncStrategy::kOutlierInput;
+      e.seed = seed * 31;
+      const auto out = workload::run_async_experiment(e);
+      if (!out.failed) {
+        sum += check_agreement(out.decisions).max_pairwise_linf;
+      }
+    }
+    return sum;
+  };
+  const double with_witness = sweep(true);
+  const double without = sweep(false);
+  EXPECT_LT(with_witness, without);
+}
+
+TEST(AsyncAveragingTest, ValidatesParams) {
+  AsyncAveragingProcess::Params bad;
+  bad.n = 3;
+  bad.f = 1;
+  EXPECT_THROW(AsyncAveragingProcess(bad, 0, {1.0}), invalid_argument);
+  AsyncAveragingProcess::Params bad2;
+  bad2.n = 4;
+  bad2.f = 1;
+  bad2.rounds = 0;
+  EXPECT_THROW(AsyncAveragingProcess(bad2, 0, {1.0}), invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbvc::consensus

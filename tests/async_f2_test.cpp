@@ -1,0 +1,113 @@
+// Asynchronous runs with f = 2: seven processes, two simultaneous Byzantine
+// (mixed strategies), adversarial scheduling. Stresses the witness
+// exchange's common-core property and the verification pipeline at a scale
+// the f = 1 tests do not reach.
+#include <gtest/gtest.h>
+
+#include "consensus/async_averaging.h"
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "sim/async_engine.h"
+#include "workload/byzantine_strategies.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+using consensus::AsyncAveragingProcess;
+using Rule = AsyncAveragingProcess::Round0Rule;
+
+struct MixedOutcome {
+  std::vector<Vec> decisions;
+  std::vector<Vec> honest_inputs;
+  bool all_decided = false;
+};
+
+// n = 7, f = 2, one Byzantine per strategy in `strategies`.
+MixedOutcome run_mixed(const std::vector<workload::AsyncStrategy>& strategies,
+                       std::size_t rounds, std::uint64_t seed,
+                       bool laggard = false) {
+  const std::size_t n = 7, f = 2, d = 3;
+  Rng rng(seed);
+  AsyncAveragingProcess::Params prm;
+  prm.n = n;
+  prm.f = f;
+  prm.rounds = rounds;
+  prm.rule = Rule::kRelaxedL2;
+
+  std::unique_ptr<sim::Scheduler> sched;
+  if (laggard) {
+    sched = std::make_unique<sim::LaggardScheduler>(
+        rng.next_u64(), std::vector<sim::ProcessId>{0, 6});
+  } else {
+    sched = std::make_unique<sim::RandomScheduler>(rng.next_u64());
+  }
+  sim::AsyncEngine engine(std::move(sched));
+
+  MixedOutcome out;
+  std::vector<sim::ProcessId> correct;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id < strategies.size()) {
+      engine.add(workload::make_async_byzantine(strategies[id], prm, id, d,
+                                                rng.next_u64()));
+    } else {
+      out.honest_inputs.push_back(rng.normal_vec(d));
+      engine.add(std::make_unique<AsyncAveragingProcess>(
+          prm, id, out.honest_inputs.back()));
+      correct.push_back(id);
+    }
+  }
+  const auto stats = engine.run(correct, 3'000'000);
+  out.all_decided = stats.all_decided;
+  for (auto id : correct) {
+    auto& p = dynamic_cast<AsyncAveragingProcess&>(engine.process(id));
+    if (p.decided() && !p.failed()) out.decisions.push_back(p.decision());
+  }
+  return out;
+}
+
+TEST(AsyncF2Test, TwoSilentByzantine) {
+  const auto out = run_mixed(
+      {workload::AsyncStrategy::kSilent, workload::AsyncStrategy::kSilent},
+      6, 71);
+  ASSERT_TRUE(out.all_decided);
+  ASSERT_EQ(out.decisions.size(), 5u);
+  EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.1));
+  EXPECT_LT(delta_p_validity_excess(
+                out.decisions, out.honest_inputs,
+                input_dependent_delta(out.honest_inputs, 1.0), 2.0),
+            1e-4);
+}
+
+TEST(AsyncF2Test, MixedEquivocatorAndOutlier) {
+  const auto out = run_mixed({workload::AsyncStrategy::kEquivocate,
+                              workload::AsyncStrategy::kOutlierInput},
+                             6, 73);
+  ASSERT_TRUE(out.all_decided);
+  EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.1));
+  EXPECT_LT(delta_p_validity_excess(
+                out.decisions, out.honest_inputs,
+                input_dependent_delta(out.honest_inputs, 1.0), 2.0),
+            1e-4);
+}
+
+TEST(AsyncF2Test, CrashPlusEquivocatorUnderLaggardSchedule) {
+  const auto out = run_mixed({workload::AsyncStrategy::kCrashMidway,
+                              workload::AsyncStrategy::kEquivocate},
+                             5, 79, /*laggard=*/true);
+  ASSERT_TRUE(out.all_decided);
+  EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.2));
+}
+
+TEST(AsyncF2Test, BelowClassicBoundForD3) {
+  // n = 7 = 3f+1 < (d+2)f+1 = 11 for d = 3, f = 2: the relaxed algorithm
+  // operates four processes below the classic asynchronous requirement.
+  const auto out = run_mixed({workload::AsyncStrategy::kOutlierInput,
+                              workload::AsyncStrategy::kSilent},
+                             6, 83);
+  ASSERT_TRUE(out.all_decided);
+  EXPECT_EQ(out.decisions.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,128 @@
+// Cross-product sweep: {EIG, Dolev-Strong} x Byzantine strategies x
+// decision rules. Whatever the backend and adversary, agreement must be
+// bitwise and validity must stay inside the theorem budget.
+#include <gtest/gtest.h>
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/exact_bvc.h"
+#include "consensus/k_relaxed.h"
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace rbvc {
+namespace {
+
+struct SweepCase {
+  workload::SyncBackend backend;
+  workload::SyncStrategy strategy;
+  std::uint64_t seed;
+};
+
+class BackendStrategySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BackendStrategySweep, AlgoKeepsGuarantees) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  workload::SyncExperiment e;
+  // DS works from n = f+2; EIG needs 3f+1. Use n = 4 so both apply.
+  e.n = 4;
+  e.f = 1;
+  e.honest_inputs = workload::gaussian_cloud(rng, 3, 3);
+  e.byzantine_ids = {1};
+  e.strategy = param.strategy;
+  e.backend = param.backend;
+  e.decision = consensus::algo_decision(1);
+  e.seed = rng.next_u64();
+  const auto out = workload::run_sync_experiment(e);
+  ASSERT_FALSE(out.decision_failed);
+  ASSERT_EQ(out.decisions.size(), 3u);
+  EXPECT_TRUE(check_agreement(out.decisions).identical);
+  // Generic input-dependent budget (kappa = 1): max honest edge.
+  EXPECT_LT(delta_p_validity_excess(
+                out.decisions, out.honest_inputs,
+                input_dependent_delta(out.honest_inputs, 1.0), 2.0),
+            1e-6);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  std::uint64_t seed = 5000;
+  for (auto backend : {workload::SyncBackend::kEig,
+                       workload::SyncBackend::kDolevStrong}) {
+    for (auto strategy :
+         {workload::SyncStrategy::kSilent, workload::SyncStrategy::kEquivocate,
+          workload::SyncStrategy::kLyingRelay,
+          workload::SyncStrategy::kOutlierInput,
+          workload::SyncStrategy::kCrashMidway}) {
+      cases.push_back({backend, strategy, ++seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BackendStrategySweep, ::testing::ValuesIn(sweep_cases()),
+    [](const auto& info) {
+      std::string name =
+          info.param.backend == workload::SyncBackend::kEig ? "eig_" : "ds_";
+      name += workload::to_string(info.param.strategy);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(BackendSweepTest, DsSupportsAllDecisionRules) {
+  // The backend is orthogonal to the decision rule: exact BVC and
+  // k-relaxed run over Dolev-Strong too (given enough processes for their
+  // geometry).
+  Rng rng(6001);
+  workload::SyncExperiment e;
+  e.n = 5;  // (d+1)f+1 for d = 3
+  e.f = 1;
+  e.honest_inputs = workload::gaussian_cloud(rng, 4, 3);
+  e.byzantine_ids = {4};
+  e.strategy = workload::SyncStrategy::kOutlierInput;
+  e.backend = workload::SyncBackend::kDolevStrong;
+
+  e.decision = consensus::exact_bvc_decision(1);
+  const auto exact_out = workload::run_sync_experiment(e);
+  ASSERT_FALSE(exact_out.decision_failed);
+  EXPECT_TRUE(
+      check_exact_validity(exact_out.decisions, exact_out.honest_inputs,
+                           1e-6));
+
+  e.decision = consensus::k_relaxed_decision(1, 2);
+  const auto k_out = workload::run_sync_experiment(e);
+  ASSERT_FALSE(k_out.decision_failed);
+  EXPECT_TRUE(check_k_validity(k_out.decisions, k_out.honest_inputs, 2,
+                               1e-6));
+}
+
+TEST(BackendSweepTest, BackendsAgreeOnFaultFreeDecision) {
+  // With no actual faults both backends produce the identical multiset,
+  // hence the identical decision.
+  Rng rng(6007);
+  const auto inputs = workload::gaussian_cloud(rng, 4, 3);
+  Vec eig_decision, ds_decision;
+  for (auto backend : {workload::SyncBackend::kEig,
+                       workload::SyncBackend::kDolevStrong}) {
+    workload::SyncExperiment e;
+    e.n = 4;
+    e.f = 1;
+    e.honest_inputs = inputs;
+    e.byzantine_ids = {};
+    e.backend = backend;
+    e.decision = consensus::algo_decision(1);
+    const auto out = workload::run_sync_experiment(e);
+    ASSERT_EQ(out.decisions.size(), 4u);
+    (backend == workload::SyncBackend::kEig ? eig_decision : ds_decision) =
+        out.decisions.front();
+  }
+  EXPECT_EQ(eig_decision, ds_decision);
+}
+
+}  // namespace
+}  // namespace rbvc

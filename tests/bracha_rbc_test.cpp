@@ -1,0 +1,181 @@
+#include "protocols/bracha_rbc.h"
+
+#include <gtest/gtest.h>
+
+namespace rbvc::protocols {
+namespace {
+
+// Minimal host process that drives a BrachaRbc component and records
+// deliveries.
+class RbcHost final : public sim::AsyncProcess {
+ public:
+  RbcHost(std::size_t n, std::size_t f, ProcessId self,
+          std::optional<Vec> to_broadcast)
+      : rbc_(n, f, self), to_broadcast_(std::move(to_broadcast)) {}
+
+  void init(Outbox& out) override {
+    if (to_broadcast_) rbc_.broadcast(0, *to_broadcast_, out);
+  }
+
+  void on_message(const Message& m, Outbox& out) override {
+    for (auto& d : rbc_.on_message(m, out)) {
+      deliveries_.push_back(std::move(d));
+    }
+  }
+
+  bool decided() const override { return !deliveries_.empty(); }
+  const std::vector<BrachaRbc::Delivery>& deliveries() const {
+    return deliveries_;
+  }
+
+ private:
+  BrachaRbc rbc_;
+  std::optional<Vec> to_broadcast_;
+  std::vector<BrachaRbc::Delivery> deliveries_;
+};
+
+// Sends INIT value A to the first half and B to the second half.
+class EquivocatingSource final : public sim::AsyncProcess {
+ public:
+  EquivocatingSource(std::size_t n, ProcessId self, Vec a, Vec b)
+      : n_(n), self_(self), a_(std::move(a)), b_(std::move(b)) {}
+  void init(Outbox& out) override {
+    for (ProcessId p = 0; p < n_; ++p) {
+      Message m;
+      m.kind = "rbc";
+      m.meta = {static_cast<int>(self_), 0, 0};
+      m.payload = (p < n_ / 2) ? a_ : b_;
+      out.send(p, std::move(m));
+    }
+  }
+  void on_message(const Message&, Outbox&) override {}
+  bool decided() const override { return true; }
+
+ private:
+  std::size_t n_;
+  ProcessId self_;
+  Vec a_, b_;
+};
+
+TEST(BrachaTest, CorrectSourceDeliversEverywhere) {
+  const std::size_t n = 4, f = 1;
+  sim::AsyncEngine e(std::make_unique<sim::RandomScheduler>(61));
+  const Vec v = {1.0, 2.0};
+  e.add(std::make_unique<RbcHost>(n, f, 0, v));
+  for (ProcessId id = 1; id < n; ++id) {
+    e.add(std::make_unique<RbcHost>(n, f, id, std::nullopt));
+  }
+  const auto stats = e.run({0, 1, 2, 3}, 100'000);
+  ASSERT_TRUE(stats.all_decided);
+  for (ProcessId id = 0; id < n; ++id) {
+    const auto& ds = dynamic_cast<RbcHost&>(e.process(id)).deliveries();
+    ASSERT_EQ(ds.size(), 1u) << "id " << id;
+    EXPECT_EQ(ds[0].source, 0u);
+    EXPECT_EQ(ds[0].value, v);
+  }
+}
+
+TEST(BrachaTest, NoEquivocationAcrossDeliveries) {
+  // With an equivocating source, either nobody delivers or everyone who
+  // delivers agrees. Run several seeds; record observed behaviors.
+  const std::size_t n = 4, f = 1;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    sim::AsyncEngine e(std::make_unique<sim::RandomScheduler>(seed));
+    e.add(std::make_unique<EquivocatingSource>(n, 0, Vec{1.0}, Vec{2.0}));
+    for (ProcessId id = 1; id < n; ++id) {
+      e.add(std::make_unique<RbcHost>(n, f, id, std::nullopt));
+    }
+    e.run({1, 2, 3}, 50'000);
+    std::vector<Vec> delivered;
+    for (ProcessId id = 1; id < n; ++id) {
+      for (const auto& d :
+           dynamic_cast<RbcHost&>(e.process(id)).deliveries()) {
+        delivered.push_back(d.value);
+      }
+    }
+    for (std::size_t i = 1; i < delivered.size(); ++i) {
+      EXPECT_EQ(delivered[i], delivered[0]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(BrachaTest, ExtraMetadataCarriedThrough) {
+  const std::size_t n = 4, f = 1;
+  sim::AsyncEngine e(std::make_unique<sim::RandomScheduler>(67));
+  class ExtraHost final : public sim::AsyncProcess {
+   public:
+    ExtraHost(std::size_t n, std::size_t f, ProcessId self, bool source)
+        : rbc_(n, f, self), source_(source) {}
+    void init(Outbox& out) override {
+      if (source_) rbc_.broadcast(3, {9.0}, out, {7, 8});
+    }
+    void on_message(const Message& m, Outbox& out) override {
+      for (auto& d : rbc_.on_message(m, out)) delivered_.push_back(d);
+    }
+    bool decided() const override { return !delivered_.empty(); }
+    BrachaRbc rbc_;
+    bool source_;
+    std::vector<BrachaRbc::Delivery> delivered_;
+  };
+  e.add(std::make_unique<ExtraHost>(n, f, 0, true));
+  for (ProcessId id = 1; id < n; ++id) {
+    e.add(std::make_unique<ExtraHost>(n, f, id, false));
+  }
+  ASSERT_TRUE(e.run({0, 1, 2, 3}, 100'000).all_decided);
+  for (ProcessId id = 0; id < n; ++id) {
+    const auto& ds = dynamic_cast<ExtraHost&>(e.process(id)).delivered_;
+    ASSERT_EQ(ds.size(), 1u);
+    EXPECT_EQ(ds[0].instance, 3);
+    EXPECT_EQ(ds[0].extra, (std::vector<int>{7, 8}));
+  }
+}
+
+TEST(BrachaTest, SpoofedInitIgnored) {
+  // A process claiming to be the source of someone else's instance: the
+  // from-check must drop it (no echo storm, no delivery).
+  const std::size_t n = 4, f = 1;
+  class Spoofer final : public sim::AsyncProcess {
+   public:
+    explicit Spoofer(std::size_t n) : n_(n) {}
+    void init(Outbox& out) override {
+      Message m;
+      m.kind = "rbc";
+      m.meta = {2, 0, 0};  // pretend process 2 initiated
+      m.payload = {5.0};
+      for (ProcessId p = 0; p < n_; ++p) {
+        Message c = m;
+        out.send(p, std::move(c));
+      }
+    }
+    void on_message(const Message&, Outbox&) override {}
+    bool decided() const override { return true; }
+    std::size_t n_;
+  };
+  sim::AsyncEngine e(std::make_unique<sim::RandomScheduler>(71));
+  e.add(std::make_unique<Spoofer>(n));
+  for (ProcessId id = 1; id < n; ++id) {
+    e.add(std::make_unique<RbcHost>(n, f, id, std::nullopt));
+  }
+  e.run({1, 2, 3}, 50'000);
+  for (ProcessId id = 1; id < n; ++id) {
+    EXPECT_TRUE(dynamic_cast<RbcHost&>(e.process(id)).deliveries().empty());
+  }
+}
+
+TEST(BrachaTest, RequiresQuorum) {
+  EXPECT_THROW(BrachaRbc(3, 1, 0), invalid_argument);
+}
+
+TEST(BrachaTest, MessageCountPerBroadcast) {
+  BrachaRbc rbc(4, 1, 0);
+  class NullOutbox final : public Outbox {
+   public:
+    void send(ProcessId, Message) override { ++count; }
+    std::size_t count = 0;
+  } out;
+  rbc.broadcast(0, {1.0}, out);
+  EXPECT_EQ(rbc.sent(), 4u);  // INIT to everyone
+}
+
+}  // namespace
+}  // namespace rbvc::protocols

@@ -1,0 +1,92 @@
+#include "workload/byzantine_strategies.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/verifier.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace rbvc::workload {
+namespace {
+
+TEST(StrategiesTest, Names) {
+  EXPECT_STREQ(to_string(SyncStrategy::kSilent), "silent");
+  EXPECT_STREQ(to_string(SyncStrategy::kEquivocate), "equivocate");
+  EXPECT_STREQ(to_string(SyncStrategy::kLyingRelay), "lying-relay");
+  EXPECT_STREQ(to_string(SyncStrategy::kOutlierInput), "outlier-input");
+  EXPECT_STREQ(to_string(AsyncStrategy::kSilent), "silent");
+  EXPECT_STREQ(to_string(AsyncStrategy::kEquivocate), "equivocate");
+  EXPECT_STREQ(to_string(AsyncStrategy::kOutlierInput), "outlier-input");
+}
+
+TEST(StrategiesTest, FactoriesProduceProcesses) {
+  for (auto s : {SyncStrategy::kSilent, SyncStrategy::kEquivocate,
+                 SyncStrategy::kLyingRelay, SyncStrategy::kOutlierInput}) {
+    EXPECT_NE(make_sync_byzantine(s, 4, 1, 0, 3, 1), nullptr);
+  }
+  consensus::AsyncAveragingProcess::Params prm;
+  prm.n = 4;
+  prm.f = 1;
+  for (auto s : {AsyncStrategy::kSilent, AsyncStrategy::kEquivocate,
+                 AsyncStrategy::kOutlierInput}) {
+    EXPECT_NE(make_async_byzantine(s, prm, 0, 3, 1), nullptr);
+  }
+}
+
+TEST(StrategiesTest, EquivocatorSendsDifferentValues) {
+  EquivocatingSyncProcess p(4, 1, 0, {1.0, 1.0}, zeros(2), 2.0);
+  // Hooks are protected; observe behavior through a run instead: the
+  // equivocator is exercised end-to-end in om_broadcast_test. Here just
+  // check it is constructible and initially undecided.
+  EXPECT_FALSE(p.decided());
+}
+
+TEST(StrategiesTest, SweepNeverBreaksAlgoValidity) {
+  // Property sweep: whatever the strategy and seed, ALGO's validity bound
+  // holds. This is the "no strategy in our zoo beats the theorem" test.
+  Rng rng(521);
+  for (auto strat : {SyncStrategy::kSilent, SyncStrategy::kEquivocate,
+                     SyncStrategy::kLyingRelay, SyncStrategy::kOutlierInput}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      SyncExperiment e;
+      e.n = 5;
+      e.f = 1;
+      e.honest_inputs = gaussian_cloud(rng, 4, 4);
+      e.byzantine_ids = {rng.below(5)};
+      e.strategy = strat;
+      e.decision = consensus::algo_decision(1);
+      e.seed = rng.next_u64();
+      const auto out = run_sync_experiment(e);
+      ASSERT_FALSE(out.decision_failed);
+      EXPECT_TRUE(check_agreement(out.decisions).identical)
+          << to_string(strat) << " rep " << rep;
+      const auto ee = edge_extremes(out.honest_inputs);
+      const double bound = std::min(ee.min_edge / 2.0, ee.max_edge / 3.0);
+      EXPECT_LT(delta_p_validity_excess(out.decisions, out.honest_inputs,
+                                        bound, 2.0),
+                1e-6)
+          << to_string(strat) << " rep " << rep;
+    }
+  }
+}
+
+TEST(StrategiesTest, RunnerValidation) {
+  SyncExperiment e;
+  e.n = 4;
+  e.f = 1;
+  e.honest_inputs = {{1.0}, {2.0}};  // only 2 inputs for n=4 with 1 byz
+  e.byzantine_ids = {0};
+  e.decision = consensus::algo_decision(1);
+  EXPECT_THROW(run_sync_experiment(e), invalid_argument);
+  SyncExperiment e2;
+  e2.n = 4;
+  e2.f = 1;
+  e2.honest_inputs = {{1.0}, {2.0}};
+  e2.byzantine_ids = {0, 1};  // exceeds f
+  e2.decision = consensus::algo_decision(1);
+  EXPECT_THROW(run_sync_experiment(e2), invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbvc::workload

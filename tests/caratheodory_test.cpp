@@ -1,0 +1,119 @@
+#include "geometry/caratheodory.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.h"
+#include "sim/rng.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+TEST(NullspaceTest, FindsKernelVector) {
+  // Rank-2 matrix in R^{2x3}: kernel is 1-dimensional.
+  const Matrix a = Matrix::from_rows({{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}});
+  const auto x = nullspace_vector(a);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(norm2(*x), 1.0, 1e-12);
+  EXPECT_LT(norm2(a * *x), 1e-10);
+}
+
+TEST(NullspaceTest, FullRankHasNone) {
+  EXPECT_FALSE(nullspace_vector(Matrix::identity(3)).has_value());
+  const Matrix tall = Matrix::from_rows({{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}});
+  EXPECT_FALSE(nullspace_vector(tall).has_value());
+}
+
+TEST(NullspaceTest, RandomRankDeficient) {
+  Rng rng(1013);
+  for (int rep = 0; rep < 20; ++rep) {
+    // 4 rows, 7 columns: kernel guaranteed.
+    Matrix a(4, 7);
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 7; ++c) a(r, c) = rng.normal();
+    }
+    const auto x = nullspace_vector(a);
+    ASSERT_TRUE(x.has_value()) << "rep " << rep;
+    EXPECT_LT(norm2(a * *x), 1e-8) << "rep " << rep;
+  }
+}
+
+TEST(CaratheodoryTest, ReducesToAtMostDPlus1Points) {
+  Rng rng(1019);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t d = 2 + rep % 3;
+    const std::size_t n = 2 * d + 4;  // far more points than d+1
+    const auto s = workload::gaussian_cloud(rng, n, d);
+    // Build u as a dense convex combination of ALL points.
+    Vec u = zeros(d);
+    for (const Vec& p : s) axpy(1.0 / double(n), p, u);
+    const auto red = caratheodory_reduce(u, s, 1e-9);
+    ASSERT_TRUE(red.has_value()) << "rep " << rep;
+    EXPECT_LE(red->support.size(), d + 1) << "rep " << rep;
+    // Reconstruction.
+    Vec recon = zeros(d);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < red->support.size(); ++j) {
+      EXPECT_GT(red->coeffs[j], 0.0);
+      axpy(red->coeffs[j], s[red->support[j]], recon);
+      sum += red->coeffs[j];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_LT(dist2(recon, u), 1e-6) << "rep " << rep;
+  }
+}
+
+TEST(CaratheodoryTest, OutsidePointRejected) {
+  const std::vector<Vec> sq = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  EXPECT_FALSE(caratheodory_reduce({2.0, 2.0}, sq).has_value());
+}
+
+TEST(CaratheodoryTest, VertexIsItsOwnSupport) {
+  const std::vector<Vec> sq = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  const auto red = caratheodory_reduce({1.0, 1.0}, sq);
+  ASSERT_TRUE(red.has_value());
+  EXPECT_LE(red->support.size(), 3u);
+  Vec recon = zeros(2);
+  for (std::size_t j = 0; j < red->support.size(); ++j) {
+    axpy(red->coeffs[j], sq[red->support[j]], recon);
+  }
+  EXPECT_TRUE(approx_equal(recon, {1.0, 1.0}, 1e-8));
+}
+
+TEST(HellyTest, TheoremHoldsOnRandomFamilies) {
+  // Helly: in R^d, if every d+1 of the convex sets intersect, all do.
+  // Generate random polytope families and assert the implication.
+  Rng rng(1021);
+  int premise_true = 0;
+  for (int rep = 0; rep < 25; ++rep) {
+    const std::size_t d = 2;
+    std::vector<std::vector<Vec>> sets;
+    const std::size_t m = 4 + rep % 3;
+    for (std::size_t i = 0; i < m; ++i) {
+      // Triangles around a drifting center: sometimes all intersect,
+      // sometimes not.
+      Vec c = scale(0.4, rng.normal_vec(d));
+      std::vector<Vec> tri;
+      for (int v = 0; v < 3; ++v) {
+        tri.push_back(add(c, scale(2.5, rng.normal_vec(d))));
+      }
+      sets.push_back(std::move(tri));
+    }
+    const auto check = helly_check(sets);
+    if (check.every_d_plus_1_intersect) {
+      ++premise_true;
+      EXPECT_TRUE(check.all_intersect) << "HELLY VIOLATION at rep " << rep;
+    }
+  }
+  EXPECT_GT(premise_true, 0);  // the test exercised the implication
+}
+
+TEST(HellyTest, SmallFamiliesDegenerate) {
+  const std::vector<Vec> a = {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  const auto check = helly_check({a, a});
+  EXPECT_TRUE(check.all_intersect);
+  EXPECT_TRUE(check.every_d_plus_1_intersect);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,39 @@
+#include "rbvc/common.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rbvc {
+namespace {
+
+TEST(CommonTest, RequireThrowsWithContext) {
+  try {
+    RBVC_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CommonTest, RequirePassesSilently) {
+  EXPECT_NO_THROW(RBVC_REQUIRE(true, "never"));
+}
+
+TEST(CommonTest, ErrorHierarchy) {
+  // invalid_argument and numerical_error are std exceptions, catchable
+  // uniformly at API boundaries.
+  EXPECT_THROW(throw invalid_argument("x"), std::invalid_argument);
+  EXPECT_THROW(throw numerical_error("y"), std::runtime_error);
+}
+
+TEST(CommonTest, Constants) {
+  EXPECT_GT(kLooseTol, kTol);
+  EXPECT_TRUE(std::isinf(kInfNorm));
+}
+
+}  // namespace
+}  // namespace rbvc

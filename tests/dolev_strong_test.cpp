@@ -1,0 +1,230 @@
+// Tests for authenticated broadcast (Dolev-Strong) and its interactive
+// consistency -- the paper's footnote-3 regime where the 3f+1 floor drops.
+#include "protocols/dolev_strong.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/algo_relaxed.h"
+#include "consensus/verifier.h"
+#include "geometry/simplex_geometry.h"
+#include "workload/byzantine_strategies.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace rbvc::protocols {
+namespace {
+
+DecisionFn keep_multiset() {
+  return [](const std::vector<Vec>& s) { return mean(s); };
+}
+
+struct Rig {
+  explicit Rig(std::uint64_t seed) : authority(seed) {}
+  sim::SignatureAuthority authority;
+  sim::SyncEngine engine;
+  std::vector<sim::ProcessId> correct;
+};
+
+Rig build(std::size_t n, std::size_t f, std::size_t d,
+          const std::vector<std::size_t>& byz,
+          workload::SyncStrategy strategy, std::uint64_t seed) {
+  Rig rig(seed);
+  Rng rng(seed + 1);
+  for (std::size_t id = 0; id < n; ++id) {
+    const bool is_byz = std::find(byz.begin(), byz.end(), id) != byz.end();
+    if (is_byz) {
+      rig.engine.add(workload::make_ds_byzantine(
+          strategy, n, f, id, d, rng.next_u64(),
+          rig.authority.signer_for(id), &rig.authority));
+    } else {
+      rig.engine.add(std::make_unique<DolevStrongProcess>(
+          n, f, id, rng.normal_vec(d), zeros(d), keep_multiset(),
+          rig.authority.signer_for(id), &rig.authority));
+      rig.correct.push_back(id);
+    }
+  }
+  return rig;
+}
+
+std::vector<std::vector<Vec>> resolved_sets(Rig& rig) {
+  std::vector<std::vector<Vec>> out;
+  for (auto id : rig.correct) {
+    out.push_back(dynamic_cast<DolevStrongProcess&>(rig.engine.process(id))
+                      .resolved_inputs());
+  }
+  return out;
+}
+
+TEST(DsWireTest, EncodeDecodeRoundTrip) {
+  sim::SignatureAuthority auth(5);
+  const Vec v = {1.5, -2.0};
+  SigChain chain;
+  chain.emplace_back(
+      1, auth.signer_for(1).sign(ds_wire::chain_digest(1, v, {})));
+  chain.emplace_back(
+      0, auth.signer_for(0).sign(ds_wire::chain_digest(1, v, chain)));
+  const sim::Message m = ds_wire::encode(1, v, chain);
+  const auto parsed = ds_wire::decode(m, 4);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, 1u);
+  EXPECT_EQ(parsed->second, chain);
+  EXPECT_TRUE(ds_wire::chain_valid(auth, 1, v, chain));
+}
+
+TEST(DsWireTest, InvalidChainsRejected) {
+  sim::SignatureAuthority auth(5);
+  const Vec v = {1.0};
+  // Wrong first signer.
+  SigChain wrong_first;
+  wrong_first.emplace_back(
+      2, auth.signer_for(2).sign(ds_wire::chain_digest(1, v, {})));
+  EXPECT_FALSE(ds_wire::chain_valid(auth, 1, v, wrong_first));
+  // Tampered value.
+  SigChain good;
+  good.emplace_back(
+      1, auth.signer_for(1).sign(ds_wire::chain_digest(1, v, {})));
+  EXPECT_TRUE(ds_wire::chain_valid(auth, 1, v, good));
+  EXPECT_FALSE(ds_wire::chain_valid(auth, 1, {2.0}, good));
+  // Repeated signer.
+  SigChain repeated = good;
+  repeated.emplace_back(
+      1, auth.signer_for(1).sign(ds_wire::chain_digest(1, v, good)));
+  EXPECT_FALSE(ds_wire::chain_valid(auth, 1, v, repeated));
+  // Empty chain.
+  EXPECT_FALSE(ds_wire::chain_valid(auth, 1, v, {}));
+}
+
+TEST(DsTest, FaultFreeConsistencyAtN3) {
+  // The headline: n = 3, f = 1 works with signatures (impossible for EIG).
+  Rig rig = build(3, 1, 2, {}, workload::SyncStrategy::kSilent, 11);
+  const auto stats =
+      rig.engine.run(DolevStrongProcess::rounds_needed(1));
+  ASSERT_TRUE(stats.all_decided);
+  const auto sets = resolved_sets(rig);
+  for (std::size_t i = 1; i < sets.size(); ++i) EXPECT_EQ(sets[i], sets[0]);
+  for (auto id : rig.correct) {
+    const auto& p =
+        dynamic_cast<DolevStrongProcess&>(rig.engine.process(id));
+    EXPECT_EQ(sets[0][id], p.input());
+  }
+}
+
+TEST(DsTest, EquivocatorResolvesToDefaultEverywhere) {
+  // A double-signing source is detected: every correct process extracts two
+  // values and falls back to the common default. Consistency holds.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rig rig = build(4, 1, 2, {0}, workload::SyncStrategy::kEquivocate, seed);
+    rig.engine.run(DolevStrongProcess::rounds_needed(1));
+    const auto sets = resolved_sets(rig);
+    for (std::size_t i = 1; i < sets.size(); ++i) {
+      EXPECT_EQ(sets[i], sets[0]) << "seed " << seed;
+    }
+    EXPECT_EQ(sets[0][0], zeros(2)) << "seed " << seed;
+  }
+}
+
+TEST(DsTest, WithholderCannotBreakConsistency) {
+  Rig rig = build(4, 1, 3, {2}, workload::SyncStrategy::kLyingRelay, 7);
+  rig.engine.run(DolevStrongProcess::rounds_needed(1));
+  const auto sets = resolved_sets(rig);
+  for (std::size_t i = 1; i < sets.size(); ++i) EXPECT_EQ(sets[i], sets[0]);
+  for (auto id : rig.correct) {
+    const auto& p =
+        dynamic_cast<DolevStrongProcess&>(rig.engine.process(id));
+    EXPECT_EQ(sets[0][id], p.input());
+  }
+}
+
+TEST(DsTest, ToleratesLargeFWithSmallN) {
+  // f = 2 with only n = 5 processes (EIG would need 7).
+  Rig rig = build(5, 2, 2, {1, 3}, workload::SyncStrategy::kEquivocate, 13);
+  const auto stats = rig.engine.run(DolevStrongProcess::rounds_needed(2));
+  ASSERT_TRUE(stats.all_decided);
+  const auto sets = resolved_sets(rig);
+  for (std::size_t i = 1; i < sets.size(); ++i) EXPECT_EQ(sets[i], sets[0]);
+}
+
+TEST(DsTest, EndToEndAlgoAtN3) {
+  // ALGO over authenticated broadcast with n = 3, f = 1, d = 2: agreement +
+  // bounded validity below every unauthenticated bound.
+  Rng rng(17);
+  workload::SyncExperiment e;
+  e.n = 3;
+  e.f = 1;
+  e.honest_inputs = workload::gaussian_cloud(rng, 2, 2);
+  e.byzantine_ids = {1};
+  e.strategy = workload::SyncStrategy::kOutlierInput;
+  e.decision = consensus::algo_decision(1);
+  e.backend = workload::SyncBackend::kDolevStrong;
+  const auto out = workload::run_sync_experiment(e);
+  ASSERT_FALSE(out.decision_failed);
+  ASSERT_EQ(out.decisions.size(), 2u);
+  EXPECT_TRUE(check_agreement(out.decisions).identical);
+  // Validity: with 2 honest inputs the relevant budget is their distance.
+  const double budget = edge_extremes(out.honest_inputs).max_edge;
+  EXPECT_LT(delta_p_validity_excess(out.decisions, out.honest_inputs,
+                                    budget, 2.0),
+            1e-6);
+}
+
+TEST(DsTest, RequiresSaneParameters) {
+  sim::SignatureAuthority auth(1);
+  EXPECT_THROW(DolevStrongProcess(2, 1, 0, {0.0}, {0.0}, keep_multiset(),
+                                  auth.signer_for(0), &auth),
+               invalid_argument);
+  EXPECT_THROW(DolevStrongProcess(4, 1, 0, {0.0}, {0.0}, keep_multiset(),
+                                  auth.signer_for(1), &auth),
+               invalid_argument);
+}
+
+TEST(DsTest, GarbageMessagesIgnored) {
+  class Garbage final : public sim::SyncProcess {
+   public:
+    explicit Garbage(std::size_t n) : n_(n) {}
+    void round(std::size_t r, const std::vector<sim::Message>&,
+               sim::Outbox& out) override {
+      if (r > 2) return;
+      sim::Message m;
+      m.kind = "ds";
+      m.meta = {0, 1, 2};  // wrong arity
+      m.payload = {1.0, 2.0};
+      out.broadcast(n_, m);
+      sim::Message m2;
+      m2.kind = "ds";
+      m2.meta = {1, 1, 0, 0};  // fake chain: bogus signature
+      m2.payload = {5.0, 5.0};
+      out.broadcast(n_, m2);
+    }
+    bool decided() const override { return true; }
+    std::size_t n_;
+  };
+  Rig rig(21);
+  Rng rng(22);
+  std::vector<Vec> inputs;
+  for (std::size_t id = 0; id < 3; ++id) {
+    inputs.push_back(rng.normal_vec(2));
+    rig.engine.add(std::make_unique<DolevStrongProcess>(
+        4, 1, id, inputs.back(), zeros(2), keep_multiset(),
+        rig.authority.signer_for(id), &rig.authority));
+  }
+  rig.engine.add(std::make_unique<Garbage>(4));
+  rig.engine.run(DolevStrongProcess::rounds_needed(1));
+  for (std::size_t id = 0; id < 3; ++id) {
+    const auto& p =
+        dynamic_cast<DolevStrongProcess&>(rig.engine.process(id));
+    EXPECT_EQ(p.resolved_inputs()[id], inputs[id]);
+    // The garbage sender's instance resolves to the default.
+    EXPECT_EQ(p.resolved_inputs()[3], zeros(2));
+  }
+}
+
+TEST(DsTest, MessageComplexityQuadraticIsh) {
+  // DS: O(n^2) per instance per round vs EIG's O(n^{f+1}) blowup.
+  Rig rig = build(5, 2, 2, {}, workload::SyncStrategy::kSilent, 31);
+  const auto ds_stats = rig.engine.run(DolevStrongProcess::rounds_needed(2));
+  EXPECT_GT(ds_stats.messages, 0u);
+  EXPECT_LE(ds_stats.messages, 5u * 5u * 5u * 4u);  // loose O(n^3 f) cap
+}
+
+}  // namespace
+}  // namespace rbvc::protocols

@@ -1,0 +1,91 @@
+#include "consensus/exact_bvc.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/verifier.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace rbvc::consensus {
+namespace {
+
+TEST(ExactBvcTest, DecisionInsideGamma) {
+  Rng rng(307);
+  const auto s = workload::gaussian_cloud(rng, 6, 2);  // n=6 > (d+1)f=3
+  const Vec p = exact_bvc_decision(1)(s);
+  EXPECT_NEAR(gamma_excess(p, s, 1, 2.0), 0.0, 1e-6);
+}
+
+TEST(ExactBvcTest, ThrowsBelowBound) {
+  Rng rng(311);
+  const auto s = workload::random_simplex(rng, 3);  // n = d+1 = (d+1)f
+  EXPECT_THROW(exact_bvc_decision(1)(s), infeasible_instance);
+}
+
+TEST(ExactBvcTest, EndToEndWithByzantine) {
+  // n = (d+1)f + 1 = 5, d = 3, f = 1: exact validity must hold against
+  // every Byzantine strategy.
+  Rng rng(313);
+  for (auto strat :
+       {workload::SyncStrategy::kSilent, workload::SyncStrategy::kEquivocate,
+        workload::SyncStrategy::kLyingRelay,
+        workload::SyncStrategy::kOutlierInput}) {
+    workload::SyncExperiment e;
+    e.n = 5;
+    e.f = 1;
+    e.honest_inputs = workload::gaussian_cloud(rng, 4, 3);
+    e.byzantine_ids = {1};
+    e.strategy = strat;
+    e.decision = exact_bvc_decision(1);
+    e.seed = rng.next_u64();
+    const auto out = run_sync_experiment(e);
+    ASSERT_FALSE(out.decision_failed) << workload::to_string(strat);
+    ASSERT_EQ(out.decisions.size(), 4u);
+    EXPECT_TRUE(check_agreement(out.decisions).identical)
+        << workload::to_string(strat);
+    EXPECT_TRUE(check_exact_validity(out.decisions, out.honest_inputs, 1e-6))
+        << workload::to_string(strat);
+  }
+}
+
+TEST(ExactBvcTest, FTwoEndToEnd) {
+  // d = 2, f = 2: n = (d+1)f + 1 = 7.
+  Rng rng(317);
+  workload::SyncExperiment e;
+  e.n = 7;
+  e.f = 2;
+  e.honest_inputs = workload::gaussian_cloud(rng, 5, 2);
+  e.byzantine_ids = {0, 4};
+  e.strategy = workload::SyncStrategy::kEquivocate;
+  e.decision = exact_bvc_decision(2);
+  const auto out = run_sync_experiment(e);
+  ASSERT_FALSE(out.decision_failed);
+  EXPECT_TRUE(check_agreement(out.decisions).identical);
+  EXPECT_TRUE(check_exact_validity(out.decisions, out.honest_inputs, 1e-6));
+}
+
+TEST(ExactBvcTest, FailsEndToEndBelowBound) {
+  // n = (d+1)f = 4 with a simplex input: Gamma can be empty -> the run
+  // reports failure instead of silently mis-deciding.
+  Rng rng(331);
+  workload::SyncExperiment e;
+  e.n = 4;
+  e.f = 1;
+  e.honest_inputs = workload::random_simplex(rng, 3);
+  e.honest_inputs.pop_back();  // 3 honest
+  e.byzantine_ids = {3};
+  e.strategy = workload::SyncStrategy::kOutlierInput;
+  e.decision = exact_bvc_decision(1);
+  const auto out = run_sync_experiment(e);
+  // Depending on the Byzantine input geometry Gamma may or may not be
+  // empty; with a far outlier it is (the three honest + outlier form a
+  // simplex-ish configuration). Either the run fails or validity holds.
+  if (!out.decision_failed) {
+    EXPECT_TRUE(check_exact_validity(out.decisions, out.honest_inputs, 1e-5));
+  } else {
+    EXPECT_FALSE(out.failure.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rbvc::consensus

@@ -1,0 +1,73 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.h"
+
+namespace rbvc::workload {
+namespace {
+
+TEST(GeneratorsTest, ShapesAndDeterminism) {
+  Rng a(1), b(1);
+  const auto ga = gaussian_cloud(a, 5, 3);
+  const auto gb = gaussian_cloud(b, 5, 3);
+  ASSERT_EQ(ga.size(), 5u);
+  EXPECT_EQ(ga.front().size(), 3u);
+  EXPECT_EQ(ga, gb);  // seeded determinism
+}
+
+TEST(GeneratorsTest, UniformCubeBounds) {
+  Rng rng(2);
+  for (const Vec& p : uniform_cube(rng, 20, 4, -2.0, 3.0)) {
+    for (double v : p) {
+      EXPECT_GE(v, -2.0);
+      EXPECT_LT(v, 3.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, SphereRadius) {
+  Rng rng(3);
+  for (const Vec& p : sphere_points(rng, 20, 5, 2.5)) {
+    EXPECT_NEAR(norm2(p), 2.5, 1e-10);
+  }
+}
+
+TEST(GeneratorsTest, ClusteredSeparation) {
+  Rng rng(4);
+  const auto pts = clustered(rng, 20, 3, 10.0, 0.01);
+  // Consecutive points alternate clusters: distance ~ separation.
+  EXPECT_GT(dist2(pts[0], pts[1]), 8.0);
+  EXPECT_LT(dist2(pts[0], pts[2]), 2.0);
+}
+
+TEST(GeneratorsTest, RandomSimplexIsSimplex) {
+  Rng rng(5);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto s = random_simplex(rng, 4);
+    ASSERT_EQ(s.size(), 5u);
+    EXPECT_TRUE(affinely_independent(s, 1e-8));
+  }
+}
+
+TEST(GeneratorsTest, DegenerateSubspaceRank) {
+  Rng rng(6);
+  const auto pts = degenerate_subspace(rng, 8, 6, 2);
+  ASSERT_EQ(pts.size(), 8u);
+  // Differences span at most a 2-dimensional space.
+  std::vector<Vec> diffs;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    diffs.push_back(sub(pts[i], pts.back()));
+  }
+  EXPECT_LE(orthonormal_basis(diffs).size(), 2u);
+  EXPECT_THROW(degenerate_subspace(rng, 3, 2, 5), invalid_argument);
+}
+
+TEST(GeneratorsTest, IdenticalPoints) {
+  Rng rng(7);
+  const auto pts = identical_points(rng, 4, 3);
+  for (const Vec& p : pts) EXPECT_EQ(p, pts.front());
+}
+
+}  // namespace
+}  // namespace rbvc::workload

@@ -1,0 +1,125 @@
+// Tests for 2-D Convex Hull Consensus (Tseng-Vaidya [16] baseline).
+#include "consensus/hull_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/verifier.h"
+#include "workload/byzantine_strategies.h"
+#include "workload/generators.h"
+
+namespace rbvc::consensus {
+namespace {
+
+TEST(GammaPolygonTest, MatchesLpOracleOnRandomInputs) {
+  // The polygon is non-empty exactly when the LP says Gamma is non-empty,
+  // and its vertices lie in every drop-f hull.
+  Rng rng(811);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 4 + rep % 4;
+    const auto s = workload::gaussian_cloud(rng, n, 2);
+    const auto poly = gamma_polygon(s, 1);
+    const auto lp = gamma_point(s, 1);
+    EXPECT_EQ(poly.has_value(), lp.has_value()) << "rep " << rep;
+    if (!poly) continue;
+    for (const Point2& v : *poly) {
+      EXPECT_LE(gamma_excess({v.x, v.y}, s, 1, 2.0), 1e-6) << "rep " << rep;
+    }
+  }
+}
+
+TEST(GammaPolygonTest, EmptyBelowBound) {
+  // 3 = (d+1)f points in general position: Gamma empty (2-D Tverberg
+  // tightness).
+  const std::vector<Vec> tri = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+  EXPECT_FALSE(gamma_polygon(tri, 1).has_value());
+}
+
+TEST(GammaPolygonTest, FullPolygonAtGenerousN) {
+  Rng rng(821);
+  const auto s = workload::gaussian_cloud(rng, 8, 2);
+  const auto poly = gamma_polygon(s, 1);
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_GE(poly->size(), 3u);  // generically a genuine polygon
+  EXPECT_GT(polygon_area(*poly), 0.0);
+}
+
+TEST(GammaPolygonTest, ContainedInEveryHonestHull) {
+  // Whichever f processes are faulty, the polygon sits inside the honest
+  // hull -- the hull-validity condition of convex hull consensus.
+  Rng rng(823);
+  const std::size_t n = 6, f = 1;
+  const auto s = workload::gaussian_cloud(rng, n, 2);
+  const auto poly = gamma_polygon(s, f);
+  ASSERT_TRUE(poly.has_value());
+  for (std::size_t faulty = 0; faulty < n; ++faulty) {
+    std::vector<Vec> honest;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != faulty) honest.push_back(s[i]);
+    }
+    EXPECT_TRUE(polygon_in_hull(*poly, honest, 1e-6)) << "faulty " << faulty;
+  }
+}
+
+TEST(HullConsensusTest, EndToEndAgreementOnPolygon) {
+  const std::size_t n = 5, f = 1;
+  Rng rng(827);
+  sim::SyncEngine engine;
+  std::vector<Vec> inputs = workload::gaussian_cloud(rng, n - 1, 2);
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id == 2) {
+      engine.add(workload::make_sync_byzantine(
+          workload::SyncStrategy::kEquivocate, n, f, id, 2, 31));
+    } else {
+      const std::size_t idx = id < 2 ? id : id - 1;
+      engine.add(std::make_unique<HullConsensusProcess>(
+          n, f, id, inputs[idx], zeros(2)));
+    }
+  }
+  const auto stats =
+      engine.run(protocols::EigConsensusProcess::rounds_needed(f));
+  ASSERT_TRUE(stats.all_decided);
+
+  const HullDecision* first = nullptr;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id == 2) continue;
+    const auto& p = dynamic_cast<HullConsensusProcess&>(engine.process(id));
+    const auto& poly = p.hull_decision();
+    ASSERT_FALSE(poly.empty());
+    if (!first) {
+      first = &poly;
+      // Validity: polygon inside the honest inputs' hull.
+      EXPECT_TRUE(polygon_in_hull(poly, inputs, 1e-6));
+      continue;
+    }
+    // Agreement: identical polygon at every correct process (bitwise).
+    ASSERT_EQ(poly.size(), first->size());
+    for (std::size_t v = 0; v < poly.size(); ++v) {
+      EXPECT_EQ(poly[v].x, (*first)[v].x);
+      EXPECT_EQ(poly[v].y, (*first)[v].y);
+    }
+  }
+}
+
+TEST(HullConsensusTest, FailsCleanlyBelowBound) {
+  // n = 3 = 3f with a simplex: the decision rule reports infeasibility.
+  const std::vector<Vec> tri = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+  sim::SyncEngine engine;
+  // Only the decision function matters here; call it directly.
+  HullConsensusProcess p(4, 1, 0, tri[0], zeros(2));
+  (void)p;  // construction is fine; infeasibility surfaces via gamma_polygon
+  EXPECT_FALSE(gamma_polygon(tri, 1).has_value());
+}
+
+TEST(HullConsensusTest, PolygonShrinksWithF) {
+  // More tolerated faults -> smaller safe polygon (monotone in f).
+  Rng rng(829);
+  const auto s = workload::gaussian_cloud(rng, 9, 2);
+  const auto p1 = gamma_polygon(s, 1);
+  const auto p2 = gamma_polygon(s, 2);
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_LT(polygon_area(*p2), polygon_area(*p1) + 1e-12);
+}
+
+}  // namespace
+}  // namespace rbvc::consensus

@@ -1,0 +1,85 @@
+#include "consensus/k_relaxed.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/exact_bvc.h"
+#include "consensus/verifier.h"
+#include "workload/adversarial_inputs.h"
+#include "workload/generators.h"
+#include "workload/runner.h"
+
+namespace rbvc::consensus {
+namespace {
+
+TEST(KRelaxedTest, K1NeedsOnly3fPlus1) {
+  // d = 5, f = 1, n = 4 = 3f+1 << (d+1)f+1 = 7: 1-relaxed consensus works.
+  Rng rng(439);
+  workload::SyncExperiment e;
+  e.n = 4;
+  e.f = 1;
+  e.honest_inputs = workload::gaussian_cloud(rng, 3, 5);
+  e.byzantine_ids = {3};
+  e.strategy = workload::SyncStrategy::kEquivocate;
+  e.decision = k_relaxed_decision(1, 1);
+  const auto out = run_sync_experiment(e);
+  ASSERT_FALSE(out.decision_failed);
+  EXPECT_TRUE(check_agreement(out.decisions).identical);
+  EXPECT_TRUE(check_k_validity(out.decisions, out.honest_inputs, 1, 1e-6));
+}
+
+TEST(KRelaxedTest, K2AtFullBound) {
+  // n = (d+1)f + 1 = 5, d = 4... use d=4, n=5: k=2 solvable.
+  Rng rng(443);
+  workload::SyncExperiment e;
+  e.n = 6;
+  e.f = 1;
+  e.honest_inputs = workload::gaussian_cloud(rng, 5, 4);
+  e.byzantine_ids = {2};
+  e.strategy = workload::SyncStrategy::kLyingRelay;
+  e.decision = k_relaxed_decision(1, 2);
+  const auto out = run_sync_experiment(e);
+  ASSERT_FALSE(out.decision_failed);
+  EXPECT_TRUE(check_agreement(out.decisions).identical);
+  EXPECT_TRUE(check_k_validity(out.decisions, out.honest_inputs, 2, 1e-6));
+  // Gamma was non-empty, so the stronger exact validity holds too.
+  EXPECT_TRUE(check_exact_validity(out.decisions, out.honest_inputs, 1e-6));
+}
+
+TEST(KRelaxedTest, DecisionPrefersGamma) {
+  Rng rng(449);
+  const auto s = workload::gaussian_cloud(rng, 6, 3);
+  const Vec p = k_relaxed_decision(1, 2)(s);
+  EXPECT_NEAR(gamma_excess(p, s, 1, 2.0), 0.0, 1e-6);
+}
+
+TEST(KRelaxedTest, FallsBackToPsiWhenGammaEmpty) {
+  // A simplex has empty Gamma but may have non-empty Psi_k... for the
+  // paper's Thm 3 matrix Psi_2 is empty too, so the rule must throw there.
+  const auto y = workload::thm3_inputs(3, 1.0, 0.5);
+  EXPECT_THROW(k_relaxed_decision(1, 2)(y), infeasible_instance);
+}
+
+TEST(KRelaxedTest, K1WorksOnThm3Inputs) {
+  // The same matrix is fine for k = 1 (per-coordinate median).
+  const auto y = workload::thm3_inputs(3, 1.0, 0.5);
+  const Vec p = k_relaxed_decision(1, 1)(y);
+  for (const auto& t : drop_f_subsets(y, 1)) {
+    EXPECT_TRUE(in_k_relaxed_hull(p, t, 1, 1e-9));
+  }
+}
+
+TEST(KRelaxedTest, ValidatesK) {
+  EXPECT_THROW(k_relaxed_decision(1, 0), invalid_argument);
+}
+
+TEST(KRelaxedTest, KdMatchesExactBvcFeasibility) {
+  // k = d degenerates to the original problem: same feasibility behavior.
+  Rng rng(457);
+  const auto good = workload::gaussian_cloud(rng, 6, 3);
+  EXPECT_NO_THROW(k_relaxed_decision(1, 3)(good));
+  const auto bad = workload::thm3_inputs(3, 1.0, 0.5);
+  EXPECT_THROW(k_relaxed_decision(1, 3)(bad), infeasible_instance);
+}
+
+}  // namespace
+}  // namespace rbvc::consensus

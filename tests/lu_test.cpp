@@ -1,0 +1,97 @@
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace rbvc {
+namespace {
+
+TEST(LuTest, SolvesSmallSystem) {
+  const Matrix a = Matrix::from_rows({{2.0, 1.0}, {1.0, 3.0}});
+  const auto x = solve(a, {5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(approx_equal(*x, {1.0, 3.0}, 1e-10));
+}
+
+TEST(LuTest, DetectsSingular) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_FALSE(solve(a, {1.0, 1.0}).has_value());
+  EXPECT_FALSE(inverse(a).has_value());
+  EXPECT_DOUBLE_EQ(LU(a).det(), 0.0);
+}
+
+TEST(LuTest, Determinant) {
+  const Matrix a = Matrix::from_rows({{2.0, 0.0}, {0.0, 3.0}});
+  EXPECT_NEAR(LU(a).det(), 6.0, 1e-12);
+  // Permutation flips the sign.
+  const Matrix p = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(LU(p).det(), -1.0, 1e-12);
+}
+
+TEST(LuTest, InverseRoundTrip) {
+  Rng rng(123);
+  for (std::size_t d : {2u, 3u, 5u, 8u}) {
+    Matrix a(d, d);
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) a(r, c) = rng.normal();
+      a(r, r) += 3.0;  // diagonal dominance keeps it well-conditioned
+    }
+    const auto inv = inverse(a);
+    ASSERT_TRUE(inv.has_value());
+    const Matrix prod = a * *inv;
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(LuTest, SolveMatchesResidual) {
+  Rng rng(7);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t d = 4;
+    Matrix a(d, d);
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) a(r, c) = rng.normal();
+    }
+    const Vec b = rng.normal_vec(d);
+    const auto x = solve(a, b);
+    if (!x) continue;  // singular draw: fine
+    const Vec res = sub(a * *x, b);
+    EXPECT_LT(norm2(res), 1e-8);
+  }
+}
+
+TEST(LuTest, RequiresSquare) {
+  EXPECT_THROW(LU(Matrix(2, 3)), invalid_argument);
+}
+
+TEST(LuTest, SolveGuardsSize) {
+  const Matrix a = Matrix::identity(2);
+  LU lu(a);
+  EXPECT_THROW(lu.solve({1.0, 2.0, 3.0}), invalid_argument);
+}
+
+TEST(RankTest, FullAndDeficient) {
+  EXPECT_EQ(rank(Matrix::identity(4)), 4u);
+  const Matrix r1 = Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+  EXPECT_EQ(rank(r1), 1u);
+  const Matrix wide = Matrix::from_rows({{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}});
+  EXPECT_EQ(rank(wide), 2u);
+  EXPECT_EQ(rank(Matrix(3, 3, 0.0)), 0u);
+}
+
+TEST(RankTest, ScalesWithMagnitude) {
+  // A tiny but full-rank matrix should not be misjudged as singular.
+  Matrix a = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) a(r, r) = 1e-5;
+  EXPECT_EQ(rank(a), 3u);
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_NEAR((*inv)(0, 0), 1e5, 1.0);
+}
+
+}  // namespace
+}  // namespace rbvc

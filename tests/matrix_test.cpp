@@ -1,0 +1,80 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace rbvc {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromColumnsAndRows) {
+  const Matrix c = Matrix::from_columns({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 3.0);
+  const Matrix r = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(r(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(r(1, 0), 3.0);
+  EXPECT_THROW(Matrix::from_columns({{1.0}, {1.0, 2.0}}), invalid_argument);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowColAccessors) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  EXPECT_EQ(m.row(1), (Vec{4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.col(2), (Vec{3.0, 6.0}));
+  Matrix w = m;
+  w.set_row(0, {7.0, 8.0, 9.0});
+  EXPECT_EQ(w.row(0), (Vec{7.0, 8.0, 9.0}));
+  w.set_col(1, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(w(0, 1), 0.0);
+  EXPECT_THROW(m.row(5), invalid_argument);
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m * Vec({1.0, 1.0}), (Vec{3.0, 7.0}));
+  EXPECT_THROW(m * Vec({1.0}), invalid_argument);
+}
+
+TEST(MatrixTest, MatMul) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  const Matrix ab = a * b;
+  EXPECT_DOUBLE_EQ(ab(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ab(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ab(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(ab(1, 1), 3.0);
+}
+
+TEST(MatrixTest, MaxAbs) {
+  const Matrix m = Matrix::from_rows({{1.0, -7.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m.max_abs(), 7.0);
+  EXPECT_DOUBLE_EQ(Matrix().max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace rbvc

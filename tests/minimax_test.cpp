@@ -1,0 +1,86 @@
+#include "opt/minimax.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/simplex_geometry.h"
+#include "hull/relaxed_hull.h"
+#include "sim/rng.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+TEST(MinimaxTest, ZeroWhenHullsIntersect) {
+  const std::vector<std::vector<Vec>> sets = {
+      {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}},
+      {{1.0, 1.0}, {3.0, 1.0}, {1.0, 3.0}},
+  };
+  const auto r = min_max_hull_distance(sets, {5.0, 5.0});
+  EXPECT_LT(r.value, 1e-6);
+}
+
+TEST(MinimaxTest, TwoPointsMidpoint) {
+  // Two singleton hulls at distance 2: optimum is the midpoint, value 1.
+  const std::vector<std::vector<Vec>> sets = {{{-1.0, 0.0}}, {{1.0, 0.0}}};
+  const auto r = min_max_hull_distance(sets, {0.3, 0.7});
+  EXPECT_NEAR(r.value, 1.0, 1e-4);
+  EXPECT_NEAR(r.point[0], 0.0, 1e-3);
+  EXPECT_NEAR(r.point[1], 0.0, 1e-3);
+}
+
+TEST(MinimaxTest, MatchesSimplexInradius) {
+  // For a simplex's facets, min-max distance = inradius (Lemma 13).
+  Rng rng(111);
+  for (int rep = 0; rep < 6; ++rep) {
+    const std::size_t d = 2 + rep % 3;
+    const auto verts = workload::random_simplex(rng, d);
+    const auto g = SimplexGeometry::build(verts);
+    ASSERT_TRUE(g.has_value());
+    const auto r =
+        min_max_hull_distance(drop_f_subsets(verts, 1), mean(verts));
+    // Iterative accuracy: a few percent relative plus a small floor (the
+    // draw can be a nearly degenerate simplex with a tiny inradius).
+    EXPECT_NEAR(r.value, g->inradius(), g->inradius() * 0.05 + 2e-4)
+        << "d=" << d << " rep=" << rep;
+    // The numerical value can never undercut the true optimum by more than
+    // solver noise.
+    EXPECT_GT(r.value, g->inradius() * 0.98 - 1e-9);
+  }
+}
+
+TEST(MinimaxTest, ValueIsUpperBoundAndAchievable) {
+  // The reported value must equal the actual max distance at the point.
+  Rng rng(113);
+  const auto pts = workload::gaussian_cloud(rng, 7, 3);
+  const auto sets = drop_f_subsets(pts, 2);
+  const auto r = min_max_hull_distance(sets, mean(pts));
+  double actual = 0.0;
+  for (const auto& s : sets) {
+    actual = std::max(actual, project_to_hull(r.point, s).distance);
+  }
+  EXPECT_NEAR(r.value, actual, 1e-9);
+}
+
+TEST(MinimaxTest, DeterministicForFixedInput) {
+  const std::vector<std::vector<Vec>> sets = {{{-1.0, 0.0}}, {{1.0, 1.0}}};
+  const auto a = min_max_hull_distance(sets, {0.0, 0.0});
+  const auto b = min_max_hull_distance(sets, {0.0, 0.0});
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.point, b.point);
+}
+
+TEST(MinimaxTest, RespectsIterationBudget) {
+  MinimaxOptions opts;
+  opts.iters = 5;
+  opts.polish_iters = 0;
+  const std::vector<std::vector<Vec>> sets = {{{-1.0, 0.0}}, {{1.0, 0.0}}};
+  const auto r = min_max_hull_distance(sets, {10.0, 10.0}, opts);
+  EXPECT_LE(r.evals, (5u + 2u) * sets.size());
+}
+
+TEST(MinimaxTest, EmptySetListThrows) {
+  EXPECT_THROW(min_max_hull_distance({}, {0.0}), invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,156 @@
+// Fine-grained checks of the impossibility constructions: each "Observation"
+// in the paper's proofs is verified as a geometric fact about the
+// corresponding LP-defined sets.
+#include <gtest/gtest.h>
+
+#include "geometry/poly2d.h"
+#include "geometry/projection.h"
+#include "hull/psi.h"
+#include "lp/model.h"
+#include "workload/adversarial_inputs.h"
+
+namespace rbvc {
+namespace {
+
+TEST(Thm3Construction, PsiEmptyAcrossDimensions) {
+  for (std::size_t d : {3u, 4u, 5u, 6u}) {
+    const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+    EXPECT_FALSE(psi_k_point(y, 1, 2).has_value()) << "d=" << d;
+  }
+}
+
+TEST(Thm3Construction, PsiEmptyForAllEpsilonGammaRatios) {
+  for (double ratio : {0.1, 0.5, 0.999, 1.0}) {
+    const auto y = workload::thm3_inputs(3, 2.0, 2.0 * ratio);
+    EXPECT_FALSE(psi_k_point(y, 1, 2).has_value()) << "ratio " << ratio;
+  }
+}
+
+TEST(Thm3Construction, Observation1NonNegativity) {
+  // D = {i, j}, T = Y - {s_{d+1}}: the projections of T are non-negative in
+  // coordinate i, so the projected hull lives in the upper half-plane.
+  const std::size_t d = 4;
+  const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+  std::vector<Vec> t(y.begin(), y.end() - 1);  // drop the all -gamma input
+  for (const auto& dset : k_subsets(d, 2)) {
+    const auto proj = project_all(t, dset);
+    for (const Vec& v : proj) {
+      EXPECT_GE(v[0], 0.0);
+      EXPECT_GE(v[1], 0.0);
+    }
+  }
+}
+
+TEST(Thm3Construction, Observation2Monotonicity) {
+  // D = {i, i+1}, T = Y - {s_{i+1}}: every vector in T has coordinate i+1
+  // <= coordinate i.
+  const std::size_t d = 4;
+  const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+  for (std::size_t i = 0; i + 1 < d; ++i) {
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      if (j == i + 1) continue;  // s_{i+2} in paper indexing is dropped
+      EXPECT_LE(y[j][i + 1], y[j][i] + 1e-12) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Thm3Construction, Observation3NonPositivity) {
+  // T = Y - {s_1}: every remaining vector has first coordinate <= 0.
+  const std::size_t d = 4;
+  const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+  for (std::size_t j = 1; j < y.size(); ++j) {
+    EXPECT_LE(y[j][0], 0.0) << "j=" << j;
+  }
+}
+
+TEST(Thm3Construction, Observation4LastCoordinate) {
+  // T = Y - {s_{d+1}}: every vector has last coordinate >= epsilon.
+  const std::size_t d = 4;
+  const double eps = 0.5;
+  const auto y = workload::thm3_inputs(d, 1.0, eps);
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_GE(y[j][d - 1], eps) << "j=" << j;
+  }
+}
+
+TEST(Thm3Construction, ControlWithExtraProcessFeasible) {
+  // Add one more input (n = d+2 > (d+1)f): Psi_2 -- indeed Gamma -- becomes
+  // non-empty, certifying the bound is tight.
+  const std::size_t d = 3;
+  auto y = workload::thm3_inputs(d, 1.0, 0.5);
+  y.push_back(zeros(d));  // a (d+2)-th process
+  EXPECT_TRUE(psi_k_point(y, 1, 2).has_value());
+}
+
+TEST(AppendixB, GapGrowsWithEpsilon) {
+  const std::size_t d = 3;
+  double prev = 0.0;
+  for (double eps : {0.05, 0.1, 0.2}) {
+    const auto s = workload::appendix_b_inputs(d, 1.0, eps);
+    RelaxedIntersectionSpec p1, p2;
+    p1.parts = workload::async_proof_subsets(s, 0);
+    p1.k = 2;
+    p2.parts = workload::async_proof_subsets(s, 1);
+    p2.k = 2;
+    const auto gap = relaxed_intersection_linf_gap(p1, p2);
+    ASSERT_TRUE(gap.has_value());
+    EXPECT_GE(*gap, 2.0 * eps - 1e-7) << "eps " << eps;
+    EXPECT_GT(*gap, prev - 1e-9);
+    prev = *gap;
+  }
+}
+
+TEST(AppendixB, EachPsiIndividuallyNonEmpty) {
+  // The impossibility is about *joint* epsilon-agreement: each process's
+  // own output set must be non-empty (otherwise the argument would be
+  // vacuous).
+  const auto s = workload::appendix_b_inputs(3, 1.0, 0.2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    RelaxedIntersectionSpec spec;
+    spec.parts = workload::async_proof_subsets(s, i);
+    spec.k = 2;
+    EXPECT_TRUE(relaxed_intersection_point(spec).has_value()) << "i=" << i;
+  }
+}
+
+TEST(AppendixC, GapScalesWithX) {
+  const std::size_t d = 3;
+  const double delta = 0.2;
+  double prev = -1.0;
+  for (double x_factor : {1.1, 1.5, 2.0}) {
+    const double x = (2.0 * d * delta) * x_factor;
+    const auto s = workload::appendix_c_inputs(d, x);
+    RelaxedIntersectionSpec p1, p2;
+    p1.parts = workload::async_proof_subsets(s, 0);
+    p1.k = 0;
+    p1.delta = delta;
+    p1.p = kInfNorm;
+    p2 = p1;
+    p2.parts = workload::async_proof_subsets(s, 1);
+    const auto gap = relaxed_intersection_linf_gap(p1, p2);
+    ASSERT_TRUE(gap.has_value());
+    EXPECT_GT(*gap, prev);
+    prev = *gap;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(AppendixC, NoGapBelowThreshold) {
+  // For small x the sets overlap: no epsilon-agreement violation.
+  const std::size_t d = 3;
+  const double delta = 0.2;
+  const auto s = workload::appendix_c_inputs(d, 0.5 * delta);
+  RelaxedIntersectionSpec p1, p2;
+  p1.parts = workload::async_proof_subsets(s, 0);
+  p1.k = 0;
+  p1.delta = delta;
+  p1.p = kInfNorm;
+  p2 = p1;
+  p2.parts = workload::async_proof_subsets(s, 1);
+  const auto gap = relaxed_intersection_linf_gap(p1, p2);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_NEAR(*gap, 0.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,59 @@
+#include "opt/pocs.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/simplex_geometry.h"
+#include "hull/relaxed_hull.h"
+#include "sim/rng.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+TEST(PocsTest, FindsPointInIntersection) {
+  const std::vector<std::vector<Vec>> sets = {
+      {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}},
+      {{1.0, 1.0}, {3.0, 1.0}, {1.0, 3.0}},
+  };
+  const auto p = pocs_point_within(sets, 0.0, {10.0, -10.0});
+  ASSERT_TRUE(p.has_value());
+  for (const auto& s : sets) {
+    EXPECT_LT(project_to_hull(*p, s).distance, 1e-4);
+  }
+}
+
+TEST(PocsTest, FindsFattenedWitnessAtInradius) {
+  // The simplex facets intersect within delta = inradius but not below.
+  Rng rng(127);
+  const auto verts = workload::random_simplex(rng, 3);
+  const auto g = SimplexGeometry::build(verts);
+  ASSERT_TRUE(g.has_value());
+  const auto sets = drop_f_subsets(verts, 1);
+  const auto ok =
+      pocs_point_within(sets, g->inradius() * 1.01, mean(verts));
+  EXPECT_TRUE(ok.has_value());
+  const auto fail =
+      pocs_point_within(sets, g->inradius() * 0.5, mean(verts), {200, 1e-6});
+  EXPECT_FALSE(fail.has_value());
+}
+
+TEST(PocsTest, WitnessSatisfiesAllConstraints) {
+  Rng rng(131);
+  const auto pts = workload::gaussian_cloud(rng, 6, 3);
+  const auto sets = drop_f_subsets(pts, 1);
+  const double delta = 0.8;
+  const auto p = pocs_point_within(sets, delta, zeros(3));
+  if (p) {
+    for (const auto& s : sets) {
+      EXPECT_LT(project_to_hull(*p, s).distance, delta + 1e-4);
+    }
+  }
+}
+
+TEST(PocsTest, ValidatesArguments) {
+  EXPECT_THROW(pocs_point_within({}, 0.0, {0.0}), invalid_argument);
+  EXPECT_THROW(pocs_point_within({{{0.0}}}, -1.0, {0.0}), invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,95 @@
+#include "geometry/poly2d.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace rbvc {
+namespace {
+
+TEST(Poly2dTest, HullOfSquare) {
+  const std::vector<Point2> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = convex_hull_2d(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(polygon_area(hull), 1.0, 1e-12);
+}
+
+TEST(Poly2dTest, HullDegenerateCases) {
+  EXPECT_TRUE(convex_hull_2d({}).empty());
+  EXPECT_EQ(convex_hull_2d({{1, 2}}).size(), 1u);
+  EXPECT_EQ(convex_hull_2d({{1, 2}, {1, 2}, {1, 2}}).size(), 1u);
+  const auto seg = convex_hull_2d({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(seg.size(), 2u);
+}
+
+TEST(Poly2dTest, HullIsCounterClockwise) {
+  Rng rng(9);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 30; ++i) pts.push_back({rng.normal(), rng.normal()});
+  const auto hull = convex_hull_2d(pts);
+  ASSERT_GE(hull.size(), 3u);
+  EXPECT_GT(polygon_area(hull), 0.0);  // positive signed area == CCW
+}
+
+TEST(Poly2dTest, HalfplanesContainExactlyTheHull) {
+  Rng rng(13);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<Point2> pts;
+    for (int i = 0; i < 8; ++i) pts.push_back({rng.normal(), rng.normal()});
+    const auto hs = hull_halfplanes_2d(pts);
+    // Every input point satisfies every halfplane.
+    for (const Point2& p : pts) {
+      for (const Halfplane& h : hs) {
+        EXPECT_LE(h.a * p.x + h.b * p.y, h.c + 1e-7) << "rep " << rep;
+      }
+    }
+    // The centroid is inside; a far point is not.
+    Point2 c{0, 0};
+    for (const Point2& p : pts) {
+      c.x += p.x / static_cast<double>(pts.size());
+      c.y += p.y / static_cast<double>(pts.size());
+    }
+    EXPECT_TRUE(in_hull_2d(c, pts, 1e-7));
+    EXPECT_FALSE(in_hull_2d({100.0, 100.0}, pts, 1e-7));
+  }
+}
+
+TEST(Poly2dTest, HalfplanesOfPointAndSegment) {
+  // Point: membership is equality in both coordinates.
+  EXPECT_TRUE(in_hull_2d({2, 3}, {{2, 3}}, 1e-9));
+  EXPECT_FALSE(in_hull_2d({2, 3.01}, {{2, 3}}, 1e-9));
+  // Segment: on-line within the endpoints only.
+  const std::vector<Point2> seg = {{0, 0}, {2, 2}};
+  EXPECT_TRUE(in_hull_2d({1, 1}, seg, 1e-9));
+  EXPECT_FALSE(in_hull_2d({3, 3}, seg, 1e-9));   // beyond endpoint
+  EXPECT_FALSE(in_hull_2d({1, 1.1}, seg, 1e-9)); // off the line
+}
+
+TEST(Poly2dTest, ClipSquareWithDiagonal) {
+  const std::vector<Point2> square = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  // Keep x + y <= 2: cuts the square into a triangle of area 2.
+  const auto clipped = clip(square, {1.0, 1.0, 2.0});
+  EXPECT_NEAR(polygon_area(clipped), 2.0, 1e-9);
+}
+
+TEST(Poly2dTest, IntersectOverlappingSquares) {
+  const std::vector<Point2> a = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const std::vector<Point2> b = {{1, 1}, {3, 1}, {3, 3}, {1, 3}};
+  const auto inter = intersect_convex(a, b);
+  EXPECT_NEAR(polygon_area(inter), 1.0, 1e-9);
+}
+
+TEST(Poly2dTest, IntersectDisjointIsEmpty) {
+  const std::vector<Point2> a = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const std::vector<Point2> b = {{5, 5}, {6, 5}, {6, 6}, {5, 6}};
+  EXPECT_TRUE(intersect_convex(a, b).empty());
+}
+
+TEST(Poly2dTest, PolygonAreaDegenerate) {
+  EXPECT_DOUBLE_EQ(polygon_area({}), 0.0);
+  EXPECT_DOUBLE_EQ(polygon_area({{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(polygon_area({{0, 0}, {1, 1}}), 0.0);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,47 @@
+#include "geometry/projection.h"
+
+#include <gtest/gtest.h>
+
+namespace rbvc {
+namespace {
+
+TEST(ProjectionTest, KSubsetsCounts) {
+  EXPECT_EQ(k_subsets(4, 2).size(), 6u);
+  EXPECT_EQ(k_subsets(5, 3).size(), 10u);
+  EXPECT_EQ(k_subsets(3, 3).size(), 1u);
+  EXPECT_EQ(k_subsets(6, 1).size(), 6u);
+}
+
+TEST(ProjectionTest, KSubsetsLexicographicAndSorted) {
+  const auto subs = k_subsets(4, 2);
+  const std::vector<std::vector<std::size_t>> expect = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(subs, expect);
+}
+
+TEST(ProjectionTest, KSubsetsValidation) {
+  EXPECT_THROW(k_subsets(3, 0), invalid_argument);
+  EXPECT_THROW(k_subsets(3, 4), invalid_argument);
+}
+
+TEST(ProjectionTest, ProjectMatchesPaperExample) {
+  // Paper Definition 1 example: d = 4, D = {1,3} (1-indexed),
+  // u = (7,-4,-2,0) -> g_D(u) = (7,-2). Zero-indexed D = {0, 2}.
+  const Vec u = {7.0, -4.0, -2.0, 0.0};
+  EXPECT_EQ(project(u, {0, 2}), (Vec{7.0, -2.0}));
+}
+
+TEST(ProjectionTest, ProjectAll) {
+  const std::vector<Vec> s = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const auto p = project_all(s, {1});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], (Vec{2.0}));
+  EXPECT_EQ(p[1], (Vec{5.0}));
+}
+
+TEST(ProjectionTest, OutOfRangeThrows) {
+  EXPECT_THROW(project({1.0, 2.0}, {2}), invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbvc

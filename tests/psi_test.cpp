@@ -1,0 +1,133 @@
+#include "hull/psi.h"
+
+#include <gtest/gtest.h>
+
+#include "hull/gamma.h"
+#include "sim/rng.h"
+#include "workload/adversarial_inputs.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+TEST(PsiTest, ContainsGammaWitness) {
+  // Gamma(Y) subset of Psi_k(Y): whenever Gamma has a point, Psi_k does too.
+  Rng rng(197);
+  for (int rep = 0; rep < 8; ++rep) {
+    const std::size_t d = 3;
+    const auto y = workload::gaussian_cloud(rng, 6, d);  // n = (d+1)f+1 + 1
+    ASSERT_TRUE(gamma_point(y, 1).has_value());
+    for (std::size_t k : {1u, 2u, 3u}) {
+      EXPECT_TRUE(psi_k_point(y, 1, k).has_value()) << "k=" << k;
+    }
+  }
+}
+
+TEST(PsiTest, WitnessSatisfiesMembership) {
+  Rng rng(199);
+  const auto y = workload::gaussian_cloud(rng, 6, 3);
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const auto p = psi_k_point(y, 1, k);
+    ASSERT_TRUE(p.has_value());
+    for (const auto& t : drop_f_subsets(y, 1)) {
+      EXPECT_TRUE(in_k_relaxed_hull(*p, t, k, 1e-6)) << "k=" << k;
+    }
+  }
+}
+
+TEST(PsiTest, Thm3ConstructionEmptyForK2) {
+  // The paper's Theorem 3 witness: Psi_2 of the gamma/epsilon matrix with
+  // n = d+1, f = 1 is empty for every d >= 3.
+  for (std::size_t d : {3u, 4u, 5u}) {
+    const auto y = workload::thm3_inputs(d, 1.0, 0.5);
+    EXPECT_FALSE(psi_k_point(y, 1, 2).has_value()) << "d=" << d;
+  }
+}
+
+TEST(PsiTest, Thm3EmptinessForHigherK) {
+  // Lemma 2 lifts the k = 2 emptiness to every k > 2 (H_k subset H_2).
+  const auto y = workload::thm3_inputs(4, 1.0, 0.5);
+  EXPECT_FALSE(psi_k_point(y, 1, 3).has_value());
+  EXPECT_FALSE(psi_k_point(y, 1, 4).has_value());
+}
+
+TEST(PsiTest, Thm3ConstructionK1NonEmpty) {
+  // k = 1 is solvable with n >= 3f+1, so Psi_1 must be non-empty here.
+  const auto y = workload::thm3_inputs(3, 1.0, 0.5);
+  EXPECT_TRUE(psi_k_point(y, 1, 1).has_value());
+}
+
+TEST(PsiTest, GeneralKPathAgreesWithFastPath) {
+  // The lambda-LP (k > 2) and halfplane (k = 2) encodings must agree on
+  // feasibility. Compare k = 2 fast path against a lambda encoding forced
+  // through the generic spec with the same parts.
+  Rng rng(211);
+  for (int rep = 0; rep < 6; ++rep) {
+    const auto y = workload::gaussian_cloud(rng, 5, 4);
+    RelaxedIntersectionSpec fast;
+    fast.parts = drop_f_subsets(y, 1);
+    fast.k = 2;
+    const bool fast_feasible = relaxed_intersection_point(fast).has_value();
+    // k = 3 is a subset of k = 2 (Lemma 1): feasibility can only shrink.
+    RelaxedIntersectionSpec general = fast;
+    general.k = 3;
+    const bool general_feasible =
+        relaxed_intersection_point(general).has_value();
+    if (general_feasible) {
+      EXPECT_TRUE(fast_feasible) << "rep " << rep;
+    }
+  }
+}
+
+TEST(PsiTest, LinfGapZeroWhenSetsShareAPoint) {
+  Rng rng(223);
+  const auto y = workload::gaussian_cloud(rng, 6, 3);
+  RelaxedIntersectionSpec spec;
+  spec.parts = drop_f_subsets(y, 1);
+  spec.k = 2;
+  const auto gap = relaxed_intersection_linf_gap(spec, spec);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_NEAR(*gap, 0.0, 1e-7);
+}
+
+TEST(PsiTest, LinfGapBetweenDisjointBoxes) {
+  // Two singleton "intersections" at distance 3 in Linf.
+  RelaxedIntersectionSpec a, b;
+  a.parts = {{{0.0, 0.0}}};
+  a.k = 1;
+  b.parts = {{{3.0, 1.0}}};
+  b.k = 1;
+  const auto gap = relaxed_intersection_linf_gap(a, b);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_NEAR(*gap, 3.0, 1e-8);
+}
+
+TEST(PsiTest, LinfGapNulloptWhenEmpty) {
+  const auto y = workload::thm3_inputs(3, 1.0, 0.5);
+  RelaxedIntersectionSpec empty_spec;
+  empty_spec.parts = drop_f_subsets(y, 1);
+  empty_spec.k = 2;
+  RelaxedIntersectionSpec ok;
+  ok.parts = {{{0.0, 0.0, 0.0}}};
+  ok.k = 1;
+  EXPECT_FALSE(relaxed_intersection_linf_gap(empty_spec, ok).has_value());
+}
+
+TEST(PsiTest, DeltaSpecFeasibility) {
+  // (delta,inf) spec: the Thm 5 construction flips at x = 2 d delta.
+  const double delta = 0.2;
+  const std::size_t d = 3;
+  RelaxedIntersectionSpec spec;
+  spec.k = 0;
+  spec.delta = delta;
+  spec.p = kInfNorm;
+  spec.parts =
+      drop_f_subsets(workload::thm5_inputs(d, 2.0 * d * delta * 1.1), 1);
+  EXPECT_FALSE(relaxed_intersection_point(spec).has_value());
+  spec.parts =
+      drop_f_subsets(workload::thm5_inputs(d, 2.0 * d * delta * 0.9), 1);
+  EXPECT_TRUE(relaxed_intersection_point(spec).has_value());
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,88 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace rbvc {
+namespace {
+
+TEST(QrTest, OrthonormalBasisIsOrthonormal) {
+  Rng rng(11);
+  std::vector<Vec> vs;
+  for (int i = 0; i < 4; ++i) vs.push_back(rng.normal_vec(6));
+  const auto basis = orthonormal_basis(vs);
+  ASSERT_EQ(basis.size(), 4u);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    for (std::size_t j = 0; j < basis.size(); ++j) {
+      EXPECT_NEAR(dot(basis[i], basis[j]), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(QrTest, DropsDependentVectors) {
+  const Vec a = {1.0, 0.0, 0.0};
+  const Vec b = {0.0, 1.0, 0.0};
+  const Vec c = add(a, b);  // dependent
+  EXPECT_EQ(orthonormal_basis({a, b, c}).size(), 2u);
+  EXPECT_TRUE(orthonormal_basis({zeros(3), zeros(3)}).empty());
+}
+
+TEST(QrTest, CoordsPreserveDistancesInSpan) {
+  // The isometry property Theorems 8/9 Case II rely on.
+  Rng rng(5);
+  std::vector<Vec> frame_raw = {rng.normal_vec(7), rng.normal_vec(7),
+                                rng.normal_vec(7)};
+  const auto basis = orthonormal_basis(frame_raw);
+  ASSERT_EQ(basis.size(), 3u);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 5; ++i) {
+    Vec p = zeros(7);
+    for (const Vec& q : basis) axpy(rng.normal(), q, p);
+    pts.push_back(p);
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double ambient = dist2(pts[i], pts[j]);
+      const double projected = dist2(coords_in_basis(basis, pts[i]),
+                                     coords_in_basis(basis, pts[j]));
+      EXPECT_NEAR(ambient, projected, 1e-9);
+    }
+  }
+}
+
+TEST(QrTest, DistToSpan) {
+  const auto basis = orthonormal_basis({{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}});
+  EXPECT_NEAR(dist2_to_span(basis, {3.0, 4.0, 5.0}), 25.0, 1e-10);
+  EXPECT_NEAR(dist2_to_span(basis, {3.0, 4.0, 0.0}), 0.0, 1e-10);
+}
+
+TEST(QrTest, LeastSquares) {
+  // Overdetermined fit: best line through (0,1),(1,2),(2,2.5).
+  const Matrix a = Matrix::from_rows(
+      {{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}});  // [intercept, slope]
+  const auto x = least_squares(a, {1.0, 2.0, 2.5});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 13.0 / 12.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 0.75, 1e-9);
+}
+
+TEST(QrTest, LeastSquaresRankDeficient) {
+  const Matrix a = Matrix::from_rows({{1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_FALSE(least_squares(a, {1.0, 2.0}).has_value());
+}
+
+TEST(QrTest, AffineIndependence) {
+  EXPECT_TRUE(affinely_independent({{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}}));
+  EXPECT_FALSE(
+      affinely_independent({{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}));
+  // More points than d+1 are always dependent in R^d.
+  EXPECT_FALSE(affinely_independent(
+      {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}}));
+  EXPECT_TRUE(affinely_independent({{1.0, 2.0}}));
+  EXPECT_TRUE(affinely_independent({{1.0, 2.0}, {1.0, 3.0}}));
+  EXPECT_FALSE(affinely_independent({{1.0, 2.0}, {1.0, 2.0}}));
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,97 @@
+#include "protocols/scalar_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace rbvc::protocols {
+namespace {
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.0);  // lower median
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_THROW(median({}), invalid_argument);
+}
+
+TEST(MedianTest, ResistsOutliers) {
+  // With n >= 2f+1, f forged values cannot push the median outside the
+  // correct values' range -- the validity core of 1-relaxed consensus.
+  Rng rng(47);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t f = 1 + rep % 2;
+    const std::size_t n = 3 * f + 1;
+    std::vector<double> vals;
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = 0; i < n - f; ++i) {
+      vals.push_back(rng.normal());
+      lo = std::min(lo, vals.back());
+      hi = std::max(hi, vals.back());
+    }
+    for (std::size_t i = 0; i < f; ++i) {
+      vals.push_back(rng.normal() * 1e6);  // outliers
+    }
+    const double m = median(vals);
+    EXPECT_GE(m, lo) << "rep " << rep;
+    EXPECT_LE(m, hi) << "rep " << rep;
+  }
+}
+
+TEST(TrimmedMeanTest, DropsExtremes) {
+  EXPECT_DOUBLE_EQ(trimmed_mean({1.0, 2.0, 3.0, 100.0, -100.0}, 1), 2.0);
+  EXPECT_THROW(trimmed_mean({1.0, 2.0}, 1), invalid_argument);
+}
+
+TEST(TrimmedMeanTest, ResistsOutliers) {
+  Rng rng(53);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t f = 1;
+    std::vector<double> vals;
+    double lo = 1e300, hi = -1e300;
+    for (int i = 0; i < 4; ++i) {
+      vals.push_back(rng.normal());
+      lo = std::min(lo, vals.back());
+      hi = std::max(hi, vals.back());
+    }
+    vals.push_back(1e9);
+    const double m = trimmed_mean(vals, f);
+    EXPECT_GE(m, lo);
+    EXPECT_LE(m, hi);
+  }
+}
+
+TEST(CoordinatewiseTest, Median) {
+  const std::vector<Vec> s = {{1.0, 10.0}, {2.0, 30.0}, {3.0, 20.0}};
+  EXPECT_EQ(coordinatewise_median(s), (Vec{2.0, 20.0}));
+  EXPECT_THROW(coordinatewise_median({}), invalid_argument);
+}
+
+TEST(CoordinatewiseTest, MedianIsInBoundingBoxOfCorrect) {
+  // Per-coordinate validity: the definition of 1-relaxed validity.
+  Rng rng(59);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::size_t d = 3, f = 1, n = 4;
+    std::vector<Vec> s;
+    for (std::size_t i = 0; i < n - f; ++i) s.push_back(rng.normal_vec(d));
+    s.push_back(scale(1e6, rng.normal_vec(d)));  // forged entry
+    const Vec m = coordinatewise_median(s);
+    for (std::size_t c = 0; c < d; ++c) {
+      double lo = 1e300, hi = -1e300;
+      for (std::size_t i = 0; i < n - f; ++i) {
+        lo = std::min(lo, s[i][c]);
+        hi = std::max(hi, s[i][c]);
+      }
+      EXPECT_GE(m[c], lo) << "rep " << rep;
+      EXPECT_LE(m[c], hi) << "rep " << rep;
+    }
+  }
+}
+
+TEST(CoordinatewiseTest, TrimmedMean) {
+  const std::vector<Vec> s = {{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0},
+                              {100.0, 9.0}, {-100.0, -9.0}};
+  EXPECT_EQ(coordinatewise_trimmed_mean(s, 1), (Vec{2.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace rbvc::protocols

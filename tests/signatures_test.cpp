@@ -1,0 +1,74 @@
+#include "sim/signatures.h"
+
+#include <gtest/gtest.h>
+
+namespace rbvc::sim {
+namespace {
+
+TEST(SignaturesTest, SignVerifyRoundTrip) {
+  SignatureAuthority auth(42);
+  const Signer s0 = auth.signer_for(0);
+  Digest d;
+  d.absorb(Vec{1.0, 2.0});
+  const Signature sig = s0.sign(d.value());
+  EXPECT_TRUE(auth.verify(0, d.value(), sig));
+}
+
+TEST(SignaturesTest, WrongSignerRejected) {
+  SignatureAuthority auth(42);
+  const Signature sig = auth.signer_for(0).sign(123);
+  EXPECT_FALSE(auth.verify(1, 123, sig));
+}
+
+TEST(SignaturesTest, WrongDigestRejected) {
+  SignatureAuthority auth(42);
+  const Signature sig = auth.signer_for(0).sign(123);
+  EXPECT_FALSE(auth.verify(0, 124, sig));
+}
+
+TEST(SignaturesTest, ForgedSignatureRejected) {
+  SignatureAuthority auth(42);
+  // Guessing or perturbing signatures must not verify.
+  const Signature sig = auth.signer_for(0).sign(123);
+  EXPECT_FALSE(auth.verify(0, 123, sig ^ 1));
+  EXPECT_FALSE(auth.verify(0, 123, 0));
+}
+
+TEST(SignaturesTest, AuthoritiesAreIndependent) {
+  SignatureAuthority a(1), b(2);
+  const Signature sig = a.signer_for(0).sign(99);
+  EXPECT_FALSE(b.verify(0, 99, sig));
+}
+
+TEST(SignaturesTest, DigestOrderSensitive) {
+  Digest a, b;
+  a.absorb(1);
+  a.absorb(2);
+  b.absorb(2);
+  b.absorb(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(SignaturesTest, DigestCoversVectorContent) {
+  Digest a, b, c;
+  a.absorb(Vec{1.0, 2.0});
+  b.absorb(Vec{1.0, 2.0});
+  c.absorb(Vec{1.0, 2.000001});
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+  // Length is part of the digest: (1,2) vs (1,2,0) differ.
+  Digest d1, d2;
+  d1.absorb(Vec{1.0, 2.0});
+  d2.absorb(Vec{1.0, 2.0, 0.0});
+  EXPECT_NE(d1.value(), d2.value());
+}
+
+TEST(SignaturesTest, DigestCoversIntVectors) {
+  Digest a, b;
+  a.absorb(std::vector<int>{1, -2});
+  b.absorb(std::vector<int>{1, -3});
+  EXPECT_NE(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace rbvc::sim

@@ -1,0 +1,162 @@
+// Tests for the paper's Lemmas 11-15 (Sec. 9.1), which the exact delta*
+// computation is built on.
+#include "geometry/simplex_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/distance.h"
+#include "hull/relaxed_hull.h"
+#include "sim/rng.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+std::vector<Vec> equilateral_triangle() {
+  return {{-1.0, 0.0}, {1.0, 0.0}, {0.0, std::sqrt(3.0)}};
+}
+
+TEST(SimplexGeomTest, RejectsNonSimplex) {
+  EXPECT_FALSE(SimplexGeometry::build({{0, 0}, {1, 0}}).has_value());
+  EXPECT_FALSE(
+      SimplexGeometry::build({{0, 0}, {1, 1}, {2, 2}}).has_value());
+  EXPECT_FALSE(SimplexGeometry::build({}).has_value());
+}
+
+TEST(SimplexGeomTest, EquilateralInradius) {
+  // Side 2 equilateral: r = side / (2*sqrt(3)) = 1/sqrt(3).
+  const auto g = SimplexGeometry::build(equilateral_triangle());
+  ASSERT_TRUE(g.has_value());
+  EXPECT_NEAR(g->inradius(), 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_TRUE(approx_equal(g->incenter(), {0.0, 1.0 / std::sqrt(3.0)}, 1e-12));
+}
+
+TEST(SimplexGeomTest, RightTriangleInradius) {
+  // Legs 3,4, hypotenuse 5: r = (3 + 4 - 5) / 2 = 1, incenter (1,1).
+  const auto g = SimplexGeometry::build({{0.0, 0.0}, {3.0, 0.0}, {0.0, 4.0}});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_NEAR(g->inradius(), 1.0, 1e-12);
+  EXPECT_TRUE(approx_equal(g->incenter(), {1.0, 1.0}, 1e-10));
+}
+
+TEST(SimplexGeomTest, RegularTetrahedronInradius) {
+  // Regular tetrahedron with side s: r = s / (2 sqrt(6)).
+  const double s = std::sqrt(2.0);
+  const std::vector<Vec> tet = {
+      {1, 1, 1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};  // side sqrt(2)
+  const auto g = SimplexGeometry::build(tet);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_NEAR(g->inradius(), s / (2.0 * std::sqrt(6.0)), 1e-12);
+}
+
+TEST(SimplexGeomTest, Lemma11DualVectorProperty) {
+  // <a_i - a_j, b_k> = delta_ik - delta_jk.
+  Rng rng(71);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t d = 3 + rep % 3;
+    const auto verts = workload::random_simplex(rng, d);
+    const auto g = SimplexGeometry::build(verts);
+    ASSERT_TRUE(g.has_value());
+    const auto& b = g->dual_vectors();
+    for (std::size_t i = 0; i <= d; ++i) {
+      for (std::size_t j = 0; j <= d; ++j) {
+        for (std::size_t k = 0; k <= d; ++k) {
+          const double expect =
+              (i == k ? 1.0 : 0.0) - (j == k ? 1.0 : 0.0);
+          EXPECT_NEAR(dot(sub(verts[i], verts[j]), b[k]), expect, 1e-8);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimplexGeomTest, IncenterIsEquidistantFromFacets) {
+  Rng rng(73);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t d = 2 + rep % 4;
+    const auto verts = workload::random_simplex(rng, d);
+    const auto g = SimplexGeometry::build(verts);
+    ASSERT_TRUE(g.has_value());
+    for (std::size_t k = 0; k <= d; ++k) {
+      EXPECT_NEAR(g->distance_to_facet_plane(g->incenter(), k), g->inradius(),
+                  1e-8);
+    }
+  }
+}
+
+TEST(SimplexGeomTest, InradiusMatchesHullDistances) {
+  // Lemma 13 geometry: the incenter's distance to each facet's convex hull
+  // equals the inradius (the facets are the drop-1 subsets).
+  Rng rng(79);
+  const auto verts = workload::random_simplex(rng, 4);
+  const auto g = SimplexGeometry::build(verts);
+  ASSERT_TRUE(g.has_value());
+  double max_dist = 0.0;
+  for (const auto& facet : drop_f_subsets(verts, 1)) {
+    max_dist = std::max(max_dist,
+                        project_to_hull(g->incenter(), facet).distance);
+  }
+  EXPECT_NEAR(max_dist, g->inradius(), 1e-7);
+}
+
+TEST(SimplexGeomTest, Lemma14FacetInradiusExceedsInradius) {
+  Rng rng(83);
+  for (int rep = 0; rep < 15; ++rep) {
+    const std::size_t d = 2 + rep % 5;
+    const auto verts = workload::random_simplex(rng, d);
+    const auto g = SimplexGeometry::build(verts);
+    ASSERT_TRUE(g.has_value());
+    for (std::size_t k = 0; k <= d; ++k) {
+      EXPECT_LT(g->inradius(), g->facet_inradius(k))
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(SimplexGeomTest, Lemma15InradiusBelowMaxEdgeOverD) {
+  Rng rng(89);
+  for (int rep = 0; rep < 15; ++rep) {
+    const std::size_t d = 2 + rep % 5;
+    const auto verts = workload::random_simplex(rng, d);
+    const auto g = SimplexGeometry::build(verts);
+    ASSERT_TRUE(g.has_value());
+    const auto ee = edge_extremes(verts);
+    EXPECT_LT(g->inradius(), ee.max_edge / static_cast<double>(d));
+  }
+}
+
+TEST(SimplexGeomTest, InradiusBelowHalfMinEdge) {
+  // The d=2 base case of Theorem 9's induction, checked in all dims.
+  Rng rng(97);
+  for (int rep = 0; rep < 15; ++rep) {
+    const std::size_t d = 2 + rep % 5;
+    const auto verts = workload::random_simplex(rng, d);
+    const auto g = SimplexGeometry::build(verts);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_LT(g->inradius(), edge_extremes(verts).min_edge / 2.0);
+  }
+}
+
+TEST(EdgeExtremesTest, Basics) {
+  const auto e = edge_extremes({{0.0, 0.0}, {3.0, 4.0}, {0.0, 1.0}});
+  EXPECT_DOUBLE_EQ(e.min_edge, 1.0);
+  EXPECT_DOUBLE_EQ(e.max_edge, 5.0);
+  const auto single = edge_extremes({{1.0}});
+  EXPECT_DOUBLE_EQ(single.min_edge, 0.0);
+  EXPECT_DOUBLE_EQ(single.max_edge, 0.0);
+  // Duplicates give a zero min edge (multiset semantics).
+  const auto dup = edge_extremes({{1.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(dup.min_edge, 0.0);
+}
+
+TEST(EdgeExtremesTest, RespectsNorm) {
+  const auto e1 = edge_extremes({{0.0, 0.0}, {1.0, 1.0}}, 1.0);
+  const auto einf = edge_extremes({{0.0, 0.0}, {1.0, 1.0}}, kInfNorm);
+  EXPECT_DOUBLE_EQ(e1.max_edge, 2.0);
+  EXPECT_DOUBLE_EQ(einf.max_edge, 1.0);
+}
+
+}  // namespace
+}  // namespace rbvc

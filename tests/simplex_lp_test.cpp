@@ -1,0 +1,117 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace rbvc::lp {
+namespace {
+
+TEST(SimplexTest, SolvesBasicProblem) {
+  // min -x - y  s.t.  x + y + s = 4, x + 3y + t = 6  (x,y,s,t >= 0)
+  Matrix a(2, 4);
+  a(0, 0) = 1; a(0, 1) = 1; a(0, 2) = 1;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 3) = 1;
+  const auto sol = solve_standard(a, {4.0, 6.0}, {-1.0, -1.0, 0.0, 0.0});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, -4.0, 1e-9);  // optimum at x=4 or x=3,y=1
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x = 1 and x = 2 simultaneously.
+  Matrix a(2, 1);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  const auto sol = solve_standard(a, {1.0, 2.0}, {0.0});
+  EXPECT_EQ(sol.status, Status::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x s.t. x - y = 0: x can grow forever with y.
+  Matrix a(1, 2);
+  a(0, 0) = 1;
+  a(0, 1) = -1;
+  const auto sol = solve_standard(a, {0.0}, {-1.0, 0.0});
+  EXPECT_EQ(sol.status, Status::kUnbounded);
+}
+
+TEST(SimplexTest, HandlesNegativeRhs) {
+  // -x = -3  =>  x = 3.
+  Matrix a(1, 1);
+  a(0, 0) = -1;
+  const auto sol = solve_standard(a, {-3.0}, {1.0});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantRowsAreDropped) {
+  // Same constraint twice: phase 1 must not declare it infeasible.
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 1;
+  const auto sol = solve_standard(a, {2.0, 2.0}, {1.0, 0.0});
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);  // put everything on x2
+}
+
+TEST(SimplexTest, NoConstraints) {
+  const auto ok = solve_standard(Matrix(0, 2), {}, {1.0, 1.0});
+  EXPECT_EQ(ok.status, Status::kOptimal);
+  const auto unb = solve_standard(Matrix(0, 2), {}, {-1.0, 1.0});
+  EXPECT_EQ(unb.status, Status::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Classic cycling-prone structure (Beale): must terminate via Bland.
+  Matrix a(3, 7);
+  const double rows[3][7] = {
+      {0.25, -8.0, -1.0, 9.0, 1.0, 0.0, 0.0},
+      {0.5, -12.0, -0.5, 3.0, 0.0, 1.0, 0.0},
+      {0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0},
+  };
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 7; ++c) a(r, c) = rows[r][c];
+  }
+  const Vec b = {0.0, 0.0, 1.0};
+  const Vec c = {-0.75, 150.0, -0.02, 6.0, 0.0, 0.0, 0.0};
+  const auto sol = solve_standard(a, b, c);
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  // Optimum at x = (1, 0, 1, 0): z = -0.75 - 0.02 = -0.77.
+  EXPECT_NEAR(sol.objective, -0.77, 1e-9);
+}
+
+TEST(SimplexTest, RandomFeasibilityAgainstConstruction) {
+  // Construct random feasible systems (x0 known feasible); phase 1 must
+  // succeed, and the optimum must satisfy A x = b, x >= 0.
+  Rng rng(21);
+  for (int rep = 0; rep < 25; ++rep) {
+    const std::size_t m = 3, n = 6;
+    Matrix a(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+    }
+    Vec x0(n);
+    for (double& v : x0) v = rng.uniform(0.0, 2.0);
+    const Vec b = a * x0;
+    Vec c(n);
+    for (double& v : c) v = rng.normal();
+    const auto sol = solve_standard(a, b, c);
+    ASSERT_NE(sol.status, Status::kInfeasible) << "rep " << rep;
+    if (sol.status != Status::kOptimal) continue;  // unbounded draws OK
+    const Vec res = sub(a * sol.x, b);
+    EXPECT_LT(norm2(res), 1e-6);
+    for (double v : sol.x) EXPECT_GE(v, -1e-9);
+    // Optimal objective can be no worse than the known feasible point's.
+    EXPECT_LE(sol.objective, dot(c, x0) + 1e-7);
+  }
+}
+
+TEST(SimplexTest, StatusToString) {
+  EXPECT_STREQ(to_string(Status::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(Status::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(Status::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(Status::kIterLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace rbvc::lp

@@ -1,0 +1,103 @@
+// The paper extends each f = 1 impossibility to f > 1 "using the well-known
+// simulation approach [12]": replace every logical process of the f = 1
+// construction by f physical copies, so the n = (d+1) instance becomes an
+// n = (d+1)f instance tolerating f faults. These tests verify the resulting
+// constructions computationally -- the certified emptiness survives the
+// blow-up exactly as the reduction predicts, and one extra process restores
+// feasibility, so the (d+1)f + 1 bound is tight for every f.
+#include <gtest/gtest.h>
+
+#include "hull/gamma.h"
+#include "hull/psi.h"
+#include "workload/adversarial_inputs.h"
+
+namespace rbvc {
+namespace {
+
+std::vector<Vec> duplicate_each(const std::vector<Vec>& base, std::size_t f) {
+  std::vector<Vec> out;
+  out.reserve(base.size() * f);
+  for (const Vec& v : base) {
+    for (std::size_t i = 0; i < f; ++i) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(SimulationApproach, Thm3ExtendsToF2) {
+  // Psi_2 of the duplicated Theorem 3 inputs is empty at n = (d+1)f, f = 2.
+  for (std::size_t d : {3u, 4u}) {
+    const auto y = duplicate_each(workload::thm3_inputs(d, 1.0, 0.5), 2);
+    ASSERT_EQ(y.size(), (d + 1) * 2);
+    EXPECT_FALSE(psi_k_point(y, 2, 2).has_value()) << "d=" << d;
+    // Tightness: one extra process makes it feasible again.
+    auto y_plus = y;
+    y_plus.push_back(Vec(d, 0.0));
+    EXPECT_TRUE(psi_k_point(y_plus, 2, 2).has_value()) << "d=" << d;
+  }
+}
+
+TEST(SimulationApproach, Thm3ExtendsToF3) {
+  const std::size_t d = 3;
+  const auto y = duplicate_each(workload::thm3_inputs(d, 1.0, 0.5), 3);
+  ASSERT_EQ(y.size(), (d + 1) * 3);
+  EXPECT_FALSE(psi_k_point(y, 3, 2).has_value());
+  auto y_plus = y;
+  y_plus.push_back(Vec(d, 0.0));
+  EXPECT_TRUE(psi_k_point(y_plus, 3, 2).has_value());
+}
+
+TEST(SimulationApproach, Thm5ExtendsToF2) {
+  // Gamma_(delta,inf) of the duplicated Theorem 5 inputs is empty above the
+  // same x > 2 d delta threshold -- the threshold does not move under the
+  // simulation blow-up.
+  const double delta = 0.25;
+  for (std::size_t d : {3u, 4u}) {
+    const double x_bad = 2.0 * double(d) * delta * 1.05;
+    const auto bad =
+        duplicate_each(workload::thm5_inputs(d, x_bad), 2);
+    EXPECT_FALSE(
+        gamma_delta_point_linear(bad, 2, delta, kInfNorm).has_value())
+        << "d=" << d;
+    const double x_ok = 2.0 * double(d) * delta * 0.9;
+    const auto ok = duplicate_each(workload::thm5_inputs(d, x_ok), 2);
+    EXPECT_TRUE(
+        gamma_delta_point_linear(ok, 2, delta, kInfNorm).has_value())
+        << "d=" << d;
+  }
+}
+
+TEST(SimulationApproach, AppendixBExtendsToF2) {
+  // The async forced-gap construction also survives duplication: with
+  // n = (d+2)f processes the output sets of the first two logical process
+  // groups stay >= 2 epsilon apart.
+  const std::size_t d = 3;
+  const double eps = 0.2;
+  const auto base = workload::appendix_b_inputs(d, 1.0, eps);
+  // Duplicate, then build the proof subsets on the duplicated multiset:
+  // S^j drops both copies of logical process j (they are the two physical
+  // processes simulated by one logical faulty process).
+  const auto s = duplicate_each(base, 2);
+  auto drop_logical = [&](std::size_t j) {
+    std::vector<Vec> out;
+    for (std::size_t l = 0; l + 1 < base.size(); ++l) {  // first d+1 logical
+      if (l == j) continue;
+      out.push_back(s[2 * l]);
+      out.push_back(s[2 * l + 1]);
+    }
+    return out;
+  };
+  auto psi_spec = [&](std::size_t i) {
+    RelaxedIntersectionSpec spec;
+    for (std::size_t j = 0; j + 1 < base.size(); ++j) {
+      if (j != i) spec.parts.push_back(drop_logical(j));
+    }
+    spec.k = 2;
+    return spec;
+  };
+  const auto gap = relaxed_intersection_linf_gap(psi_spec(0), psi_spec(1));
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_GE(*gap, 2.0 * eps - 1e-7);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,74 @@
+#include "workload/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "consensus/hull_consensus.h"
+#include "sim/rng.h"
+#include "workload/generators.h"
+
+namespace rbvc::workload {
+namespace {
+
+TEST(SvgTest, RendersWellFormedMarkup) {
+  Rng rng(1301);
+  SvgScene scene(400);
+  const auto pts = gaussian_cloud(rng, 6, 2);
+  scene.add_points(pts, "#1f77b4", "inputs");
+  scene.add_hull(pts, "#1f77b4", "input hull");
+  scene.add_marker({0.0, 0.0}, "#d62728", "decision");
+  const std::string svg = scene.render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  // One circle per point + marker + 2 legend dots.
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_GE(circles, pts.size() + 1);
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+}
+
+TEST(SvgTest, SafeAreaSceneIncludesGammaPolygon) {
+  Rng rng(1303);
+  const auto pts = gaussian_cloud(rng, 7, 2);
+  const auto poly = consensus::gamma_polygon(pts, 1);
+  ASSERT_TRUE(poly.has_value());
+  SvgScene scene;
+  scene.add_points(pts, "black", "inputs");
+  scene.add_polygon(*poly, "green", "Gamma(S), f=1");
+  const std::string svg = scene.render();
+  EXPECT_NE(svg.find("Gamma(S), f=1"), std::string::npos);
+}
+
+TEST(SvgTest, WriteFileRoundTrip) {
+  SvgScene scene;
+  scene.add_marker({1.0, 2.0}, "red", "x");
+  const std::string path = "/tmp/rbvc_svg_test.svg";
+  ASSERT_TRUE(scene.write_file(path));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, scene.render());
+}
+
+TEST(SvgTest, RejectsNon2D) {
+  SvgScene scene;
+  EXPECT_THROW(scene.add_marker({1.0, 2.0, 3.0}, "red", "x"),
+               invalid_argument);
+}
+
+TEST(SvgTest, DegenerateSceneStillRenders) {
+  SvgScene scene;
+  scene.add_marker({5.0, 5.0}, "blue", "only point");
+  const std::string svg = scene.render();  // zero span must not divide by 0
+  EXPECT_NE(svg.find("circle"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rbvc::workload

@@ -1,0 +1,126 @@
+#include "sim/sync_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace rbvc::sim {
+namespace {
+
+// Relays a counter: round r, everyone broadcasts round number; decided after
+// `target` rounds; records what it saw.
+class PingProcess final : public SyncProcess {
+ public:
+  PingProcess(std::size_t n, std::size_t target) : n_(n), target_(target) {}
+
+  void round(std::size_t round_no, const std::vector<Message>& inbox,
+             Outbox& out) override {
+    received_.push_back(inbox.size());
+    if (round_no >= target_) {
+      done_ = true;
+      return;
+    }
+    Message m;
+    m.kind = "ping";
+    m.meta = {static_cast<int>(round_no)};
+    out.broadcast(n_, m);
+  }
+
+  bool decided() const override { return done_; }
+  const std::vector<std::size_t>& received() const { return received_; }
+
+ private:
+  std::size_t n_, target_;
+  bool done_ = false;
+  std::vector<std::size_t> received_;
+};
+
+TEST(SyncEngineTest, DeliversNextRound) {
+  SyncEngine e;
+  for (int i = 0; i < 3; ++i) e.add(std::make_unique<PingProcess>(3, 2));
+  const auto stats = e.run(10);
+  EXPECT_TRUE(stats.all_decided);
+  EXPECT_EQ(stats.rounds, 3u);
+  for (ProcessId id = 0; id < 3; ++id) {
+    const auto& p = dynamic_cast<PingProcess&>(e.process(id));
+    ASSERT_EQ(p.received().size(), 3u);
+    EXPECT_EQ(p.received()[0], 0u);  // round 0: nothing yet
+    EXPECT_EQ(p.received()[1], 3u);  // everyone broadcast in round 0
+    EXPECT_EQ(p.received()[2], 3u);
+  }
+}
+
+TEST(SyncEngineTest, MessageCount) {
+  SyncEngine e;
+  for (int i = 0; i < 4; ++i) e.add(std::make_unique<PingProcess>(4, 1));
+  const auto stats = e.run(10);
+  // Rounds 0 and 1 each see 4 processes broadcast to 4... round 1 is the
+  // decision round (no sends): only round 0 sends 16 messages.
+  EXPECT_EQ(stats.messages, 16u);
+}
+
+TEST(SyncEngineTest, RoundLimit) {
+  class NeverDone final : public SyncProcess {
+   public:
+    void round(std::size_t, const std::vector<Message>&, Outbox&) override {}
+    bool decided() const override { return false; }
+  };
+  SyncEngine e;
+  e.add(std::make_unique<NeverDone>());
+  const auto stats = e.run(5);
+  EXPECT_FALSE(stats.all_decided);
+  EXPECT_EQ(stats.rounds, 5u);
+}
+
+TEST(SyncEngineTest, FromFieldIsStamped) {
+  class Spoofer final : public SyncProcess {
+   public:
+    void round(std::size_t round_no, const std::vector<Message>& inbox,
+               Outbox& out) override {
+      if (round_no == 0) {
+        Message m;
+        m.kind = "x";
+        m.from = 99;  // attempt to spoof
+        out.send(0, std::move(m));
+      }
+      for (const Message& m : inbox) froms_.push_back(m.from);
+      done_ = round_no >= 1;
+    }
+    bool decided() const override { return done_; }
+    std::vector<ProcessId> froms_;
+    bool done_ = false;
+  };
+  SyncEngine e;
+  e.add(std::make_unique<Spoofer>());
+  e.add(std::make_unique<Spoofer>());
+  e.run(3);
+  const auto& p0 = dynamic_cast<Spoofer&>(e.process(0));
+  ASSERT_EQ(p0.froms_.size(), 2u);  // one from each spoofer
+  // Senders are the true ids 0 and 1, never 99.
+  EXPECT_EQ(p0.froms_[0], 0u);
+  EXPECT_EQ(p0.froms_[1], 1u);
+}
+
+TEST(SyncEngineTest, InvalidRecipientThrows) {
+  class BadSender final : public SyncProcess {
+   public:
+    void round(std::size_t, const std::vector<Message>&,
+               Outbox& out) override {
+      out.send(7, Message{});
+    }
+    bool decided() const override { return false; }
+  };
+  SyncEngine e;
+  e.add(std::make_unique<BadSender>());
+  EXPECT_THROW(e.run(2), invalid_argument);
+}
+
+TEST(SyncEngineTest, TraceRecordsSends) {
+  SyncEngine e;
+  e.trace().set_enabled(true);
+  for (int i = 0; i < 2; ++i) e.add(std::make_unique<PingProcess>(2, 1));
+  e.run(5);
+  EXPECT_EQ(e.trace().count(EventType::kSend), 4u);
+  EXPECT_FALSE(e.trace().dump().empty());
+}
+
+}  // namespace
+}  // namespace rbvc::sim

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "sim/message.h"
+#include "sim/trace.h"
+
+namespace rbvc::sim {
+namespace {
+
+TEST(MessageTest, SameContentIgnoresRouting) {
+  Message a;
+  a.kind = "x";
+  a.meta = {1, 2};
+  a.payload = {0.5};
+  Message b = a;
+  b.from = 3;
+  b.to = 1;
+  EXPECT_TRUE(a.same_content(b));
+  b.meta.push_back(9);
+  EXPECT_FALSE(a.same_content(b));
+}
+
+TEST(MessageTest, ContentOrderingIsStrictWeak) {
+  Message a, b, c;
+  a.kind = "a";
+  b.kind = "b";
+  c.kind = "a";
+  c.meta = {1};
+  MessageContentLess less;
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+  EXPECT_TRUE(less(a, c));  // same kind, meta breaks the tie
+  EXPECT_FALSE(less(a, a));
+}
+
+TEST(MessageTest, DescribeIsReadable) {
+  Message m;
+  m.kind = "eig";
+  m.from = 1;
+  m.to = 2;
+  m.meta = {0, 1};
+  m.payload = {1.0, -2.0};
+  const std::string s = describe(m);
+  EXPECT_NE(s.find("eig"), std::string::npos);
+  EXPECT_NE(s.find("1->2"), std::string::npos);
+  EXPECT_NE(s.find("(1, -2)"), std::string::npos);
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  Trace t;
+  t.record(EventType::kSend, 0, 1, "x");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(TraceTest, EnabledRecordsAndCounts) {
+  Trace t;
+  t.set_enabled(true);
+  t.record(EventType::kSend, 0, 1, "a");
+  t.record(EventType::kDeliver, 1, 2, "b");
+  t.record(EventType::kSend, 1, 1, "c");
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.count(EventType::kSend), 2u);
+  EXPECT_EQ(t.count(EventType::kDeliver), 1u);
+  EXPECT_EQ(t.count(EventType::kDecide), 0u);
+  const std::string dump = t.dump();
+  EXPECT_NE(dump.find("send"), std::string::npos);
+  EXPECT_NE(dump.find("deliver"), std::string::npos);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+}  // namespace
+}  // namespace rbvc::sim

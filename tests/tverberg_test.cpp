@@ -1,0 +1,112 @@
+// Tests for the Tverberg machinery of paper Sec. 8.
+#include "geometry/tverberg.h"
+
+#include <gtest/gtest.h>
+
+#include "hull/psi.h"
+#include "linalg/qr.h"
+#include "sim/rng.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+TEST(TverbergTest, GuaranteedPartitionAtBound) {
+  // (d+1)f + 1 points always admit a partition into f+1 parts.
+  Rng rng(101);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t d = 2 + rep % 2;
+    const std::size_t f = 1;
+    const auto pts =
+        workload::gaussian_cloud(rng, (d + 1) * f + 1, d);
+    const auto part = find_tverberg_partition(pts, f + 1);
+    ASSERT_TRUE(part.has_value()) << "rep " << rep;
+    // Certify: the named parts' hulls really intersect.
+    std::vector<std::vector<Vec>> sets;
+    for (const auto& block : *part) {
+      std::vector<Vec> s;
+      for (std::size_t i : block) s.push_back(pts[i]);
+      sets.push_back(std::move(s));
+    }
+    EXPECT_TRUE(hulls_intersect(sets));
+  }
+}
+
+TEST(TverbergTest, MomentCurveBelowBoundHasNoPartition) {
+  // (d+1)f points in general position: no Tverberg partition (tightness).
+  for (std::size_t d : {2u, 3u, 4u}) {
+    const auto pts = moment_curve_points((d + 1) * 1, d);
+    EXPECT_FALSE(find_tverberg_partition(pts, 2).has_value()) << "d=" << d;
+  }
+}
+
+TEST(TverbergTest, MomentCurveF2) {
+  // f = 2, d = 2: 6 points on the moment curve, 3 parts -> none.
+  const auto pts = moment_curve_points(6, 2);
+  EXPECT_FALSE(find_tverberg_partition(pts, 3).has_value());
+  // 7 = (d+1)f + 1 points -> guaranteed.
+  const auto pts7 = moment_curve_points(7, 2);
+  EXPECT_TRUE(find_tverberg_partition(pts7, 3).has_value());
+}
+
+TEST(TverbergTest, RelaxedHullOracleWidensButStaysTight) {
+  // Sec. 8: with H replaced by H_(delta,inf) for small delta, (d+1)f points
+  // in general position still admit no partition (our Thm 5 implies the
+  // bound stays tight); for a huge delta a partition must appear.
+  const std::size_t d = 2;
+  const auto pts = moment_curve_points(d + 1, d);
+  auto delta_oracle = [&](double delta) {
+    return [delta](const std::vector<std::vector<Vec>>& parts) {
+      RelaxedIntersectionSpec spec;
+      spec.parts = parts;
+      spec.k = 0;
+      spec.delta = delta;
+      spec.p = kInfNorm;
+      return relaxed_intersection_point(spec).has_value();
+    };
+  };
+  EXPECT_FALSE(
+      find_tverberg_partition(pts, 2, delta_oracle(1e-6)).has_value());
+  EXPECT_TRUE(
+      find_tverberg_partition(pts, 2, delta_oracle(1e3)).has_value());
+}
+
+TEST(TverbergTest, KRelaxedOracle) {
+  // Same tightness story with H_k hulls (k = 2, d = 3).
+  const auto pts = moment_curve_points(4, 3);
+  auto k_oracle = [](const std::vector<std::vector<Vec>>& parts) {
+    RelaxedIntersectionSpec spec;
+    spec.parts = parts;
+    spec.k = 2;
+    return relaxed_intersection_point(spec).has_value();
+  };
+  EXPECT_FALSE(find_tverberg_partition(pts, 2, k_oracle).has_value());
+}
+
+TEST(TverbergTest, TooFewPointsReturnsNothing) {
+  EXPECT_FALSE(find_tverberg_partition({{0.0, 0.0}}, 2).has_value());
+}
+
+TEST(Stirling2Test, KnownValues) {
+  EXPECT_DOUBLE_EQ(stirling2(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stirling2(4, 2), 7.0);
+  EXPECT_DOUBLE_EQ(stirling2(5, 3), 25.0);
+  EXPECT_DOUBLE_EQ(stirling2(7, 3), 301.0);
+  EXPECT_DOUBLE_EQ(stirling2(3, 5), 0.0);
+  EXPECT_DOUBLE_EQ(stirling2(6, 1), 1.0);
+}
+
+TEST(MomentCurveTest, GeneralPosition) {
+  // Any d+1 of the points are affinely independent.
+  const auto pts = moment_curve_points(6, 3);
+  for (std::size_t skip = 0; skip < pts.size(); ++skip) {
+    std::vector<Vec> subset;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (i != skip && subset.size() < 4) subset.push_back(pts[i]);
+    }
+    EXPECT_TRUE(affinely_independent(subset, 1e-9)) << "skip " << skip;
+  }
+}
+
+}  // namespace
+}  // namespace rbvc

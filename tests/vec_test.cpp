@@ -1,0 +1,102 @@
+#include "linalg/vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rbvc {
+namespace {
+
+TEST(VecTest, AddSubScale) {
+  const Vec x = {1.0, 2.0, 3.0};
+  const Vec y = {4.0, -1.0, 0.5};
+  EXPECT_EQ(add(x, y), (Vec{5.0, 1.0, 3.5}));
+  EXPECT_EQ(sub(x, y), (Vec{-3.0, 3.0, 2.5}));
+  EXPECT_EQ(scale(2.0, x), (Vec{2.0, 4.0, 6.0}));
+}
+
+TEST(VecTest, AxpyAccumulates) {
+  Vec y = {1.0, 1.0};
+  axpy(2.0, {3.0, -1.0}, y);
+  EXPECT_EQ(y, (Vec{7.0, -1.0}));
+}
+
+TEST(VecTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(dot({}, {}), 0.0);
+}
+
+TEST(VecTest, DimensionMismatchThrows) {
+  EXPECT_THROW(add({1.0}, {1.0, 2.0}), invalid_argument);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), invalid_argument);
+  Vec y = {1.0};
+  EXPECT_THROW(axpy(1.0, {1.0, 2.0}, y), invalid_argument);
+}
+
+TEST(VecTest, LpNorms) {
+  const Vec x = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(lp_norm(x, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(lp_norm(x, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(lp_norm(x, kInfNorm), 4.0);
+  EXPECT_NEAR(lp_norm(x, 3.0), std::cbrt(27.0 + 64.0), 1e-12);
+}
+
+TEST(VecTest, NormMonotoneInP) {
+  // ||x||_p is non-increasing in p (norm ordering used by Thm 5 / Thm 13).
+  const Vec x = {1.0, -2.0, 0.5, 3.0};
+  double prev = lp_norm(x, 1.0);
+  for (double p : {1.5, 2.0, 3.0, 4.0, 8.0}) {
+    const double cur = lp_norm(x, p);
+    EXPECT_LE(cur, prev + 1e-12) << "p=" << p;
+    prev = cur;
+  }
+  EXPECT_LE(lp_norm(x, kInfNorm), prev + 1e-12);
+}
+
+TEST(VecTest, HolderEquivalenceBound) {
+  // Theorem 13: ||x||_r <= d^(1/r - 1/p) ||x||_p for r <= p.
+  const Vec x = {1.0, -2.0, 0.5, 3.0, -0.25};
+  const double d = static_cast<double>(x.size());
+  for (double r : {1.0, 2.0}) {
+    for (double p : {2.0, 4.0}) {
+      if (r > p) continue;
+      EXPECT_LE(lp_norm(x, r),
+                std::pow(d, 1.0 / r - 1.0 / p) * lp_norm(x, p) + 1e-12);
+    }
+  }
+}
+
+TEST(VecTest, InvalidPThrows) {
+  EXPECT_THROW(lp_norm({1.0}, 0.5), invalid_argument);
+}
+
+TEST(VecTest, Distances) {
+  EXPECT_DOUBLE_EQ(dist2({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(lp_dist({1.0, 1.0}, {2.0, 3.0}, 1.0), 3.0);
+}
+
+TEST(VecTest, MeanOfVectors) {
+  const Vec m = mean({{0.0, 0.0}, {2.0, 4.0}, {4.0, 2.0}});
+  EXPECT_TRUE(approx_equal(m, {2.0, 2.0}));
+  EXPECT_THROW(mean({}), invalid_argument);
+}
+
+TEST(VecTest, ApproxEqual) {
+  EXPECT_TRUE(approx_equal({1.0, 2.0}, {1.0 + 1e-12, 2.0}));
+  EXPECT_FALSE(approx_equal({1.0, 2.0}, {1.1, 2.0}));
+  EXPECT_FALSE(approx_equal({1.0}, {1.0, 2.0}));
+}
+
+TEST(VecTest, ZerosAndBasis) {
+  EXPECT_EQ(zeros(3), (Vec{0.0, 0.0, 0.0}));
+  EXPECT_EQ(basis(3, 1), (Vec{0.0, 1.0, 0.0}));
+  EXPECT_THROW(basis(2, 2), invalid_argument);
+}
+
+TEST(VecTest, ToStringRendering) {
+  EXPECT_EQ(to_string({1.0, -2.5}), "(1, -2.5)");
+  EXPECT_EQ(to_string({}), "()");
+}
+
+}  // namespace
+}  // namespace rbvc

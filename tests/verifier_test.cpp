@@ -1,0 +1,62 @@
+#include "consensus/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+TEST(VerifierTest, AgreementIdentical) {
+  const std::vector<Vec> same = {{1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}};
+  const auto a = check_agreement(same);
+  EXPECT_TRUE(a.identical);
+  EXPECT_DOUBLE_EQ(a.max_pairwise_linf, 0.0);
+}
+
+TEST(VerifierTest, AgreementSpreadMeasured) {
+  const std::vector<Vec> spread = {{0.0, 0.0}, {0.1, 0.0}, {0.0, 0.3}};
+  const auto a = check_agreement(spread);
+  EXPECT_FALSE(a.identical);
+  EXPECT_NEAR(a.max_pairwise_linf, 0.3, 1e-12);
+  EXPECT_TRUE(check_epsilon_agreement(spread, 0.3));
+  EXPECT_FALSE(check_epsilon_agreement(spread, 0.29));
+}
+
+TEST(VerifierTest, SingleOrEmptyDecisionsAgree) {
+  EXPECT_TRUE(check_agreement({}).identical);
+  EXPECT_TRUE(check_agreement({{1.0}}).identical);
+}
+
+TEST(VerifierTest, ExactValidity) {
+  const std::vector<Vec> hull = {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}};
+  EXPECT_TRUE(check_exact_validity({{0.5, 0.5}}, hull));
+  EXPECT_FALSE(check_exact_validity({{0.5, 0.5}, {3.0, 3.0}}, hull));
+}
+
+TEST(VerifierTest, KValidity) {
+  const std::vector<Vec> s = {{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(check_k_validity({{1.0, 0.0}}, s, 1));   // box corner
+  EXPECT_FALSE(check_k_validity({{1.0, 0.0}}, s, 2));  // not the segment
+}
+
+TEST(VerifierTest, DeltaValidityExcess) {
+  const std::vector<Vec> hull = {{0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(
+      delta_p_validity_excess({{3.0, 4.0}}, hull, 5.0, 2.0), 0.0);
+  EXPECT_NEAR(delta_p_validity_excess({{3.0, 4.0}}, hull, 4.0, 2.0), 1.0,
+              1e-9);
+  // Worst decision dominates.
+  EXPECT_NEAR(delta_p_validity_excess({{0.0, 0.0}, {3.0, 4.0}}, hull, 0.0,
+                                      2.0),
+              5.0, 1e-9);
+}
+
+TEST(VerifierTest, InputDependentDelta) {
+  const std::vector<Vec> inputs = {{0.0, 0.0}, {3.0, 4.0}, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(input_dependent_delta(inputs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(input_dependent_delta(inputs, 1.0, kInfNorm), 4.0);
+}
+
+}  // namespace
+}  // namespace rbvc

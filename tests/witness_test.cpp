@@ -1,0 +1,107 @@
+#include "protocols/witness.h"
+
+#include <gtest/gtest.h>
+
+namespace rbvc::protocols {
+namespace {
+
+class NullOutbox final : public sim::Outbox {
+ public:
+  void send(sim::ProcessId, sim::Message m) override {
+    sent.push_back(std::move(m));
+  }
+  std::vector<sim::Message> sent;
+};
+
+sim::Message report_msg(sim::ProcessId from, int round,
+                        std::initializer_list<int> ids) {
+  sim::Message m;
+  m.kind = "witness";
+  m.from = from;
+  m.meta.push_back(round);
+  m.meta.insert(m.meta.end(), ids);
+  return m;
+}
+
+TEST(WitnessTest, ReadyRequiresQuorumOfSubsets) {
+  // n = 4, f = 1: need 3 witnesses whose reports are subsets of collected.
+  WitnessExchange w(4, 1, 0);
+  NullOutbox out;
+  const std::set<sim::ProcessId> collected = {0, 1, 2};
+  w.send_report(0, collected, out);  // our own report counts
+  EXPECT_FALSE(w.ready(0, collected));
+  w.on_message(report_msg(1, 0, {0, 1, 2}));
+  EXPECT_FALSE(w.ready(0, collected));
+  w.on_message(report_msg(2, 0, {0, 1, 2}));
+  EXPECT_TRUE(w.ready(0, collected));
+}
+
+TEST(WitnessTest, ReportNotSubsetDoesNotCount) {
+  WitnessExchange w(4, 1, 0);
+  NullOutbox out;
+  std::set<sim::ProcessId> collected = {0, 1, 2};
+  w.send_report(0, collected, out);
+  w.on_message(report_msg(1, 0, {0, 1, 3}));  // names 3, which we lack
+  w.on_message(report_msg(2, 0, {0, 1, 2}));
+  EXPECT_FALSE(w.ready(0, collected));
+  // Once we collect 3, the pending report is satisfied retroactively.
+  collected.insert(3);
+  EXPECT_TRUE(w.ready(0, collected));
+}
+
+TEST(WitnessTest, RoundsAreIndependent) {
+  WitnessExchange w(4, 1, 0);
+  NullOutbox out;
+  const std::set<sim::ProcessId> collected = {0, 1, 2};
+  w.send_report(5, collected, out);
+  w.on_message(report_msg(1, 5, {0, 1, 2}));
+  w.on_message(report_msg(2, 5, {0, 1, 2}));
+  EXPECT_TRUE(w.ready(5, collected));
+  EXPECT_FALSE(w.ready(6, collected));
+}
+
+TEST(WitnessTest, TooSmallReportsRejected) {
+  // A report naming fewer than n-f sources is not a meaningful witness.
+  WitnessExchange w(4, 1, 0);
+  NullOutbox out;
+  const std::set<sim::ProcessId> collected = {0, 1, 2};
+  w.send_report(0, collected, out);
+  w.on_message(report_msg(1, 0, {0}));
+  w.on_message(report_msg(2, 0, {1}));
+  EXPECT_FALSE(w.ready(0, collected));
+}
+
+TEST(WitnessTest, MalformedIdsRejected) {
+  WitnessExchange w(4, 1, 0);
+  NullOutbox out;
+  const std::set<sim::ProcessId> collected = {0, 1, 2};
+  w.send_report(0, collected, out);
+  sim::Message bad = report_msg(1, 0, {0, 1, 9});  // id 9 out of range
+  w.on_message(bad);
+  w.on_message(report_msg(2, 0, {0, 1, 2}));
+  EXPECT_FALSE(w.ready(0, collected));
+}
+
+TEST(WitnessTest, FirstReportWins) {
+  // A sender cannot improve its standing by re-reporting a different set.
+  WitnessExchange w(4, 1, 0);
+  NullOutbox out;
+  const std::set<sim::ProcessId> collected = {0, 1, 2};
+  w.send_report(0, collected, out);
+  w.on_message(report_msg(1, 0, {0, 1, 3}));  // unsatisfiable for now
+  w.on_message(report_msg(1, 0, {0, 1, 2}));  // second report: ignored
+  w.on_message(report_msg(2, 0, {0, 1, 2}));
+  EXPECT_FALSE(w.ready(0, collected));
+}
+
+TEST(WitnessTest, ReportBroadcastsToAll) {
+  WitnessExchange w(4, 1, 2);
+  NullOutbox out;
+  w.send_report(0, {0, 1, 2}, out);
+  EXPECT_EQ(out.sent.size(), 4u);
+  EXPECT_EQ(out.sent[0].kind, "witness");
+  EXPECT_EQ(out.sent[0].meta[0], 0);
+}
+
+}  // namespace
+}  // namespace rbvc::protocols
