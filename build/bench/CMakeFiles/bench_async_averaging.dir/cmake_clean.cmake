@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_averaging.dir/bench_async_averaging.cpp.o"
+  "CMakeFiles/bench_async_averaging.dir/bench_async_averaging.cpp.o.d"
+  "bench_async_averaging"
+  "bench_async_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conjectures.dir/bench_conjectures.cpp.o"
+  "CMakeFiles/bench_conjectures.dir/bench_conjectures.cpp.o.d"
+  "bench_conjectures"
+  "bench_conjectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conjectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

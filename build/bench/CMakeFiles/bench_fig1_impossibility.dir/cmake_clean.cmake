@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_impossibility.dir/bench_fig1_impossibility.cpp.o"
+  "CMakeFiles/bench_fig1_impossibility.dir/bench_fig1_impossibility.cpp.o.d"
+  "bench_fig1_impossibility"
+  "bench_fig1_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

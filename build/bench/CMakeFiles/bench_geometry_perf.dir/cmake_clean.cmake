@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geometry_perf.dir/bench_geometry_perf.cpp.o"
+  "CMakeFiles/bench_geometry_perf.dir/bench_geometry_perf.cpp.o.d"
+  "bench_geometry_perf"
+  "bench_geometry_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geometry_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hull_consensus.dir/bench_hull_consensus.cpp.o"
+  "CMakeFiles/bench_hull_consensus.dir/bench_hull_consensus.cpp.o.d"
+  "bench_hull_consensus"
+  "bench_hull_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hull_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterative.dir/bench_iterative.cpp.o"
+  "CMakeFiles/bench_iterative.dir/bench_iterative.cpp.o.d"
+  "bench_iterative"
+  "bench_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

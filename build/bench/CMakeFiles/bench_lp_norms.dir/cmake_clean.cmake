@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_norms.dir/bench_lp_norms.cpp.o"
+  "CMakeFiles/bench_lp_norms.dir/bench_lp_norms.cpp.o.d"
+  "bench_lp_norms"
+  "bench_lp_norms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_construction.dir/bench_thm5_construction.cpp.o"
+  "CMakeFiles/bench_thm5_construction.dir/bench_thm5_construction.cpp.o.d"
+  "bench_thm5_construction"
+  "bench_thm5_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tverberg.dir/bench_tverberg.cpp.o"
+  "CMakeFiles/bench_tverberg.dir/bench_tverberg.cpp.o.d"
+  "bench_tverberg"
+  "bench_tverberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tverberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_rendezvous.dir/drone_rendezvous.cpp.o"
+  "CMakeFiles/drone_rendezvous.dir/drone_rendezvous.cpp.o.d"
+  "drone_rendezvous"
+  "drone_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

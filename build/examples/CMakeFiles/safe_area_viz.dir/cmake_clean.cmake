@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_area_viz.dir/safe_area_viz.cpp.o"
+  "CMakeFiles/safe_area_viz.dir/safe_area_viz.cpp.o.d"
+  "safe_area_viz"
+  "safe_area_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_area_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_microfleet.dir/signed_microfleet.cpp.o"
+  "CMakeFiles/signed_microfleet.dir/signed_microfleet.cpp.o.d"
+  "signed_microfleet"
+  "signed_microfleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_microfleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/algo_relaxed.cpp" "src/CMakeFiles/rbvc_consensus.dir/consensus/algo_relaxed.cpp.o" "gcc" "src/CMakeFiles/rbvc_consensus.dir/consensus/algo_relaxed.cpp.o.d"
+  "/root/repo/src/consensus/async_averaging.cpp" "src/CMakeFiles/rbvc_consensus.dir/consensus/async_averaging.cpp.o" "gcc" "src/CMakeFiles/rbvc_consensus.dir/consensus/async_averaging.cpp.o.d"
+  "/root/repo/src/consensus/exact_bvc.cpp" "src/CMakeFiles/rbvc_consensus.dir/consensus/exact_bvc.cpp.o" "gcc" "src/CMakeFiles/rbvc_consensus.dir/consensus/exact_bvc.cpp.o.d"
+  "/root/repo/src/consensus/hull_consensus.cpp" "src/CMakeFiles/rbvc_consensus.dir/consensus/hull_consensus.cpp.o" "gcc" "src/CMakeFiles/rbvc_consensus.dir/consensus/hull_consensus.cpp.o.d"
+  "/root/repo/src/consensus/iterative_bvc.cpp" "src/CMakeFiles/rbvc_consensus.dir/consensus/iterative_bvc.cpp.o" "gcc" "src/CMakeFiles/rbvc_consensus.dir/consensus/iterative_bvc.cpp.o.d"
+  "/root/repo/src/consensus/k_relaxed.cpp" "src/CMakeFiles/rbvc_consensus.dir/consensus/k_relaxed.cpp.o" "gcc" "src/CMakeFiles/rbvc_consensus.dir/consensus/k_relaxed.cpp.o.d"
+  "/root/repo/src/consensus/verifier.cpp" "src/CMakeFiles/rbvc_consensus.dir/consensus/verifier.cpp.o" "gcc" "src/CMakeFiles/rbvc_consensus.dir/consensus/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rbvc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

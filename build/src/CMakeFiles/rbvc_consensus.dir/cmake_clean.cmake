@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_consensus.dir/consensus/algo_relaxed.cpp.o"
+  "CMakeFiles/rbvc_consensus.dir/consensus/algo_relaxed.cpp.o.d"
+  "CMakeFiles/rbvc_consensus.dir/consensus/async_averaging.cpp.o"
+  "CMakeFiles/rbvc_consensus.dir/consensus/async_averaging.cpp.o.d"
+  "CMakeFiles/rbvc_consensus.dir/consensus/exact_bvc.cpp.o"
+  "CMakeFiles/rbvc_consensus.dir/consensus/exact_bvc.cpp.o.d"
+  "CMakeFiles/rbvc_consensus.dir/consensus/hull_consensus.cpp.o"
+  "CMakeFiles/rbvc_consensus.dir/consensus/hull_consensus.cpp.o.d"
+  "CMakeFiles/rbvc_consensus.dir/consensus/iterative_bvc.cpp.o"
+  "CMakeFiles/rbvc_consensus.dir/consensus/iterative_bvc.cpp.o.d"
+  "CMakeFiles/rbvc_consensus.dir/consensus/k_relaxed.cpp.o"
+  "CMakeFiles/rbvc_consensus.dir/consensus/k_relaxed.cpp.o.d"
+  "CMakeFiles/rbvc_consensus.dir/consensus/verifier.cpp.o"
+  "CMakeFiles/rbvc_consensus.dir/consensus/verifier.cpp.o.d"
+  "librbvc_consensus.a"
+  "librbvc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

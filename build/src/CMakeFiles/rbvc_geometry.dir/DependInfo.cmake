@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/caratheodory.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/caratheodory.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/caratheodory.cpp.o.d"
+  "/root/repo/src/geometry/distance.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/distance.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/distance.cpp.o.d"
+  "/root/repo/src/geometry/hull.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/hull.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/hull.cpp.o.d"
+  "/root/repo/src/geometry/poly2d.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/poly2d.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/poly2d.cpp.o.d"
+  "/root/repo/src/geometry/projection.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/projection.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/projection.cpp.o.d"
+  "/root/repo/src/geometry/simplex_geometry.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/simplex_geometry.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/simplex_geometry.cpp.o.d"
+  "/root/repo/src/geometry/tverberg.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/tverberg.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/tverberg.cpp.o.d"
+  "/root/repo/src/geometry/wolfe.cpp" "src/CMakeFiles/rbvc_geometry.dir/geometry/wolfe.cpp.o" "gcc" "src/CMakeFiles/rbvc_geometry.dir/geometry/wolfe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rbvc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

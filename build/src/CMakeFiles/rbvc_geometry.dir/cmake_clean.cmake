@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_geometry.dir/geometry/caratheodory.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/caratheodory.cpp.o.d"
+  "CMakeFiles/rbvc_geometry.dir/geometry/distance.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/distance.cpp.o.d"
+  "CMakeFiles/rbvc_geometry.dir/geometry/hull.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/hull.cpp.o.d"
+  "CMakeFiles/rbvc_geometry.dir/geometry/poly2d.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/poly2d.cpp.o.d"
+  "CMakeFiles/rbvc_geometry.dir/geometry/projection.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/projection.cpp.o.d"
+  "CMakeFiles/rbvc_geometry.dir/geometry/simplex_geometry.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/simplex_geometry.cpp.o.d"
+  "CMakeFiles/rbvc_geometry.dir/geometry/tverberg.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/tverberg.cpp.o.d"
+  "CMakeFiles/rbvc_geometry.dir/geometry/wolfe.cpp.o"
+  "CMakeFiles/rbvc_geometry.dir/geometry/wolfe.cpp.o.d"
+  "librbvc_geometry.a"
+  "librbvc_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

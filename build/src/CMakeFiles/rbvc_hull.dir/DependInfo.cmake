@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hull/delta_star.cpp" "src/CMakeFiles/rbvc_hull.dir/hull/delta_star.cpp.o" "gcc" "src/CMakeFiles/rbvc_hull.dir/hull/delta_star.cpp.o.d"
+  "/root/repo/src/hull/gamma.cpp" "src/CMakeFiles/rbvc_hull.dir/hull/gamma.cpp.o" "gcc" "src/CMakeFiles/rbvc_hull.dir/hull/gamma.cpp.o.d"
+  "/root/repo/src/hull/psi.cpp" "src/CMakeFiles/rbvc_hull.dir/hull/psi.cpp.o" "gcc" "src/CMakeFiles/rbvc_hull.dir/hull/psi.cpp.o.d"
+  "/root/repo/src/hull/relaxed_hull.cpp" "src/CMakeFiles/rbvc_hull.dir/hull/relaxed_hull.cpp.o" "gcc" "src/CMakeFiles/rbvc_hull.dir/hull/relaxed_hull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rbvc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_hull.dir/hull/delta_star.cpp.o"
+  "CMakeFiles/rbvc_hull.dir/hull/delta_star.cpp.o.d"
+  "CMakeFiles/rbvc_hull.dir/hull/gamma.cpp.o"
+  "CMakeFiles/rbvc_hull.dir/hull/gamma.cpp.o.d"
+  "CMakeFiles/rbvc_hull.dir/hull/psi.cpp.o"
+  "CMakeFiles/rbvc_hull.dir/hull/psi.cpp.o.d"
+  "CMakeFiles/rbvc_hull.dir/hull/relaxed_hull.cpp.o"
+  "CMakeFiles/rbvc_hull.dir/hull/relaxed_hull.cpp.o.d"
+  "librbvc_hull.a"
+  "librbvc_hull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

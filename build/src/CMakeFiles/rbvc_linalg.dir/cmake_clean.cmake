@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/rbvc_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/rbvc_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/rbvc_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/rbvc_linalg.dir/linalg/qr.cpp.o"
+  "CMakeFiles/rbvc_linalg.dir/linalg/qr.cpp.o.d"
+  "CMakeFiles/rbvc_linalg.dir/linalg/vec.cpp.o"
+  "CMakeFiles/rbvc_linalg.dir/linalg/vec.cpp.o.d"
+  "librbvc_linalg.a"
+  "librbvc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_lp.dir/lp/model.cpp.o"
+  "CMakeFiles/rbvc_lp.dir/lp/model.cpp.o.d"
+  "CMakeFiles/rbvc_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/rbvc_lp.dir/lp/simplex.cpp.o.d"
+  "librbvc_lp.a"
+  "librbvc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_opt.dir/opt/minimax.cpp.o"
+  "CMakeFiles/rbvc_opt.dir/opt/minimax.cpp.o.d"
+  "CMakeFiles/rbvc_opt.dir/opt/pocs.cpp.o"
+  "CMakeFiles/rbvc_opt.dir/opt/pocs.cpp.o.d"
+  "librbvc_opt.a"
+  "librbvc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/bracha_rbc.cpp" "src/CMakeFiles/rbvc_protocols.dir/protocols/bracha_rbc.cpp.o" "gcc" "src/CMakeFiles/rbvc_protocols.dir/protocols/bracha_rbc.cpp.o.d"
+  "/root/repo/src/protocols/dolev_strong.cpp" "src/CMakeFiles/rbvc_protocols.dir/protocols/dolev_strong.cpp.o" "gcc" "src/CMakeFiles/rbvc_protocols.dir/protocols/dolev_strong.cpp.o.d"
+  "/root/repo/src/protocols/om_broadcast.cpp" "src/CMakeFiles/rbvc_protocols.dir/protocols/om_broadcast.cpp.o" "gcc" "src/CMakeFiles/rbvc_protocols.dir/protocols/om_broadcast.cpp.o.d"
+  "/root/repo/src/protocols/scalar_consensus.cpp" "src/CMakeFiles/rbvc_protocols.dir/protocols/scalar_consensus.cpp.o" "gcc" "src/CMakeFiles/rbvc_protocols.dir/protocols/scalar_consensus.cpp.o.d"
+  "/root/repo/src/protocols/witness.cpp" "src/CMakeFiles/rbvc_protocols.dir/protocols/witness.cpp.o" "gcc" "src/CMakeFiles/rbvc_protocols.dir/protocols/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rbvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

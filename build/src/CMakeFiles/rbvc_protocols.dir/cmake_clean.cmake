@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_protocols.dir/protocols/bracha_rbc.cpp.o"
+  "CMakeFiles/rbvc_protocols.dir/protocols/bracha_rbc.cpp.o.d"
+  "CMakeFiles/rbvc_protocols.dir/protocols/dolev_strong.cpp.o"
+  "CMakeFiles/rbvc_protocols.dir/protocols/dolev_strong.cpp.o.d"
+  "CMakeFiles/rbvc_protocols.dir/protocols/om_broadcast.cpp.o"
+  "CMakeFiles/rbvc_protocols.dir/protocols/om_broadcast.cpp.o.d"
+  "CMakeFiles/rbvc_protocols.dir/protocols/scalar_consensus.cpp.o"
+  "CMakeFiles/rbvc_protocols.dir/protocols/scalar_consensus.cpp.o.d"
+  "CMakeFiles/rbvc_protocols.dir/protocols/witness.cpp.o"
+  "CMakeFiles/rbvc_protocols.dir/protocols/witness.cpp.o.d"
+  "librbvc_protocols.a"
+  "librbvc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

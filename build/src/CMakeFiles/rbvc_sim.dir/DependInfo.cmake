@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_engine.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/async_engine.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/async_engine.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/signatures.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o.d"
+  "/root/repo/src/sim/sync_engine.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/sync_engine.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/sync_engine.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rbvc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_sim.dir/sim/async_engine.cpp.o"
+  "CMakeFiles/rbvc_sim.dir/sim/async_engine.cpp.o.d"
+  "CMakeFiles/rbvc_sim.dir/sim/message.cpp.o"
+  "CMakeFiles/rbvc_sim.dir/sim/message.cpp.o.d"
+  "CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o"
+  "CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o.d"
+  "CMakeFiles/rbvc_sim.dir/sim/sync_engine.cpp.o"
+  "CMakeFiles/rbvc_sim.dir/sim/sync_engine.cpp.o.d"
+  "CMakeFiles/rbvc_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/rbvc_sim.dir/sim/trace.cpp.o.d"
+  "librbvc_sim.a"
+  "librbvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

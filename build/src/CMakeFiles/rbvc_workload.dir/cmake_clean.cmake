@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_workload.dir/workload/adversarial_inputs.cpp.o"
+  "CMakeFiles/rbvc_workload.dir/workload/adversarial_inputs.cpp.o.d"
+  "CMakeFiles/rbvc_workload.dir/workload/byzantine_strategies.cpp.o"
+  "CMakeFiles/rbvc_workload.dir/workload/byzantine_strategies.cpp.o.d"
+  "CMakeFiles/rbvc_workload.dir/workload/generators.cpp.o"
+  "CMakeFiles/rbvc_workload.dir/workload/generators.cpp.o.d"
+  "CMakeFiles/rbvc_workload.dir/workload/runner.cpp.o"
+  "CMakeFiles/rbvc_workload.dir/workload/runner.cpp.o.d"
+  "CMakeFiles/rbvc_workload.dir/workload/svg.cpp.o"
+  "CMakeFiles/rbvc_workload.dir/workload/svg.cpp.o.d"
+  "librbvc_workload.a"
+  "librbvc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

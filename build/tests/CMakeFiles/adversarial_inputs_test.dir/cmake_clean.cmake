@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_inputs_test.dir/adversarial_inputs_test.cpp.o"
+  "CMakeFiles/adversarial_inputs_test.dir/adversarial_inputs_test.cpp.o.d"
+  "adversarial_inputs_test"
+  "adversarial_inputs_test.pdb"
+  "adversarial_inputs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_inputs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_relaxed_test.dir/algo_relaxed_test.cpp.o"
+  "CMakeFiles/algo_relaxed_test.dir/algo_relaxed_test.cpp.o.d"
+  "algo_relaxed_test"
+  "algo_relaxed_test.pdb"
+  "algo_relaxed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_relaxed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_averaging_test.dir/async_averaging_test.cpp.o"
+  "CMakeFiles/async_averaging_test.dir/async_averaging_test.cpp.o.d"
+  "async_averaging_test"
+  "async_averaging_test.pdb"
+  "async_averaging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_averaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

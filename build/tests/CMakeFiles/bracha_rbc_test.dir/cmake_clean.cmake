@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bracha_rbc_test.dir/bracha_rbc_test.cpp.o"
+  "CMakeFiles/bracha_rbc_test.dir/bracha_rbc_test.cpp.o.d"
+  "bracha_rbc_test"
+  "bracha_rbc_test.pdb"
+  "bracha_rbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bracha_rbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

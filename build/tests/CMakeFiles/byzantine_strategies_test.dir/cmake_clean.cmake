@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_strategies_test.dir/byzantine_strategies_test.cpp.o"
+  "CMakeFiles/byzantine_strategies_test.dir/byzantine_strategies_test.cpp.o.d"
+  "byzantine_strategies_test"
+  "byzantine_strategies_test.pdb"
+  "byzantine_strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

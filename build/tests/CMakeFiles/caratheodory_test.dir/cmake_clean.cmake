@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caratheodory_test.dir/caratheodory_test.cpp.o"
+  "CMakeFiles/caratheodory_test.dir/caratheodory_test.cpp.o.d"
+  "caratheodory_test"
+  "caratheodory_test.pdb"
+  "caratheodory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caratheodory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_faults_test.dir/crash_faults_test.cpp.o"
+  "CMakeFiles/crash_faults_test.dir/crash_faults_test.cpp.o.d"
+  "crash_faults_test"
+  "crash_faults_test.pdb"
+  "crash_faults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

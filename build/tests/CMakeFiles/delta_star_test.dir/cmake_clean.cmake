@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_star_test.dir/delta_star_test.cpp.o"
+  "CMakeFiles/delta_star_test.dir/delta_star_test.cpp.o.d"
+  "delta_star_test"
+  "delta_star_test.pdb"
+  "delta_star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

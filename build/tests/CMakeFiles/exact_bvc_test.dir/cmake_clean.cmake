@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_bvc_test.dir/exact_bvc_test.cpp.o"
+  "CMakeFiles/exact_bvc_test.dir/exact_bvc_test.cpp.o.d"
+  "exact_bvc_test"
+  "exact_bvc_test.pdb"
+  "exact_bvc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_bvc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_test.dir/gamma_test.cpp.o"
+  "CMakeFiles/gamma_test.dir/gamma_test.cpp.o.d"
+  "gamma_test"
+  "gamma_test.pdb"
+  "gamma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

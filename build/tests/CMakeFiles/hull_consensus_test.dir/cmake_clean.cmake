@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hull_consensus_test.dir/hull_consensus_test.cpp.o"
+  "CMakeFiles/hull_consensus_test.dir/hull_consensus_test.cpp.o.d"
+  "hull_consensus_test"
+  "hull_consensus_test.pdb"
+  "hull_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hull_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

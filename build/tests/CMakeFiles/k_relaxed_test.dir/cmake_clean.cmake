@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_relaxed_test.dir/k_relaxed_test.cpp.o"
+  "CMakeFiles/k_relaxed_test.dir/k_relaxed_test.cpp.o.d"
+  "k_relaxed_test"
+  "k_relaxed_test.pdb"
+  "k_relaxed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_relaxed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

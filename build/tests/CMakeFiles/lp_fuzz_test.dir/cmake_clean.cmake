@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_fuzz_test.dir/lp_fuzz_test.cpp.o"
+  "CMakeFiles/lp_fuzz_test.dir/lp_fuzz_test.cpp.o.d"
+  "lp_fuzz_test"
+  "lp_fuzz_test.pdb"
+  "lp_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_broadcast_test.dir/om_broadcast_test.cpp.o"
+  "CMakeFiles/om_broadcast_test.dir/om_broadcast_test.cpp.o.d"
+  "om_broadcast_test"
+  "om_broadcast_test.pdb"
+  "om_broadcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_constructions_test.dir/paper_constructions_test.cpp.o"
+  "CMakeFiles/paper_constructions_test.dir/paper_constructions_test.cpp.o.d"
+  "paper_constructions_test"
+  "paper_constructions_test.pdb"
+  "paper_constructions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_constructions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

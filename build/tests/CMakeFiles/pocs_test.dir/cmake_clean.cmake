@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pocs_test.dir/pocs_test.cpp.o"
+  "CMakeFiles/pocs_test.dir/pocs_test.cpp.o.d"
+  "pocs_test"
+  "pocs_test.pdb"
+  "pocs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pocs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly2d_test.dir/poly2d_test.cpp.o"
+  "CMakeFiles/poly2d_test.dir/poly2d_test.cpp.o.d"
+  "poly2d_test"
+  "poly2d_test.pdb"
+  "poly2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

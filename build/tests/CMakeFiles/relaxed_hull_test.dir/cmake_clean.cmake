@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxed_hull_test.dir/relaxed_hull_test.cpp.o"
+  "CMakeFiles/relaxed_hull_test.dir/relaxed_hull_test.cpp.o.d"
+  "relaxed_hull_test"
+  "relaxed_hull_test.pdb"
+  "relaxed_hull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxed_hull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

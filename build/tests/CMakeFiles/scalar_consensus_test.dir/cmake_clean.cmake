@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_consensus_test.dir/scalar_consensus_test.cpp.o"
+  "CMakeFiles/scalar_consensus_test.dir/scalar_consensus_test.cpp.o.d"
+  "scalar_consensus_test"
+  "scalar_consensus_test.pdb"
+  "scalar_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

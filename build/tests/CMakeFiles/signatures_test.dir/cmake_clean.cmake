@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signatures_test.dir/signatures_test.cpp.o"
+  "CMakeFiles/signatures_test.dir/signatures_test.cpp.o.d"
+  "signatures_test"
+  "signatures_test.pdb"
+  "signatures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signatures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

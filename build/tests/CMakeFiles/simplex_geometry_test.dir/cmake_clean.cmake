@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_geometry_test.dir/simplex_geometry_test.cpp.o"
+  "CMakeFiles/simplex_geometry_test.dir/simplex_geometry_test.cpp.o.d"
+  "simplex_geometry_test"
+  "simplex_geometry_test.pdb"
+  "simplex_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_lp_test.dir/simplex_lp_test.cpp.o"
+  "CMakeFiles/simplex_lp_test.dir/simplex_lp_test.cpp.o.d"
+  "simplex_lp_test"
+  "simplex_lp_test.pdb"
+  "simplex_lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

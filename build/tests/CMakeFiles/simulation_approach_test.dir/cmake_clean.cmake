@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_approach_test.dir/simulation_approach_test.cpp.o"
+  "CMakeFiles/simulation_approach_test.dir/simulation_approach_test.cpp.o.d"
+  "simulation_approach_test"
+  "simulation_approach_test.pdb"
+  "simulation_approach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_approach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

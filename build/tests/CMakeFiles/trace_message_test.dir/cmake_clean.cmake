@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_message_test.dir/trace_message_test.cpp.o"
+  "CMakeFiles/trace_message_test.dir/trace_message_test.cpp.o.d"
+  "trace_message_test"
+  "trace_message_test.pdb"
+  "trace_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

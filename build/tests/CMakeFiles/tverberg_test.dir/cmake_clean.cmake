@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tverberg_test.dir/tverberg_test.cpp.o"
+  "CMakeFiles/tverberg_test.dir/tverberg_test.cpp.o.d"
+  "tverberg_test"
+  "tverberg_test.pdb"
+  "tverberg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tverberg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

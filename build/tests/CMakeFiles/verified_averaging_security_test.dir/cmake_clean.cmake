@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_averaging_security_test.dir/verified_averaging_security_test.cpp.o"
+  "CMakeFiles/verified_averaging_security_test.dir/verified_averaging_security_test.cpp.o.d"
+  "verified_averaging_security_test"
+  "verified_averaging_security_test.pdb"
+  "verified_averaging_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_averaging_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

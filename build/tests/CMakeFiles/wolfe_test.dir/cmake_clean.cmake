@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wolfe_test.dir/wolfe_test.cpp.o"
+  "CMakeFiles/wolfe_test.dir/wolfe_test.cpp.o.d"
+  "wolfe_test"
+  "wolfe_test.pdb"
+  "wolfe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wolfe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
