@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rbvc_harness.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rbvc_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rbvc_consensus.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rbvc_hull.dir/DependInfo.cmake"

@@ -229,6 +229,6 @@ bench/CMakeFiles/bench_algo_end2end.dir/bench_algo_end2end.cpp.o: \
  /root/repo/src/sim/rng.h /root/repo/src/workload/runner.h \
  /root/repo/src/consensus/async_averaging.h \
  /root/repo/src/protocols/bracha_rbc.h /root/repo/src/sim/async_engine.h \
- /root/repo/src/protocols/witness.h \
+ /root/repo/src/protocols/witness.h /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /root/repo/src/protocols/dolev_strong.h /root/repo/src/sim/signatures.h

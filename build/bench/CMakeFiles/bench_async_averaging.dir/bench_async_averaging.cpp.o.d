@@ -223,6 +223,7 @@ bench/CMakeFiles/bench_async_averaging.dir/bench_async_averaging.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/sim/message.h \
  /root/repo/src/sim/trace.h /root/repo/src/protocols/witness.h \
+ /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -233,6 +233,6 @@ bench/CMakeFiles/bench_frontier.dir/bench_frontier.cpp.o: \
  /root/repo/src/workload/runner.h \
  /root/repo/src/consensus/async_averaging.h \
  /root/repo/src/protocols/bracha_rbc.h /root/repo/src/sim/async_engine.h \
- /root/repo/src/protocols/witness.h \
+ /root/repo/src/protocols/witness.h /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /root/repo/src/protocols/dolev_strong.h /root/repo/src/sim/signatures.h

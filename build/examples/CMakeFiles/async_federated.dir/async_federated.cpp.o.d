@@ -218,6 +218,7 @@ examples/CMakeFiles/async_federated.dir/async_federated.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.h \
  /root/repo/src/sim/trace.h /root/repo/src/protocols/witness.h \
+ /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

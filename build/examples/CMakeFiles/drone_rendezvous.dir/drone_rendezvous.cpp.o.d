@@ -229,6 +229,6 @@ examples/CMakeFiles/drone_rendezvous.dir/drone_rendezvous.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/protocols/bracha_rbc.h /root/repo/src/sim/async_engine.h \
- /root/repo/src/protocols/witness.h \
+ /root/repo/src/protocols/witness.h /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /root/repo/src/protocols/dolev_strong.h /root/repo/src/sim/signatures.h

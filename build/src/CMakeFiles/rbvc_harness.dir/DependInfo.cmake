@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/property.cpp" "src/CMakeFiles/rbvc_harness.dir/harness/property.cpp.o" "gcc" "src/CMakeFiles/rbvc_harness.dir/harness/property.cpp.o.d"
+  "/root/repo/src/harness/repro.cpp" "src/CMakeFiles/rbvc_harness.dir/harness/repro.cpp.o" "gcc" "src/CMakeFiles/rbvc_harness.dir/harness/repro.cpp.o.d"
+  "/root/repo/src/harness/shrinker.cpp" "src/CMakeFiles/rbvc_harness.dir/harness/shrinker.cpp.o" "gcc" "src/CMakeFiles/rbvc_harness.dir/harness/shrinker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rbvc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rbvc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbvc_harness.dir/harness/property.cpp.o"
+  "CMakeFiles/rbvc_harness.dir/harness/property.cpp.o.d"
+  "CMakeFiles/rbvc_harness.dir/harness/repro.cpp.o"
+  "CMakeFiles/rbvc_harness.dir/harness/repro.cpp.o.d"
+  "CMakeFiles/rbvc_harness.dir/harness/shrinker.cpp.o"
+  "CMakeFiles/rbvc_harness.dir/harness/shrinker.cpp.o.d"
+  "librbvc_harness.a"
+  "librbvc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbvc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

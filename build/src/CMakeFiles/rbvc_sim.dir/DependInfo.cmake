@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/async_engine.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/async_engine.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/async_engine.cpp.o.d"
   "/root/repo/src/sim/message.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/message.cpp.o.d"
   "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/schedule_log.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/schedule_log.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/schedule_log.cpp.o.d"
   "/root/repo/src/sim/signatures.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o.d"
   "/root/repo/src/sim/sync_engine.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/sync_engine.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/sync_engine.cpp.o.d"
   "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rbvc_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rbvc_sim.dir/sim/trace.cpp.o.d"

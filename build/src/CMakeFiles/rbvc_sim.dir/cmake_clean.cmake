@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/rbvc_sim.dir/sim/message.cpp.o.d"
   "CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o"
   "CMakeFiles/rbvc_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/rbvc_sim.dir/sim/schedule_log.cpp.o"
+  "CMakeFiles/rbvc_sim.dir/sim/schedule_log.cpp.o.d"
   "CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o"
   "CMakeFiles/rbvc_sim.dir/sim/signatures.cpp.o.d"
   "CMakeFiles/rbvc_sim.dir/sim/sync_engine.cpp.o"

@@ -215,7 +215,7 @@ src/CMakeFiles/rbvc_workload.dir/workload/runner.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/message.h \
  /root/repo/src/sim/rng.h /root/repo/src/sim/trace.h \
- /root/repo/src/protocols/witness.h \
+ /root/repo/src/protocols/witness.h /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

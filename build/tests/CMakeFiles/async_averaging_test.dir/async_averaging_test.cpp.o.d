@@ -301,7 +301,7 @@ tests/CMakeFiles/async_averaging_test.dir/async_averaging_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/consensus/verifier.h /root/repo/src/workload/generators.h \
- /root/repo/src/workload/runner.h \
+ /root/repo/src/workload/runner.h /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /root/repo/src/protocols/dolev_strong.h \
  /root/repo/src/protocols/om_broadcast.h /root/repo/src/sim/sync_engine.h \

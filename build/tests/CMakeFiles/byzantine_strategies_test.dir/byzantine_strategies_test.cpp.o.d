@@ -306,4 +306,4 @@ tests/CMakeFiles/byzantine_strategies_test.dir/byzantine_strategies_test.cpp.o: 
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/consensus/algo_relaxed.h \
  /root/repo/src/consensus/verifier.h /root/repo/src/workload/generators.h \
- /root/repo/src/workload/runner.h
+ /root/repo/src/workload/runner.h /root/repo/src/sim/schedule_log.h

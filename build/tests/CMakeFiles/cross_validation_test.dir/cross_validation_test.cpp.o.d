@@ -244,7 +244,7 @@ tests/CMakeFiles/cross_validation_test.dir/cross_validation_test.cpp.o: \
  /root/repo/src/workload/adversarial_inputs.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /root/repo/src/workload/generators.h /root/repo/src/workload/runner.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/sim/schedule_log.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -308,4 +308,5 @@ tests/CMakeFiles/dolev_strong_test.dir/dolev_strong_test.cpp.o: \
  /root/repo/src/consensus/async_averaging.h \
  /root/repo/src/protocols/bracha_rbc.h /root/repo/src/sim/async_engine.h \
  /root/repo/src/sim/rng.h /root/repo/src/protocols/witness.h \
- /root/repo/src/workload/generators.h /root/repo/src/workload/runner.h
+ /root/repo/src/workload/generators.h /root/repo/src/workload/runner.h \
+ /root/repo/src/sim/schedule_log.h

@@ -303,5 +303,6 @@ tests/CMakeFiles/exact_bvc_test.dir/exact_bvc_test.cpp.o: \
  /root/repo/src/geometry/simplex_geometry.h /root/repo/src/hull/gamma.h \
  /root/repo/src/opt/minimax.h /root/repo/src/protocols/bracha_rbc.h \
  /root/repo/src/sim/async_engine.h /root/repo/src/protocols/witness.h \
+ /root/repo/src/sim/schedule_log.h \
  /root/repo/src/workload/byzantine_strategies.h \
  /root/repo/src/protocols/dolev_strong.h /root/repo/src/sim/signatures.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_property_test.dir/harness_property_test.cpp.o"
+  "CMakeFiles/harness_property_test.dir/harness_property_test.cpp.o.d"
+  "harness_property_test"
+  "harness_property_test.pdb"
+  "harness_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

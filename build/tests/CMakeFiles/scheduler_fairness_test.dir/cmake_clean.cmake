@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_fairness_test.dir/scheduler_fairness_test.cpp.o"
+  "CMakeFiles/scheduler_fairness_test.dir/scheduler_fairness_test.cpp.o.d"
+  "scheduler_fairness_test"
+  "scheduler_fairness_test.pdb"
+  "scheduler_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -103,7 +103,7 @@ bool AsyncAveragingProcess::verify_one(int round, ProcessId src,
     return true;
   }
   // Structural checks on the view (reject outright when malformed).
-  if (pd.view.size() < prm_.n - prm_.f ||
+  if (pd.view.size() < quorum() ||
       !std::is_sorted(pd.view.begin(), pd.view.end()) ||
       std::adjacent_find(pd.view.begin(), pd.view.end()) != pd.view.end()) {
     ++rejected_;
@@ -162,7 +162,7 @@ void AsyncAveragingProcess::try_verify(protocols::Outbox&) {
 void AsyncAveragingProcess::advance(protocols::Outbox& out) {
   while (!decided_) {
     const auto ids = verified_ids(cur_);
-    if (ids.size() < prm_.n - prm_.f) return;
+    if (ids.size() < quorum()) return;
     if (prm_.use_witness) {
       if (!reported_cur_) {
         witness_.send_report(cur_, ids, out);

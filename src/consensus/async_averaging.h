@@ -52,6 +52,12 @@ class AsyncAveragingProcess : public sim::AsyncProcess {
     // Convergence can then stall or slow because two correct processes may
     // share as few as n-2f values per round (see bench_async_averaging).
     bool use_witness = true;
+    // Test-only fault injection for the record/replay/shrink harness: when
+    // nonzero, processes advance on (and accept views of) this many values
+    // instead of n-f. Any value below n-f breaks the overlap property that
+    // agreement rests on, planting a real, schedule-dependent bug for the
+    // harness to find and minimize. Production runs leave it 0.
+    std::size_t quorum_override = 0;
     double tol = kTol;
     // Deterministic minimax budget (identical at sender and verifier, so
     // recomputation matches bit-for-bit; accuracy only affects delta).
@@ -79,6 +85,9 @@ class AsyncAveragingProcess : public sim::AsyncProcess {
     std::vector<protocols::ProcessId> view;
   };
 
+  std::size_t quorum() const {
+    return prm_.quorum_override ? prm_.quorum_override : prm_.n - prm_.f;
+  }
   void advance(protocols::Outbox& out);
   void try_verify(protocols::Outbox& out);
   bool verify_one(int round, protocols::ProcessId src,

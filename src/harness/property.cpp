@@ -1,0 +1,151 @@
+#include "harness/property.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "consensus/verifier.h"
+
+namespace rbvc::harness {
+
+std::size_t fuzz_episodes(std::size_t fallback) {
+  const char* env = std::getenv("RBVC_FUZZ_EPISODES");
+  if (!env || !*env) return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+AsyncOracle decide_agree_valid_oracle(double eps, double kappa, double p) {
+  return [eps, kappa, p](const workload::AsyncExperiment& e,
+                         const workload::AsyncOutcome& out) -> std::string {
+    if (out.failed || !out.stats.all_decided) {
+      return "liveness: some correct process failed or did not decide";
+    }
+    const std::size_t correct = e.prm.n - e.byzantine_ids.size();
+    if (out.decisions.size() != correct) {
+      return "liveness: expected " + std::to_string(correct) +
+             " decisions, got " + std::to_string(out.decisions.size());
+    }
+    if (!check_epsilon_agreement(out.decisions, eps)) {
+      return "agreement: pairwise decision distance exceeds eps=" +
+             std::to_string(eps);
+    }
+    const double budget =
+        std::max(1e-9, input_dependent_delta(out.honest_inputs, kappa, p));
+    const double excess =
+        delta_p_validity_excess(out.decisions, out.honest_inputs, budget, p);
+    if (excess > 1e-5) {
+      return "validity: decision leaves the delta-relaxed hull by " +
+             std::to_string(excess);
+    }
+    return "";
+  };
+}
+
+namespace {
+
+PropertyResult replay_from_env(const AsyncProperty& prop, const char* path) {
+  PropertyResult r;
+  r.replayed_from_file = true;
+  r.episodes = 1;
+  const AsyncRepro rep = load_async_repro(path);
+  const auto out = replay_async_repro(rep);
+  r.failure = prop.oracle(rep.experiment, out);
+  r.passed = r.failure.empty();
+  r.repro_path = path;
+  r.original_len = r.shrunk_len = rep.schedule.size();
+  return r;
+}
+
+}  // namespace
+
+PropertyResult check_async_property(const AsyncProperty& prop) {
+  RBVC_REQUIRE(prop.generate && prop.oracle,
+               "check_async_property: generator and oracle are required");
+  if (const char* env = std::getenv("RBVC_REPLAY"); env && *env) {
+    // Replay mode targets one property; others run their normal episodes
+    // so a multi-property binary still exercises the rest of its suite.
+    const AsyncRepro rep = load_async_repro(env);
+    if (rep.property == prop.name) return replay_from_env(prop, env);
+  }
+
+  PropertyResult r;
+  const std::size_t episodes =
+      prop.episodes ? prop.episodes : fuzz_episodes(kDefaultEpisodes);
+  for (std::size_t ep = 0; ep < episodes; ++ep) {
+    // Per-episode seed independent of previous episodes, so a failing
+    // episode index is reproducible in isolation.
+    Rng ep_rng(prop.base_seed + 0x9E3779B97F4A7C15ULL * (ep + 1));
+    workload::AsyncExperiment exp = prop.generate(ep_rng);
+    sim::ScheduleLog log;
+    exp.record = &log;
+    exp.replay = nullptr;
+    const auto out = workload::run_async_experiment(exp);
+    const std::string violation = prop.oracle(exp, out);
+    if (violation.empty()) continue;
+
+    r.passed = false;
+    r.failure = violation;
+    r.failing_episode = ep;
+    r.episodes = ep + 1;
+    r.original_len = log.size();
+
+    workload::AsyncExperiment base = exp;
+    base.record = nullptr;
+    auto still_fails = [&](const sim::ScheduleLog& cand) {
+      workload::AsyncExperiment rexp = base;
+      rexp.replay = &cand;
+      return !prop.oracle(rexp, workload::run_async_experiment(rexp)).empty();
+    };
+    sim::ScheduleLog best = log;
+    if (prop.shrink && still_fails(log)) {
+      best = shrink_schedule(log, still_fails, prop.shrink_budget);
+    }
+    r.shrunk_len = best.size();
+
+    // One final replay captures the counterexample's trace for the file.
+    workload::AsyncExperiment final_exp = base;
+    final_exp.replay = &best;
+    final_exp.capture_trace = true;
+    const auto final_out = workload::run_async_experiment(final_exp);
+
+    AsyncRepro rep;
+    rep.property = prop.name;
+    rep.failure = violation;
+    rep.experiment = base;
+    rep.experiment.replay = nullptr;
+    rep.experiment.capture_trace = false;
+    rep.schedule = best;
+    rep.trace_dump = final_out.trace.dump();
+    const auto path = std::filesystem::absolute(
+        std::filesystem::path(prop.repro_dir) /
+        ("rbvc_repro_" + prop.name + ".txt"));
+    write_async_repro(path.string(), rep);
+    r.repro_path = path.string();
+    return r;
+  }
+  r.episodes = episodes;
+  return r;
+}
+
+std::string describe(const PropertyResult& r) {
+  if (r.passed) {
+    return (r.replayed_from_file ? std::string("replayed counterexample: ")
+                                 : std::string("property held over ")) +
+           std::to_string(r.episodes) +
+           (r.replayed_from_file ? " run(s), invariant now holds"
+                                 : " episode(s)");
+  }
+  std::string out = "property FAILED (episode " +
+                    std::to_string(r.failing_episode) + "): " + r.failure;
+  if (!r.repro_path.empty() && !r.replayed_from_file) {
+    out += "\nschedule shrunk " + std::to_string(r.original_len) + " -> " +
+           std::to_string(r.shrunk_len) + " entries";
+    out += "\nrepro written: " + r.repro_path;
+    out += "\nre-run: RBVC_REPLAY=" + r.repro_path +
+           " ctest -L fuzz --output-on-failure";
+  }
+  return out;
+}
+
+}  // namespace rbvc::harness

@@ -1,0 +1,66 @@
+// Property-test driver for asynchronous consensus runs: wraps an
+// (experiment generator, invariant oracle) pair, runs N seeded episodes
+// with schedule recording on, and on the first violation shrinks the
+// failing schedule and writes a self-contained repro file. Setting
+// RBVC_REPLAY=<file> re-executes that exact counterexample instead of
+// fuzzing; RBVC_FUZZ_EPISODES scales episode counts for nightly sweeps.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "harness/repro.h"
+#include "harness/shrinker.h"
+
+namespace rbvc::harness {
+
+/// Invariant oracle: returns "" when the outcome is acceptable, otherwise a
+/// one-line description of the violation. Must be deterministic.
+using AsyncOracle = std::function<std::string(
+    const workload::AsyncExperiment&, const workload::AsyncOutcome&)>;
+
+/// Default episode count when neither the property nor the environment
+/// overrides it -- small so tier-1 ctest stays fast.
+inline constexpr std::size_t kDefaultEpisodes = 8;
+
+struct AsyncProperty {
+  std::string name;  // identifies repro files; [a-zA-Z0-9_-] recommended
+  std::function<workload::AsyncExperiment(Rng&)> generate;
+  AsyncOracle oracle;
+  std::size_t episodes = 0;  // 0 = fuzz_episodes(kDefaultEpisodes)
+  std::uint64_t base_seed = 20260806;
+  bool shrink = true;
+  std::size_t shrink_budget = 400;  // max candidate replays while shrinking
+  std::string repro_dir = ".";      // where the repro file is written
+};
+
+struct PropertyResult {
+  bool passed = true;
+  bool replayed_from_file = false;  // RBVC_REPLAY path was taken
+  std::size_t episodes = 0;         // episodes actually executed
+  std::size_t failing_episode = 0;  // index of the first failure
+  std::string failure;              // oracle message (empty when passed)
+  std::string repro_path;           // written on failure ("" otherwise)
+  std::size_t original_len = 0;     // recorded schedule entries
+  std::size_t shrunk_len = 0;       // after shrinking (<= original_len)
+};
+
+/// RBVC_FUZZ_EPISODES as a positive integer, else `fallback`.
+std::size_t fuzz_episodes(std::size_t fallback);
+
+/// The standard oracle: every correct process decides, decisions are
+/// eps-agreeing, and they satisfy the (delta,p)-relaxed validity budget
+/// delta = kappa * honest input diameter (cf. consensus/verifier.h).
+AsyncOracle decide_agree_valid_oracle(double eps, double kappa,
+                                      double p = 2.0);
+
+/// Runs the property. If RBVC_REPLAY names a repro file whose `property`
+/// field matches `prop.name`, that single counterexample is re-executed
+/// instead of fuzzing (episodes = 1, replayed_from_file = true).
+PropertyResult check_async_property(const AsyncProperty& prop);
+
+/// Human-readable report, including the one-line RBVC_REPLAY re-run hint
+/// when a repro file was written. Suitable for gtest failure messages.
+std::string describe(const PropertyResult& r);
+
+}  // namespace rbvc::harness

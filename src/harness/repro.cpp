@@ -1,0 +1,179 @@
+#include "harness/repro.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/trace.h"
+
+namespace rbvc::harness {
+
+namespace {
+
+constexpr const char* kHeader = "rbvc-async-repro v1";
+
+std::string fmt_double(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+std::string fmt_vec(const Vec& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ' ';
+    out += fmt_double(v[i]);
+  }
+  return out;
+}
+
+std::vector<double> parse_doubles(const std::string& s) {
+  std::vector<double> out;
+  std::istringstream in(s);
+  double x;
+  while (in >> x) out.push_back(x);
+  return out;
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::istringstream in(s);
+  std::uint64_t x;
+  while (in >> x) out.push_back(static_cast<std::size_t>(x));
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string serialize_async_repro(const AsyncRepro& r) {
+  const workload::AsyncExperiment& e = r.experiment;
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  out += "property " + r.property + "\n";
+  out += "failure " + sim::escape_detail(r.failure) + "\n";
+  out += "n " + std::to_string(e.prm.n) + "\n";
+  out += "f " + std::to_string(e.prm.f) + "\n";
+  out += "rounds " + std::to_string(e.prm.rounds) + "\n";
+  out += "rule " + std::to_string(static_cast<int>(e.prm.rule)) + "\n";
+  out += "use_witness " + std::to_string(e.prm.use_witness ? 1 : 0) + "\n";
+  out += "quorum_override " + std::to_string(e.prm.quorum_override) + "\n";
+  out += "tol " + fmt_double(e.prm.tol) + "\n";
+  out += "minimax " + std::to_string(e.prm.minimax.iters) + " " +
+         std::to_string(e.prm.minimax.polish_iters) + " " +
+         fmt_double(e.prm.minimax.tol) + " " + fmt_double(e.prm.minimax.p) +
+         "\n";
+  out += "d " + std::to_string(e.d) + "\n";
+  out += "strategy " + std::to_string(static_cast<int>(e.strategy)) + "\n";
+  out += "scheduler " + std::to_string(static_cast<int>(e.scheduler)) + "\n";
+  out += "seed " + std::to_string(e.seed) + "\n";
+  out += "max_events " + std::to_string(e.max_events) + "\n";
+  if (!e.byzantine_ids.empty()) {
+    out += "byzantine";
+    for (std::size_t id : e.byzantine_ids) out += " " + std::to_string(id);
+    out += '\n';
+  }
+  for (const Vec& v : e.honest_inputs) {
+    out += "input " + fmt_vec(v) + "\n";
+  }
+  out += "schedule " + r.schedule.serialize() + "\n";
+  if (!r.trace_dump.empty()) {
+    out += "trace " + sim::escape_detail(r.trace_dump) + "\n";
+  }
+  return out;
+}
+
+AsyncRepro parse_async_repro(const std::string& text) {
+  AsyncRepro r;
+  std::istringstream in(text);
+  std::string line;
+  RBVC_REQUIRE(std::getline(in, line) && line == kHeader,
+               "async repro: missing or unsupported header");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp = line.find(' ');
+    const std::string key = line.substr(0, sp);
+    const std::string val =
+        sp == std::string::npos ? std::string() : line.substr(sp + 1);
+    workload::AsyncExperiment& e = r.experiment;
+    if (key == "property") {
+      r.property = val;
+    } else if (key == "failure") {
+      r.failure = sim::unescape_detail(val);
+    } else if (key == "n") {
+      e.prm.n = static_cast<std::size_t>(parse_u64(val));
+    } else if (key == "f") {
+      e.prm.f = static_cast<std::size_t>(parse_u64(val));
+    } else if (key == "rounds") {
+      e.prm.rounds = static_cast<std::size_t>(parse_u64(val));
+    } else if (key == "rule") {
+      e.prm.rule = static_cast<consensus::AsyncAveragingProcess::Round0Rule>(
+          parse_u64(val));
+    } else if (key == "use_witness") {
+      e.prm.use_witness = parse_u64(val) != 0;
+    } else if (key == "quorum_override") {
+      e.prm.quorum_override = static_cast<std::size_t>(parse_u64(val));
+    } else if (key == "tol") {
+      e.prm.tol = parse_doubles(val).at(0);
+    } else if (key == "minimax") {
+      const auto fields = parse_doubles(val);
+      RBVC_REQUIRE(fields.size() == 4, "async repro: bad minimax line");
+      e.prm.minimax.iters = static_cast<std::size_t>(fields[0]);
+      e.prm.minimax.polish_iters = static_cast<std::size_t>(fields[1]);
+      e.prm.minimax.tol = fields[2];
+      e.prm.minimax.p = fields[3];
+    } else if (key == "d") {
+      e.d = static_cast<std::size_t>(parse_u64(val));
+    } else if (key == "strategy") {
+      e.strategy = static_cast<workload::AsyncStrategy>(parse_u64(val));
+    } else if (key == "scheduler") {
+      e.scheduler = static_cast<workload::SchedulerKind>(parse_u64(val));
+    } else if (key == "seed") {
+      e.seed = parse_u64(val);
+    } else if (key == "max_events") {
+      e.max_events = static_cast<std::size_t>(parse_u64(val));
+    } else if (key == "byzantine") {
+      e.byzantine_ids = parse_sizes(val);
+    } else if (key == "input") {
+      e.honest_inputs.push_back(parse_doubles(val));
+    } else if (key == "schedule") {
+      r.schedule = sim::ScheduleLog::parse(val);
+    } else if (key == "trace") {
+      r.trace_dump = sim::unescape_detail(val);
+    }
+    // Unknown keys: skipped for forward compatibility.
+  }
+  RBVC_REQUIRE(r.experiment.prm.n > 0, "async repro: missing n");
+  return r;
+}
+
+void write_async_repro(const std::string& path, const AsyncRepro& r) {
+  std::ofstream out(path, std::ios::trunc);
+  RBVC_REQUIRE(out.good(), "write_async_repro: cannot open " + path);
+  out << serialize_async_repro(r);
+  RBVC_REQUIRE(out.good(), "write_async_repro: write failed for " + path);
+}
+
+AsyncRepro load_async_repro(const std::string& path) {
+  std::ifstream in(path);
+  RBVC_REQUIRE(in.good(), "load_async_repro: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_async_repro(buf.str());
+}
+
+workload::AsyncOutcome replay_async_repro(const AsyncRepro& r) {
+  workload::AsyncExperiment e = r.experiment;
+  e.record = nullptr;
+  e.replay = &r.schedule;
+  e.capture_trace = true;
+  return workload::run_async_experiment(e);
+}
+
+}  // namespace rbvc::harness

@@ -1,0 +1,33 @@
+// Self-contained counterexample files for asynchronous runs: everything
+// needed to re-execute a failing episode byte-for-byte -- the full
+// experiment configuration (including seeds and numeric options) plus the
+// recorded (usually shrunk) schedule -- in a line-oriented `key value` text
+// format. docs/HARNESS.md documents the format and the RBVC_REPLAY flow.
+#pragma once
+
+#include <string>
+
+#include "workload/runner.h"
+
+namespace rbvc::harness {
+
+struct AsyncRepro {
+  std::string property;  // name of the property that failed
+  std::string failure;   // oracle's violation message at record time
+  workload::AsyncExperiment experiment;  // record/replay pointers left null
+  sim::ScheduleLog schedule;             // the failing schedule
+  std::string trace_dump;  // optional: Trace::dump() of the failing replay
+};
+
+std::string serialize_async_repro(const AsyncRepro& r);
+/// Inverse of serialize_async_repro(); unknown keys are ignored so old
+/// binaries can read newer files. Throws invalid_argument when malformed.
+AsyncRepro parse_async_repro(const std::string& text);
+
+void write_async_repro(const std::string& path, const AsyncRepro& r);
+AsyncRepro load_async_repro(const std::string& path);
+
+/// Re-executes the repro's experiment under its schedule (trace captured).
+workload::AsyncOutcome replay_async_repro(const AsyncRepro& r);
+
+}  // namespace rbvc::harness

@@ -1,0 +1,97 @@
+#include "harness/shrinker.h"
+
+#include <algorithm>
+
+namespace rbvc::harness {
+
+sim::ScheduleLog shrink_schedule(const sim::ScheduleLog& failing,
+                                 const FailurePredicate& still_fails,
+                                 std::size_t max_attempts,
+                                 ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  st = {};
+  st.original_size = failing.size();
+
+  sim::ScheduleLog cur = failing;
+  auto attempt = [&](const sim::ScheduleLog& cand) {
+    ++st.attempts;
+    if (!still_fails(cand)) return false;
+    ++st.accepted;
+    cur = cand;
+    return true;
+  };
+
+  // A trailing pick of 0 behaves exactly like the exhausted-log FIFO
+  // fallback, so trimming such a suffix preserves the replayed execution
+  // verbatim -- no oracle run needed.
+  auto trim_trailing_fifo = [&] {
+    std::size_t keep = cur.size();
+    while (keep > 0 &&
+           cur.entries()[keep - 1].kind == sim::ScheduleEntryKind::kPick &&
+           cur.entries()[keep - 1].value == 0) {
+      --keep;
+    }
+    cur.erase_range(keep, cur.size() - keep);
+  };
+  trim_trailing_fifo();
+
+  bool changed = true;
+  while (changed && st.attempts < max_attempts) {
+    changed = false;
+    ++st.passes;
+
+    // Collapse to the shortest failing prefix (the suffix becomes FIFO).
+    // Failure is not necessarily monotone in the cut point, so this is a
+    // heuristic probe, but each accepted candidate is verified to fail.
+    if (cur.size() > 1) {
+      std::size_t lo = 0;
+      std::size_t hi = cur.size();
+      while (lo < hi && st.attempts < max_attempts) {
+        const std::size_t mid = (lo + hi) / 2;
+        sim::ScheduleLog cand = cur;
+        cand.erase_range(mid, cand.size() - mid);
+        if (attempt(cand)) {
+          hi = mid;
+          changed = true;
+        } else {
+          lo = mid + 1;
+        }
+      }
+    }
+
+    // Chunked deletion of laggard segments, largest chunks first.
+    for (std::size_t chunk = std::max<std::size_t>(cur.size() / 2, 1);
+         chunk >= 1 && st.attempts < max_attempts; chunk /= 2) {
+      std::size_t i = 0;
+      while (i < cur.size() && st.attempts < max_attempts) {
+        sim::ScheduleLog cand = cur;
+        cand.erase_range(i, chunk);
+        if (attempt(cand)) {
+          changed = true;  // keep i: the next chunk slid into place
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Canonicalization: rewrite surviving picks toward FIFO (index 0), back
+    // to front so zeros accumulate at the tail, where trimming deletes them
+    // for free; the remaining nonzero picks are the adversarial choices.
+    for (std::size_t i = cur.size(); i > 0 && st.attempts < max_attempts;
+         --i) {
+      const sim::ScheduleEntry& e = cur.entries()[i - 1];
+      if (e.kind != sim::ScheduleEntryKind::kPick || e.value == 0) continue;
+      sim::ScheduleLog cand = cur;
+      cand.set_value(i - 1, 0);
+      if (attempt(cand)) changed = true;
+    }
+    trim_trailing_fifo();
+  }
+
+  st.final_size = cur.size();
+  return cur;
+}
+
+}  // namespace rbvc::harness

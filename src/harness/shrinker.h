@@ -1,0 +1,39 @@
+// Greedy schedule minimization: given a failing ScheduleLog and a predicate
+// that re-executes it against the oracle, produce a schedule that is never
+// longer than the original, still fails, and is usually far smaller and
+// closer to FIFO order -- a human-readable counterexample.
+//
+// Replay tolerates arbitrary truncation and edits (ReplayScheduler wraps
+// out-of-range indices and falls back to FIFO when the log runs out), so
+// every candidate the shrinker proposes is a valid schedule; only
+// still-failing candidates are ever accepted.
+#pragma once
+
+#include <functional>
+
+#include "sim/schedule_log.h"
+
+namespace rbvc::harness {
+
+/// Re-runs the experiment under the candidate schedule and reports whether
+/// the invariant still fails. Must be deterministic.
+using FailurePredicate = std::function<bool(const sim::ScheduleLog&)>;
+
+struct ShrinkStats {
+  std::size_t attempts = 0;       // candidate executions performed
+  std::size_t accepted = 0;       // candidates that still failed
+  std::size_t original_size = 0;  // entries before shrinking
+  std::size_t final_size = 0;     // entries after shrinking
+  std::size_t passes = 0;         // full delete+canonicalize sweeps
+};
+
+/// Delta-debugging style loop: chunked deletions with halving chunk sizes,
+/// then pick-index canonicalization toward 0 (FIFO), repeated to fixpoint
+/// or until `max_attempts` candidate executions have run. `failing` must
+/// satisfy `still_fails`; the result always does, and is never longer.
+sim::ScheduleLog shrink_schedule(const sim::ScheduleLog& failing,
+                                 const FailurePredicate& still_fails,
+                                 std::size_t max_attempts = 500,
+                                 ShrinkStats* stats = nullptr);
+
+}  // namespace rbvc::harness

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/schedule_log.h"
+
 namespace rbvc::sim {
 
 std::size_t RandomScheduler::pick(const std::vector<Message>& pending) {
@@ -92,6 +94,7 @@ AsyncRunStats AsyncEngine::run(const std::vector<ProcessId>& wait_for,
   while (stats.deliveries < max_events && !pending.empty() && !all_done()) {
     const std::size_t idx = sched_->pick(pending);
     RBVC_REQUIRE(idx < pending.size(), "scheduler picked out of range");
+    if (slog_) slog_->add_pick(idx);
     const Message m = pending[idx];
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(idx));
     ++stats.deliveries;

@@ -22,8 +22,12 @@ class AsyncProcess {
   virtual bool decided() const = 0;
 };
 
+class ScheduleLog;
+
 /// Chooses which pending message to deliver next. Implementations must be
-/// fair (never starve a message forever) for liveness results to hold.
+/// fair (never starve a message forever) for liveness results to hold;
+/// tests/scheduler_fairness_test.cpp guards this for the built-in
+/// schedulers.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -73,6 +77,10 @@ class AsyncEngine {
   AsyncProcess& process(ProcessId id) { return *procs_.at(id); }
   Trace& trace() { return trace_; }
 
+  /// When set, every scheduler decision is appended to `log` as it is made
+  /// (see sim/schedule_log.h); replaying the log reproduces the run.
+  void set_schedule_log(ScheduleLog* log) { slog_ = log; }
+
   /// Delivers messages until every process in `wait_for` has decided, the
   /// pending pool drains, or `max_events` deliveries happen.
   AsyncRunStats run(const std::vector<ProcessId>& wait_for,
@@ -82,6 +90,7 @@ class AsyncEngine {
   std::unique_ptr<Scheduler> sched_;
   std::vector<std::unique_ptr<AsyncProcess>> procs_;
   Trace trace_;
+  ScheduleLog* slog_ = nullptr;
 };
 
 }  // namespace rbvc::sim

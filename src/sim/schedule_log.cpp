@@ -1,0 +1,82 @@
+#include "sim/schedule_log.h"
+
+#include <algorithm>
+
+namespace rbvc::sim {
+
+void ScheduleLog::add_pick(std::size_t index) {
+  entries_.push_back({ScheduleEntryKind::kPick, index});
+}
+
+void ScheduleLog::add_round(std::size_t messages) {
+  entries_.push_back({ScheduleEntryKind::kRound, messages});
+}
+
+std::size_t ScheduleLog::pick_count() const {
+  std::size_t n = 0;
+  for (const ScheduleEntry& e : entries_) {
+    if (e.kind == ScheduleEntryKind::kPick) ++n;
+  }
+  return n;
+}
+
+void ScheduleLog::erase_range(std::size_t first, std::size_t count) {
+  RBVC_REQUIRE(first <= entries_.size(), "erase_range: first out of range");
+  const std::size_t last = std::min(first + count, entries_.size());
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(first),
+                 entries_.begin() + static_cast<std::ptrdiff_t>(last));
+}
+
+void ScheduleLog::set_value(std::size_t i, std::uint64_t value) {
+  RBVC_REQUIRE(i < entries_.size(), "set_value: index out of range");
+  entries_[i].value = value;
+}
+
+std::string ScheduleLog::serialize() const {
+  std::string out;
+  for (const ScheduleEntry& e : entries_) {
+    if (!out.empty()) out += ' ';
+    out += (e.kind == ScheduleEntryKind::kPick) ? 'p' : 'r';
+    out += std::to_string(e.value);
+  }
+  return out;
+}
+
+ScheduleLog ScheduleLog::parse(const std::string& text) {
+  ScheduleLog log;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == ' ' || text[i] == '\t' || text[i] == '\n') {
+      ++i;
+      continue;
+    }
+    const char tag = text[i++];
+    RBVC_REQUIRE(tag == 'p' || tag == 'r',
+                 "ScheduleLog::parse: unknown entry tag");
+    std::uint64_t value = 0;
+    bool any = false;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+      any = true;
+      ++i;
+    }
+    RBVC_REQUIRE(any, "ScheduleLog::parse: entry tag without a value");
+    log.entries_.push_back(
+        {tag == 'p' ? ScheduleEntryKind::kPick : ScheduleEntryKind::kRound,
+         value});
+  }
+  return log;
+}
+
+std::size_t ReplayScheduler::pick(const std::vector<Message>& pending) {
+  RBVC_REQUIRE(!pending.empty(), "ReplayScheduler: nothing pending");
+  while (next_ < log_.size() &&
+         log_.entries()[next_].kind != ScheduleEntryKind::kPick) {
+    ++next_;
+  }
+  if (next_ >= log_.size()) return 0;  // exhausted: FIFO is fair
+  const std::uint64_t raw = log_.entries()[next_++].value;
+  return static_cast<std::size_t>(raw % pending.size());
+}
+
+}  // namespace rbvc::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/schedule_log.h"
+
 namespace rbvc::sim {
 
 namespace {
@@ -55,6 +57,7 @@ SyncRunStats SyncEngine::run(std::size_t max_rounds) {
       stats.all_decided = true;
       break;
     }
+    const std::size_t sent_before = stats.messages;
     std::vector<std::vector<Message>> next(n);
     for (ProcessId id = 0; id < n; ++id) {
       // Deterministic in-round delivery order: sort by sender then content
@@ -67,6 +70,7 @@ SyncRunStats SyncEngine::run(std::size_t max_rounds) {
       CollectingOutbox out(id, n, next, trace_, r, stats.messages);
       procs_[id]->round(r, inboxes[id], out);
     }
+    if (slog_) slog_->add_round(stats.messages - sent_before);
     inboxes = std::move(next);
     stats.rounds = r + 1;
   }

@@ -13,6 +13,8 @@
 
 namespace rbvc::sim {
 
+class ScheduleLog;
+
 class SyncProcess {
  public:
   virtual ~SyncProcess() = default;
@@ -41,12 +43,19 @@ class SyncEngine {
   SyncProcess& process(ProcessId id) { return *procs_.at(id); }
   Trace& trace() { return trace_; }
 
+  /// When set, a per-round checkpoint (message count) is appended to `log`
+  /// after every round. Sync runs are deterministic given the process
+  /// configuration, so the log serves as a divergence detector: re-running
+  /// the same experiment must reproduce the identical log.
+  void set_schedule_log(ScheduleLog* log) { slog_ = log; }
+
   /// Runs until every process reports decided() or `max_rounds` elapse.
   SyncRunStats run(std::size_t max_rounds);
 
  private:
   std::vector<std::unique_ptr<SyncProcess>> procs_;
   Trace trace_;
+  ScheduleLog* slog_ = nullptr;
 };
 
 }  // namespace rbvc::sim

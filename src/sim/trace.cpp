@@ -3,6 +3,7 @@
 namespace rbvc::sim {
 
 namespace {
+
 const char* name(EventType t) {
   switch (t) {
     case EventType::kSend:
@@ -16,7 +17,70 @@ const char* name(EventType t) {
   }
   return "?";
 }
+
+EventType type_from_name(const std::string& s) {
+  if (s == "send") return EventType::kSend;
+  if (s == "deliver") return EventType::kDeliver;
+  if (s == "decide") return EventType::kDecide;
+  if (s == "note") return EventType::kNote;
+  throw invalid_argument("Trace::parse: unknown event type `" + s + "`");
+}
+
+std::size_t parse_size(const std::string& s) {
+  std::size_t value = 0;
+  RBVC_REQUIRE(!s.empty(), "Trace::parse: empty numeric field");
+  for (char c : s) {
+    RBVC_REQUIRE(c >= '0' && c <= '9', "Trace::parse: non-numeric field");
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
 }  // namespace
+
+std::string escape_detail(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_detail(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char next = s[++i];
+    switch (next) {
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        out += next;  // "\\" and any future escapes decode to themselves
+    }
+  }
+  return out;
+}
 
 void Trace::record(EventType type, std::size_t time, ProcessId process,
                    std::string detail) {
@@ -35,11 +99,45 @@ std::size_t Trace::count(EventType type) const {
 std::string Trace::dump() const {
   std::string out;
   for (const TraceEvent& e : events_) {
-    out += "[t=" + std::to_string(e.time) + "] p" +
-           std::to_string(e.process) + " " + name(e.type) + ": " + e.detail +
-           "\n";
+    out += name(e.type);
+    out += ' ';
+    out += std::to_string(e.time);
+    out += ' ';
+    out += std::to_string(e.process);
+    out += ' ';
+    out += escape_detail(e.detail);
+    out += '\n';
   }
   return out;
+}
+
+Trace Trace::parse(const std::string& text) {
+  Trace t;
+  t.set_enabled(true);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    const std::size_t s1 = line.find(' ');
+    RBVC_REQUIRE(s1 != std::string::npos, "Trace::parse: missing time field");
+    const std::size_t s2 = line.find(' ', s1 + 1);
+    RBVC_REQUIRE(s2 != std::string::npos,
+                 "Trace::parse: missing process field");
+    std::size_t s3 = line.find(' ', s2 + 1);
+    if (s3 == std::string::npos) s3 = line.size();  // empty detail
+
+    TraceEvent e;
+    e.type = type_from_name(line.substr(0, s1));
+    e.time = parse_size(line.substr(s1 + 1, s2 - s1 - 1));
+    e.process = parse_size(line.substr(s2 + 1, s3 - s2 - 1));
+    e.detail = s3 < line.size() ? unescape_detail(line.substr(s3 + 1)) : "";
+    t.events_.push_back(std::move(e));
+  }
+  return t;
 }
 
 }  // namespace rbvc::sim

@@ -1,6 +1,10 @@
 // Optional execution tracing: engines record message/deliver/decide events
 // so tests can assert on protocol behavior (message complexity, ordering)
 // and failures can be replayed from a printout.
+//
+// dump() emits a stable, machine-parseable form (one event per line, fixed
+// field order, escaped detail) and Trace::parse() inverts it losslessly, so
+// repro files can embed traces and replay tests can diff them exactly.
 #pragma once
 
 #include <string>
@@ -17,7 +21,14 @@ struct TraceEvent {
   std::size_t time = 0;  // round (sync) or event index (async)
   ProcessId process = 0;
   std::string detail;
+
+  bool operator==(const TraceEvent&) const = default;
 };
+
+/// Escapes backslashes and line breaks so any detail string fits on one
+/// line of a serialized trace or repro file; unescape_detail() inverts it.
+std::string escape_detail(const std::string& s);
+std::string unescape_detail(const std::string& s);
 
 class Trace {
  public:
@@ -29,8 +40,16 @@ class Trace {
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t count(EventType type) const;
+
+  /// Stable serialization: "<type> <time> <process> <escaped detail>\n"
+  /// per event. Round-trips through parse() losslessly.
   std::string dump() const;
+  /// Inverse of dump(). Throws invalid_argument on malformed input.
+  static Trace parse(const std::string& text);
+
   void clear() { events_.clear(); }
+
+  bool operator==(const Trace& o) const { return events_ == o.events_; }
 
  private:
   bool enabled_ = false;

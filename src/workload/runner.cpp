@@ -22,6 +22,11 @@ SyncOutcome run_sync_experiment(const SyncExperiment& e) {
   const std::size_t d = e.honest_inputs.front().size();
 
   sim::SyncEngine engine;
+  engine.trace().set_enabled(e.capture_trace);
+  if (e.record) {
+    e.record->clear();
+    engine.set_schedule_log(e.record);
+  }
   Rng seeds(e.seed);
   // The authority outlives the engine run; only used for kDolevStrong.
   sim::SignatureAuthority authority(seeds.next_u64());
@@ -60,8 +65,10 @@ SyncOutcome run_sync_experiment(const SyncExperiment& e) {
   } catch (const consensus::infeasible_instance& ex) {
     out.decision_failed = true;
     out.failure = ex.what();
+    out.trace = engine.trace();
     return out;
   }
+  out.trace = engine.trace();
   for (std::size_t id : correct_ids) {
     if (e.backend == SyncBackend::kEig) {
       out.decisions.push_back(
@@ -83,19 +90,29 @@ AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
                "run_async_experiment: more faulty ids than the fault budget");
 
   Rng seeds(e.seed);
+  // Always burn one seed draw for the scheduler so process seeds line up
+  // between recorded runs and replays (which ignore the scheduler seed).
+  const std::uint64_t sched_seed = seeds.next_u64();
   std::unique_ptr<sim::Scheduler> sched;
-  if (e.scheduler == SchedulerKind::kRandom) {
-    sched = std::make_unique<sim::RandomScheduler>(seeds.next_u64());
+  if (e.replay) {
+    sched = std::make_unique<sim::ReplayScheduler>(*e.replay);
+  } else if (e.scheduler == SchedulerKind::kRandom) {
+    sched = std::make_unique<sim::RandomScheduler>(sched_seed);
   } else {
     // Lag the Byzantine processes plus (arbitrarily) the highest correct id,
     // modelling "f slow correct processes" when there are no faults.
     std::vector<sim::ProcessId> laggards(e.byzantine_ids.begin(),
                                          e.byzantine_ids.end());
     if (laggards.empty() && e.prm.n > 0) laggards.push_back(e.prm.n - 1);
-    sched = std::make_unique<sim::LaggardScheduler>(seeds.next_u64(),
+    sched = std::make_unique<sim::LaggardScheduler>(sched_seed,
                                                     std::move(laggards));
   }
   sim::AsyncEngine engine(std::move(sched));
+  engine.trace().set_enabled(e.capture_trace);
+  if (e.record) {
+    e.record->clear();
+    engine.set_schedule_log(e.record);
+  }
 
   std::vector<sim::ProcessId> correct_ids;
   std::size_t next_input = 0;
@@ -113,6 +130,7 @@ AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
   AsyncOutcome out;
   out.honest_inputs = e.honest_inputs;
   out.stats = engine.run(correct_ids, e.max_events);
+  out.trace = engine.trace();
   for (sim::ProcessId id : correct_ids) {
     auto& p = dynamic_cast<consensus::AsyncAveragingProcess&>(
         engine.process(id));

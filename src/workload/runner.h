@@ -6,6 +6,7 @@
 
 #include "consensus/async_averaging.h"
 #include "sim/async_engine.h"
+#include "sim/schedule_log.h"
 #include "workload/byzantine_strategies.h"
 
 namespace rbvc::workload {
@@ -29,12 +30,17 @@ struct SyncExperiment {
   protocols::DecisionFn decision;
   SyncBackend backend = SyncBackend::kEig;
   std::uint64_t seed = 1;
+  // Record/replay hooks (sync runs are deterministic given the config, so
+  // the recorded log doubles as a divergence checkpoint for re-runs).
+  sim::ScheduleLog* record = nullptr;  // when set, round checkpoints land here
+  bool capture_trace = false;          // when set, the outcome carries a Trace
 };
 
 struct SyncOutcome {
   std::vector<Vec> decisions;      // correct processes' outputs, id order
   std::vector<Vec> honest_inputs;  // echo of the experiment's inputs
   sim::SyncRunStats stats;
+  sim::Trace trace;                // populated when capture_trace was set
   bool decision_failed = false;    // a decision rule threw (infeasible)
   std::string failure;             // its message
 };
@@ -56,6 +62,14 @@ struct AsyncExperiment {
   SchedulerKind scheduler = SchedulerKind::kRandom;
   std::uint64_t seed = 1;
   std::size_t max_events = 2'000'000;
+  // Record/replay hooks. `record` captures every scheduler pick into the
+  // given log; `replay` substitutes a ReplayScheduler that re-executes the
+  // given log (the `scheduler` kind is then only used to keep the seed
+  // derivation identical to the recorded run). Both may be set at once,
+  // e.g. to re-record the effective schedule of a shrunk replay.
+  sim::ScheduleLog* record = nullptr;
+  const sim::ScheduleLog* replay = nullptr;
+  bool capture_trace = false;  // when set, the outcome carries a Trace
 };
 
 struct AsyncOutcome {
@@ -63,6 +77,7 @@ struct AsyncOutcome {
   std::vector<Vec> honest_inputs;
   std::vector<double> round0_deltas;  // per correct process
   sim::AsyncRunStats stats;
+  sim::Trace trace;     // populated when capture_trace was set
   bool failed = false;  // some correct process failed or did not decide
 };
 

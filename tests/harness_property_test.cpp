@@ -1,0 +1,199 @@
+// End-to-end harness driver tests (ctest label: fuzz). Episode counts obey
+// the RBVC_FUZZ_EPISODES env knob so nightly sweeps can scale these up
+// (e.g. RBVC_FUZZ_EPISODES=500 ctest -L fuzz) while tier-1 stays fast, and
+// RBVC_REPLAY=<repro file> pins a binary to one recorded counterexample.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/property.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+class HarnessPropertyTest : public ::testing::Test {
+ protected:
+  // Some tests manipulate the harness env knobs; snapshot and restore so
+  // they cannot leak into each other. The knobs are deliberately NOT
+  // cleared here: an externally set RBVC_FUZZ_EPISODES / RBVC_REPLAY must
+  // keep steering the suite (that is the documented ctest surface), so
+  // only the tests that need a controlled environment unset them.
+  void SetUp() override {
+    save("RBVC_REPLAY", replay_);
+    save("RBVC_FUZZ_EPISODES", episodes_);
+  }
+  void TearDown() override {
+    restore("RBVC_REPLAY", replay_);
+    restore("RBVC_FUZZ_EPISODES", episodes_);
+  }
+
+ private:
+  static void save(const char* name, std::pair<bool, std::string>& slot) {
+    const char* v = std::getenv(name);
+    slot = {v != nullptr, v ? v : ""};
+  }
+  static void restore(const char* name,
+                      const std::pair<bool, std::string>& slot) {
+    if (slot.first) {
+      ::setenv(name, slot.second.c_str(), 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  std::pair<bool, std::string> replay_;
+  std::pair<bool, std::string> episodes_;
+};
+
+harness::AsyncProperty healthy_property() {
+  harness::AsyncProperty prop;
+  prop.name = "healthy_async_averaging";
+  prop.generate = [](Rng& rng) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4 + rng.below(2);
+    e.prm.f = 1;
+    e.prm.rounds = 4 + rng.below(3);
+    e.d = 2 + rng.below(2);
+    const std::size_t faults = rng.below(2);
+    e.honest_inputs =
+        workload::gaussian_cloud(rng, e.prm.n - faults, e.d);
+    if (faults) e.byzantine_ids = {rng.below(e.prm.n)};
+    constexpr workload::AsyncStrategy strategies[] = {
+        workload::AsyncStrategy::kSilent,
+        workload::AsyncStrategy::kOutlierInput,
+        workload::AsyncStrategy::kCrashMidway};
+    e.strategy = strategies[rng.below(3)];
+    e.scheduler = rng.below(2) == 0 ? workload::SchedulerKind::kRandom
+                                    : workload::SchedulerKind::kLaggard;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.repro_dir = ::testing::TempDir();
+  return prop;
+}
+
+harness::AsyncProperty planted_property() {
+  harness::AsyncProperty prop;
+  prop.name = "harness_planted_bug";
+  prop.generate = [](Rng& rng) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4;
+    e.prm.f = 1;
+    e.prm.rounds = 2;
+    e.prm.use_witness = false;
+    e.prm.quorum_override = 2;  // test-only hook: quorum below n - f
+    e.d = 2;
+    e.honest_inputs = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+    e.scheduler = workload::SchedulerKind::kRandom;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.episodes = 10;
+  prop.shrink_budget = 120;
+  prop.repro_dir = ::testing::TempDir();
+  return prop;
+}
+
+TEST_F(HarnessPropertyTest, HealthyProtocolHoldsAcrossEpisodes) {
+  auto prop = healthy_property();
+  prop.episodes = harness::fuzz_episodes(3);  // nightly scale via env
+  const auto res = harness::check_async_property(prop);
+  EXPECT_TRUE(res.passed) << harness::describe(res);
+  EXPECT_EQ(res.episodes, prop.episodes);
+  EXPECT_TRUE(res.repro_path.empty());
+}
+
+TEST_F(HarnessPropertyTest, ReplayEnvPinsTheMatchingProperty) {
+  ::unsetenv("RBVC_REPLAY");  // must fuzz first to produce the repro
+  ::unsetenv("RBVC_FUZZ_EPISODES");
+  const auto prop = planted_property();
+  const auto fuzzed = harness::check_async_property(prop);
+  ASSERT_FALSE(fuzzed.passed) << harness::describe(fuzzed);
+  ASSERT_FALSE(fuzzed.repro_path.empty());
+
+  ::setenv("RBVC_REPLAY", fuzzed.repro_path.c_str(), 1);
+  const auto replayed = harness::check_async_property(prop);
+  EXPECT_TRUE(replayed.replayed_from_file);
+  EXPECT_FALSE(replayed.passed);
+  EXPECT_EQ(replayed.episodes, 1u);
+  EXPECT_FALSE(replayed.failure.empty());
+
+  // A property with a different name ignores the repro and fuzzes normally.
+  auto other = healthy_property();
+  other.episodes = 2;
+  const auto other_res = harness::check_async_property(other);
+  EXPECT_FALSE(other_res.replayed_from_file);
+  EXPECT_TRUE(other_res.passed) << harness::describe(other_res);
+}
+
+TEST_F(HarnessPropertyTest, FuzzEpisodesEnvKnob) {
+  ::unsetenv("RBVC_FUZZ_EPISODES");
+  EXPECT_EQ(harness::fuzz_episodes(7), 7u);
+  ::setenv("RBVC_FUZZ_EPISODES", "23", 1);
+  EXPECT_EQ(harness::fuzz_episodes(7), 23u);
+  ::setenv("RBVC_FUZZ_EPISODES", "garbage", 1);
+  EXPECT_EQ(harness::fuzz_episodes(7), 7u);
+  ::setenv("RBVC_FUZZ_EPISODES", "-4", 1);
+  EXPECT_EQ(harness::fuzz_episodes(7), 7u);
+}
+
+TEST_F(HarnessPropertyTest, ReproFileRoundTripsLosslessly) {
+  harness::AsyncRepro rep;
+  rep.property = "roundtrip";
+  rep.failure = "agreement: line one\nline \\two";
+  rep.experiment.prm.n = 7;
+  rep.experiment.prm.f = 2;
+  rep.experiment.prm.rounds = 5;
+  rep.experiment.prm.rule =
+      consensus::AsyncAveragingProcess::Round0Rule::kRelaxedLinf;
+  rep.experiment.prm.use_witness = false;
+  rep.experiment.prm.quorum_override = 3;
+  rep.experiment.d = 3;
+  rep.experiment.honest_inputs = {{0.1 + 0.2, -3.75, 1e-17},
+                                  {5.0, 6.25, -0.0078125}};
+  rep.experiment.byzantine_ids = {1, 4};
+  rep.experiment.strategy = workload::AsyncStrategy::kEquivocate;
+  rep.experiment.scheduler = workload::SchedulerKind::kLaggard;
+  rep.experiment.seed = 0xDEADBEEFCAFEULL;
+  rep.experiment.max_events = 123456;
+  rep.schedule.add_pick(3);
+  rep.schedule.add_pick(0);
+  rep.schedule.add_round(9);
+  rep.trace_dump = "deliver 1 0 echo 0->1 meta=[] payload=(1, 2)\n";
+
+  const auto parsed =
+      harness::parse_async_repro(harness::serialize_async_repro(rep));
+  EXPECT_EQ(parsed.property, rep.property);
+  EXPECT_EQ(parsed.failure, rep.failure);
+  EXPECT_EQ(parsed.experiment.prm.n, rep.experiment.prm.n);
+  EXPECT_EQ(parsed.experiment.prm.f, rep.experiment.prm.f);
+  EXPECT_EQ(parsed.experiment.prm.rounds, rep.experiment.prm.rounds);
+  EXPECT_EQ(parsed.experiment.prm.rule, rep.experiment.prm.rule);
+  EXPECT_EQ(parsed.experiment.prm.use_witness,
+            rep.experiment.prm.use_witness);
+  EXPECT_EQ(parsed.experiment.prm.quorum_override,
+            rep.experiment.prm.quorum_override);
+  EXPECT_EQ(parsed.experiment.d, rep.experiment.d);
+  // Bitwise-exact doubles via the %.17g round trip.
+  EXPECT_EQ(parsed.experiment.honest_inputs, rep.experiment.honest_inputs);
+  EXPECT_EQ(parsed.experiment.byzantine_ids, rep.experiment.byzantine_ids);
+  EXPECT_EQ(parsed.experiment.strategy, rep.experiment.strategy);
+  EXPECT_EQ(parsed.experiment.scheduler, rep.experiment.scheduler);
+  EXPECT_EQ(parsed.experiment.seed, rep.experiment.seed);
+  EXPECT_EQ(parsed.experiment.max_events, rep.experiment.max_events);
+  EXPECT_TRUE(parsed.schedule == rep.schedule);
+  EXPECT_EQ(parsed.trace_dump, rep.trace_dump);
+}
+
+TEST_F(HarnessPropertyTest, MalformedReproIsRejected) {
+  EXPECT_THROW(harness::parse_async_repro("not a repro"), invalid_argument);
+  EXPECT_THROW(harness::parse_async_repro("rbvc-async-repro v1\n"),
+               invalid_argument);
+  EXPECT_THROW(harness::load_async_repro("/nonexistent/repro.txt"),
+               invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -51,6 +51,44 @@ TEST(TraceTest, DisabledRecordsNothing) {
   EXPECT_TRUE(t.events().empty());
 }
 
+TEST(TraceTest, DumpIsStableAndMachineParseable) {
+  Trace t;
+  t.set_enabled(true);
+  t.record(EventType::kSend, 0, 1, "eig 1->2 meta=[0,1] payload=(1, -2)");
+  t.record(EventType::kDeliver, 3, 2, "detail with  spaces");
+  t.record(EventType::kNote, 4, 0, "");
+  const std::string dump = t.dump();
+  // Fixed field order: "<type> <time> <process> <detail>".
+  EXPECT_EQ(dump.substr(0, dump.find('\n')),
+            "send 0 1 eig 1->2 meta=[0,1] payload=(1, -2)");
+  const Trace back = Trace::parse(dump);
+  ASSERT_EQ(back.events().size(), 3u);
+  EXPECT_TRUE(back == t);
+  EXPECT_EQ(back.dump(), dump);  // serialization is a fixpoint
+}
+
+TEST(TraceTest, RoundTripEscapesHostileDetails) {
+  Trace t;
+  t.set_enabled(true);
+  t.record(EventType::kDecide, 7, 4, "line one\nline two\r\\backslash\\");
+  t.record(EventType::kNote, 8, 5, "trailing backslash not possible: \\n");
+  const Trace back = Trace::parse(t.dump());
+  EXPECT_TRUE(back == t);
+}
+
+TEST(TraceTest, ParseRejectsMalformedLines) {
+  EXPECT_THROW(Trace::parse("send\n"), invalid_argument);
+  EXPECT_THROW(Trace::parse("send 1\n"), invalid_argument);
+  EXPECT_THROW(Trace::parse("warp 1 2 x\n"), invalid_argument);
+  EXPECT_THROW(Trace::parse("send x 2 y\n"), invalid_argument);
+}
+
+TEST(TraceTest, DetailEscapingRoundTrips) {
+  const std::string hostile = "a\\b\nc\rd \\n e\\\\f";
+  EXPECT_EQ(unescape_detail(escape_detail(hostile)), hostile);
+  EXPECT_EQ(escape_detail("plain text"), "plain text");
+}
+
 TEST(TraceTest, EnabledRecordsAndCounts) {
   Trace t;
   t.set_enabled(true);
