@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <filesystem>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "consensus/verifier.h"
 
@@ -15,6 +17,33 @@ std::size_t fuzz_episodes(std::size_t fallback) {
   return v > 0 ? static_cast<std::size_t>(v) : fallback;
 }
 
+// ---------------------------------------------------------------------------
+// Stock oracles.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared agreement+validity tail of the consensus oracles.
+std::string agree_valid(const std::vector<Vec>& decisions,
+                        const std::vector<Vec>& honest_inputs, double eps,
+                        double kappa, double p) {
+  if (!check_epsilon_agreement(decisions, eps)) {
+    return "agreement: pairwise decision distance exceeds eps=" +
+           std::to_string(eps);
+  }
+  const double budget =
+      std::max(1e-9, input_dependent_delta(honest_inputs, kappa, p));
+  const double excess =
+      delta_p_validity_excess(decisions, honest_inputs, budget, p);
+  if (excess > 1e-5) {
+    return "validity: decision leaves the delta-relaxed hull by " +
+           std::to_string(excess);
+  }
+  return "";
+}
+
+}  // namespace
+
 AsyncOracle decide_agree_valid_oracle(double eps, double kappa, double p) {
   return [eps, kappa, p](const workload::AsyncExperiment& e,
                          const workload::AsyncOutcome& out) -> std::string {
@@ -26,106 +55,373 @@ AsyncOracle decide_agree_valid_oracle(double eps, double kappa, double p) {
       return "liveness: expected " + std::to_string(correct) +
              " decisions, got " + std::to_string(out.decisions.size());
     }
-    if (!check_epsilon_agreement(out.decisions, eps)) {
-      return "agreement: pairwise decision distance exceeds eps=" +
-             std::to_string(eps);
+    return agree_valid(out.decisions, out.honest_inputs, eps, kappa, p);
+  };
+}
+
+Oracle<workload::SyncExperiment, workload::SyncOutcome>
+sync_decide_agree_valid_oracle(double eps, double kappa, double p) {
+  return [eps, kappa, p](const workload::SyncExperiment& e,
+                         const workload::SyncOutcome& out) -> std::string {
+    if (out.decision_failed) {
+      return "decision rule failed: " + out.failure;
     }
-    const double budget =
-        std::max(1e-9, input_dependent_delta(out.honest_inputs, kappa, p));
-    const double excess =
-        delta_p_validity_excess(out.decisions, out.honest_inputs, budget, p);
-    if (excess > 1e-5) {
-      return "validity: decision leaves the delta-relaxed hull by " +
-             std::to_string(excess);
+    const std::size_t correct = e.n - e.byzantine_ids.size();
+    if (out.decisions.size() != correct) {
+      return "liveness: expected " + std::to_string(correct) +
+             " decisions, got " + std::to_string(out.decisions.size());
+    }
+    return agree_valid(out.decisions, out.honest_inputs, eps, kappa, p);
+  };
+}
+
+Oracle<workload::RbcExperiment, workload::RbcOutcome> rbc_contract_oracle() {
+  return [](const workload::RbcExperiment& e,
+            const workload::RbcOutcome& out) -> std::string {
+    using Key = std::pair<std::size_t, int>;  // (source, instance)
+    // Content agreed so far per instance, and who delivered it.
+    std::map<Key, std::pair<Vec, std::vector<int>>> content;
+    std::map<Key, std::set<std::size_t>> delivered_by;
+    for (std::size_t i = 0; i < out.deliveries.size(); ++i) {
+      const std::size_t pid = out.correct_ids.at(i);
+      std::set<Key> mine;
+      for (const auto& d : out.deliveries[i]) {
+        const Key key{d.source, d.instance};
+        if (!mine.insert(key).second) {
+          return "duplicate delivery: process " + std::to_string(pid) +
+                 " delivered instance (" + std::to_string(d.source) + "," +
+                 std::to_string(d.instance) + ") twice";
+        }
+        const auto [it, fresh] =
+            content.try_emplace(key, d.value, d.extra);
+        if (!fresh &&
+            (it->second.first != d.value || it->second.second != d.extra)) {
+          return "equivocation delivered: correct processes delivered "
+                 "different content for instance (" +
+                 std::to_string(d.source) + "," + std::to_string(d.instance) +
+                 ")";
+        }
+        delivered_by[key].insert(pid);
+      }
+    }
+    // Totality: an instance delivered anywhere is delivered everywhere.
+    for (const auto& [key, who] : delivered_by) {
+      if (who.size() != out.correct_ids.size()) {
+        return "totality: instance (" + std::to_string(key.first) + "," +
+               std::to_string(key.second) + ") delivered by " +
+               std::to_string(who.size()) + " of " +
+               std::to_string(out.correct_ids.size()) +
+               " correct processes";
+      }
+    }
+    // Validity: every correct source's instance 0 delivers its input.
+    for (std::size_t i = 0; i < out.correct_ids.size(); ++i) {
+      const Key key{out.correct_ids[i], 0};
+      const auto it = content.find(key);
+      if (it == content.end()) {
+        return "validity: correct source " +
+               std::to_string(out.correct_ids[i]) +
+               "'s broadcast was never delivered";
+      }
+      if (it->second.first != out.honest_inputs.at(i)) {
+        return "validity: correct source " +
+               std::to_string(out.correct_ids[i]) +
+               "'s broadcast delivered a different value than its input";
+      }
     }
     return "";
   };
 }
 
+Oracle<workload::BroadcastExperiment, workload::BroadcastOutcome>
+broadcast_agreement_oracle() {
+  return [](const workload::BroadcastExperiment& e,
+            const workload::BroadcastOutcome& out) -> std::string {
+    if (out.resolved.size() != out.correct_ids.size()) {
+      return "liveness: expected " + std::to_string(out.correct_ids.size()) +
+             " resolved multisets, got " + std::to_string(out.resolved.size());
+    }
+    for (std::size_t i = 0; i < out.resolved.size(); ++i) {
+      if (out.resolved[i].size() != e.n) {
+        return "liveness: process " + std::to_string(out.correct_ids[i]) +
+               " resolved " + std::to_string(out.resolved[i].size()) +
+               " of " + std::to_string(e.n) + " source instances";
+      }
+    }
+    // The interactive-consistency lemma: extracted sets are identical.
+    for (std::size_t i = 1; i < out.resolved.size(); ++i) {
+      for (std::size_t s = 0; s < e.n; ++s) {
+        if (out.resolved[i][s] != out.resolved[0][s]) {
+          return "identical-extracted-sets: processes " +
+                 std::to_string(out.correct_ids[0]) + " and " +
+                 std::to_string(out.correct_ids[i]) +
+                 " resolved different values for source " + std::to_string(s);
+        }
+      }
+    }
+    // Per-source validity at the correct sources.
+    for (std::size_t i = 0; i < out.correct_ids.size(); ++i) {
+      if (out.resolved[0][out.correct_ids[i]] != out.honest_inputs.at(i)) {
+        return "validity: correct source " +
+               std::to_string(out.correct_ids[i]) +
+               "'s slot does not hold its input";
+      }
+    }
+    return "";
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Async-model runners (scheduler picks are the nondeterminism record).
+// ---------------------------------------------------------------------------
+
 namespace {
 
-PropertyResult replay_from_env(const AsyncProperty& prop, const char* path) {
-  PropertyResult r;
-  r.replayed_from_file = true;
-  r.episodes = 1;
-  const AsyncRepro rep = load_async_repro(path);
-  const auto out = replay_async_repro(rep);
-  r.failure = prop.oracle(rep.experiment, out);
-  r.passed = r.failure.empty();
-  r.repro_path = path;
-  r.original_len = r.shrunk_len = rep.schedule.size();
-  return r;
-}
+/// Shared implementation for AsyncRunner/RbcRunner: record, pick-shrink via
+/// replay, final trace-capturing replay. `Run` re-executes an experiment.
+template <class Exp, class Out, class Run>
+struct PickModel {
+  static Out run_recorded(Exp& e, sim::ScheduleLog& log, const Run& run) {
+    e.record = &log;
+    e.replay = nullptr;
+    Out out = run(e);
+    e.record = nullptr;
+    return out;
+  }
+
+  static sim::ScheduleLog minimize(Exp& e, const sim::ScheduleLog& log,
+                                   const Oracle<Exp, Out>& oracle,
+                                   std::size_t budget,
+                                   std::string* trace_dump, const Run& run) {
+    Exp base = e;
+    base.record = nullptr;
+    base.replay = nullptr;
+    base.capture_trace = false;
+    auto still_fails = [&](const sim::ScheduleLog& cand) {
+      Exp rexp = base;
+      rexp.replay = &cand;
+      return !oracle(rexp, run(rexp)).empty();
+    };
+    sim::ScheduleLog best = log;
+    if (budget > 0 && still_fails(log)) {
+      best = shrink_schedule(log, still_fails, budget);
+    }
+    // One final replay captures the counterexample's trace for the file.
+    Exp fin = base;
+    fin.replay = &best;
+    fin.capture_trace = true;
+    const Out out = run(fin);
+    if (trace_dump) *trace_dump = out.trace.dump();
+    e = base;
+    return best;
+  }
+
+  static std::string replay(const Repro<Exp>& rep,
+                            const Oracle<Exp, Out>& oracle, const Run& run) {
+    Exp rexp = rep.experiment;
+    rexp.record = nullptr;
+    rexp.replay = &rep.schedule;
+    rexp.capture_trace = true;
+    return oracle(rep.experiment, run(rexp));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sync-model runners (deterministic; round checkpoints are a divergence
+// detector, minimization edits the experiment itself).
+// ---------------------------------------------------------------------------
+
+/// Shared implementation for SyncRunner/DsRunner. Minimization order:
+/// collapse the Byzantine strategy to silence, drop faulty ids (the freed
+/// slot becomes a zero-input correct process), then zero/halve honest-input
+/// coordinates; each accepted candidate must still fail the oracle. The
+/// returned log holds the re-recorded checkpoints of the final experiment.
+template <class Exp, class Out, class Run>
+struct CheckpointModel {
+  static Out run_recorded(Exp& e, sim::ScheduleLog& log, const Run& run) {
+    e.record = &log;
+    Out out = run(e);
+    e.record = nullptr;
+    return out;
+  }
+
+  static sim::ScheduleLog minimize(Exp& e, const sim::ScheduleLog&,
+                                   const Oracle<Exp, Out>& oracle,
+                                   std::size_t budget,
+                                   std::string* trace_dump, const Run& run) {
+    Exp base = e;
+    base.record = nullptr;
+    base.capture_trace = false;
+    std::size_t attempts_left = budget;
+    auto fails = [&](const Exp& cand) {
+      return !oracle(cand, run(cand)).empty();
+    };
+    if (budget > 0 && fails(base)) {
+      --attempts_left;
+      if (base.strategy != workload::SyncStrategy::kSilent &&
+          attempts_left > 0) {
+        Exp cand = base;
+        cand.strategy = workload::SyncStrategy::kSilent;
+        --attempts_left;
+        if (fails(cand)) base = cand;
+      }
+      for (std::size_t i = 0;
+           i < base.byzantine_ids.size() && attempts_left > 0;) {
+        Exp cand = base;
+        const std::size_t id = cand.byzantine_ids[i];
+        cand.byzantine_ids.erase(cand.byzantine_ids.begin() + i);
+        // The freed slot becomes a correct process; its honest input slots
+        // in at the id's rank among the remaining correct ids.
+        std::size_t rank = id;
+        for (std::size_t b : cand.byzantine_ids) rank -= b < id;
+        const std::size_t d =
+            cand.honest_inputs.empty() ? 0 : cand.honest_inputs.front().size();
+        cand.honest_inputs.insert(cand.honest_inputs.begin() + rank, zeros(d));
+        --attempts_left;
+        if (fails(cand)) {
+          base = cand;
+        } else {
+          ++i;
+        }
+      }
+      if (attempts_left > 0) {
+        auto input_fails = [&](const std::vector<Vec>& inputs) {
+          Exp cand = base;
+          cand.honest_inputs = inputs;
+          return fails(cand);
+        };
+        base.honest_inputs =
+            shrink_inputs(base.honest_inputs, input_fails, attempts_left);
+      }
+    }
+    // Re-record the checkpoints (and trace) of the minimized experiment --
+    // they, not the original's, are what a replay must reproduce.
+    sim::ScheduleLog rec;
+    Exp fin = base;
+    fin.record = &rec;
+    fin.capture_trace = true;
+    const Out out = run(fin);
+    if (trace_dump) *trace_dump = out.trace.dump();
+    e = base;
+    return rec;
+  }
+
+  static std::string replay(const Repro<Exp>& rep,
+                            const Oracle<Exp, Out>& oracle, const Run& run) {
+    sim::ScheduleLog rerun;
+    Exp rexp = rep.experiment;
+    rexp.record = &rerun;
+    rexp.capture_trace = true;
+    const Out out = run(rexp);
+    const std::string divergence =
+        sim::describe_divergence(rep.schedule, rerun);
+    if (!divergence.empty()) {
+      return "replay did not reproduce the recorded run (mutated repro or "
+             "changed code?): " +
+             divergence;
+    }
+    return oracle(rep.experiment, out);
+  }
+};
+
+constexpr auto kRunAsync = [](const workload::AsyncExperiment& e) {
+  return workload::run_async_experiment(e);
+};
+constexpr auto kRunRbc = [](const workload::RbcExperiment& e) {
+  return workload::run_rbc_experiment(e);
+};
+constexpr auto kRunSync = [](const workload::SyncExperiment& e) {
+  return workload::run_sync_experiment(e);
+};
+constexpr auto kRunDs = [](const workload::BroadcastExperiment& e) {
+  return workload::run_broadcast_experiment(e);
+};
+
+using AsyncModel = PickModel<workload::AsyncExperiment, workload::AsyncOutcome,
+                             decltype(kRunAsync)>;
+using RbcModel = PickModel<workload::RbcExperiment, workload::RbcOutcome,
+                           decltype(kRunRbc)>;
+using SyncModel = CheckpointModel<workload::SyncExperiment,
+                                  workload::SyncOutcome, decltype(kRunSync)>;
+using DsModel = CheckpointModel<workload::BroadcastExperiment,
+                                workload::BroadcastOutcome, decltype(kRunDs)>;
 
 }  // namespace
 
-PropertyResult check_async_property(const AsyncProperty& prop) {
-  RBVC_REQUIRE(prop.generate && prop.oracle,
-               "check_async_property: generator and oracle are required");
-  if (const char* env = std::getenv("RBVC_REPLAY"); env && *env) {
-    // Replay mode targets one property; others run their normal episodes
-    // so a multi-property binary still exercises the rest of its suite.
-    const AsyncRepro rep = load_async_repro(env);
-    if (rep.property == prop.name) return replay_from_env(prop, env);
-  }
+workload::AsyncOutcome AsyncRunner::run_recorded(Experiment& e,
+                                                 sim::ScheduleLog& log) {
+  return AsyncModel::run_recorded(e, log, kRunAsync);
+}
+sim::ScheduleLog AsyncRunner::minimize(Experiment& e,
+                                       const sim::ScheduleLog& log,
+                                       const Oracle<Experiment, Outcome>& o,
+                                       std::size_t budget,
+                                       std::string* trace_dump) {
+  return AsyncModel::minimize(e, log, o, budget, trace_dump, kRunAsync);
+}
+Repro<workload::AsyncExperiment> AsyncRunner::load(const std::string& path) {
+  return load_async_repro(path);
+}
+std::string AsyncRunner::replay(const Repro<Experiment>& rep,
+                                const Oracle<Experiment, Outcome>& o) {
+  return AsyncModel::replay(rep, o, kRunAsync);
+}
 
-  PropertyResult r;
-  const std::size_t episodes =
-      prop.episodes ? prop.episodes : fuzz_episodes(kDefaultEpisodes);
-  for (std::size_t ep = 0; ep < episodes; ++ep) {
-    // Per-episode seed independent of previous episodes, so a failing
-    // episode index is reproducible in isolation.
-    Rng ep_rng(prop.base_seed + 0x9E3779B97F4A7C15ULL * (ep + 1));
-    workload::AsyncExperiment exp = prop.generate(ep_rng);
-    sim::ScheduleLog log;
-    exp.record = &log;
-    exp.replay = nullptr;
-    const auto out = workload::run_async_experiment(exp);
-    const std::string violation = prop.oracle(exp, out);
-    if (violation.empty()) continue;
+workload::RbcOutcome RbcRunner::run_recorded(Experiment& e,
+                                             sim::ScheduleLog& log) {
+  return RbcModel::run_recorded(e, log, kRunRbc);
+}
+sim::ScheduleLog RbcRunner::minimize(Experiment& e,
+                                     const sim::ScheduleLog& log,
+                                     const Oracle<Experiment, Outcome>& o,
+                                     std::size_t budget,
+                                     std::string* trace_dump) {
+  return RbcModel::minimize(e, log, o, budget, trace_dump, kRunRbc);
+}
+Repro<workload::RbcExperiment> RbcRunner::load(const std::string& path) {
+  return load_rbc_repro(path);
+}
+std::string RbcRunner::replay(const Repro<Experiment>& rep,
+                              const Oracle<Experiment, Outcome>& o) {
+  return RbcModel::replay(rep, o, kRunRbc);
+}
 
-    r.passed = false;
-    r.failure = violation;
-    r.failing_episode = ep;
-    r.episodes = ep + 1;
-    r.original_len = log.size();
+workload::SyncOutcome SyncRunner::run_recorded(Experiment& e,
+                                               sim::ScheduleLog& log) {
+  return SyncModel::run_recorded(e, log, kRunSync);
+}
+sim::ScheduleLog SyncRunner::minimize(Experiment& e,
+                                      const sim::ScheduleLog& log,
+                                      const Oracle<Experiment, Outcome>& o,
+                                      std::size_t budget,
+                                      std::string* trace_dump) {
+  return SyncModel::minimize(e, log, o, budget, trace_dump, kRunSync);
+}
+Repro<workload::SyncExperiment> SyncRunner::load(const std::string& path) {
+  return load_sync_repro(path);
+}
+std::string SyncRunner::replay(const Repro<Experiment>& rep,
+                               const Oracle<Experiment, Outcome>& o) {
+  return SyncModel::replay(rep, o, kRunSync);
+}
 
-    workload::AsyncExperiment base = exp;
-    base.record = nullptr;
-    auto still_fails = [&](const sim::ScheduleLog& cand) {
-      workload::AsyncExperiment rexp = base;
-      rexp.replay = &cand;
-      return !prop.oracle(rexp, workload::run_async_experiment(rexp)).empty();
-    };
-    sim::ScheduleLog best = log;
-    if (prop.shrink && still_fails(log)) {
-      best = shrink_schedule(log, still_fails, prop.shrink_budget);
-    }
-    r.shrunk_len = best.size();
-
-    // One final replay captures the counterexample's trace for the file.
-    workload::AsyncExperiment final_exp = base;
-    final_exp.replay = &best;
-    final_exp.capture_trace = true;
-    const auto final_out = workload::run_async_experiment(final_exp);
-
-    AsyncRepro rep;
-    rep.property = prop.name;
-    rep.failure = violation;
-    rep.experiment = base;
-    rep.experiment.replay = nullptr;
-    rep.experiment.capture_trace = false;
-    rep.schedule = best;
-    rep.trace_dump = final_out.trace.dump();
-    const auto path = std::filesystem::absolute(
-        std::filesystem::path(prop.repro_dir) /
-        ("rbvc_repro_" + prop.name + ".txt"));
-    write_async_repro(path.string(), rep);
-    r.repro_path = path.string();
-    return r;
-  }
-  r.episodes = episodes;
-  return r;
+workload::BroadcastOutcome DsRunner::run_recorded(Experiment& e,
+                                                  sim::ScheduleLog& log) {
+  return DsModel::run_recorded(e, log, kRunDs);
+}
+sim::ScheduleLog DsRunner::minimize(Experiment& e,
+                                    const sim::ScheduleLog& log,
+                                    const Oracle<Experiment, Outcome>& o,
+                                    std::size_t budget,
+                                    std::string* trace_dump) {
+  return DsModel::minimize(e, log, o, budget, trace_dump, kRunDs);
+}
+Repro<workload::BroadcastExperiment> DsRunner::load(const std::string& path) {
+  return load_ds_repro(path);
+}
+std::string DsRunner::replay(const Repro<Experiment>& rep,
+                             const Oracle<Experiment, Outcome>& o) {
+  return DsModel::replay(rep, o, kRunDs);
 }
 
 std::string describe(const PropertyResult& r) {

@@ -1,11 +1,31 @@
-// Property-test driver for asynchronous consensus runs: wraps an
-// (experiment generator, invariant oracle) pair, runs N seeded episodes
-// with schedule recording on, and on the first violation shrinks the
-// failing schedule and writes a self-contained repro file. Setting
-// RBVC_REPLAY=<file> re-executes that exact counterexample instead of
-// fuzzing; RBVC_FUZZ_EPISODES scales episode counts for nightly sweeps.
+// Protocol-agnostic property-test driver: wraps an (experiment generator,
+// invariant oracle) pair, runs N seeded episodes with nondeterminism
+// recording on, and on the first violation minimizes the counterexample and
+// writes a self-contained repro file (schema v2, see harness/repro.h).
+//
+// The engine is one template, `check_property<Runner>`, instantiated for
+// four episode runners:
+//   AsyncRunner -- consensus over the async engine; the schedule log holds
+//                  scheduler picks, replay re-executes them, and shrinking
+//                  minimizes the pick sequence (harness/shrinker.h).
+//   RbcRunner   -- standalone Bracha reliable broadcast, same async
+//                  machinery with a broadcast-contract oracle.
+//   SyncRunner  -- lockstep consensus (EIG or Dolev-Strong backend). Sync
+//                  runs are deterministic given the config, so the log
+//                  holds round checkpoints that act as divergence detectors
+//                  on replay; shrinking collapses the Byzantine strategy,
+//                  drops faulty ids, and zeroes input coordinates instead
+//                  of editing scheduler picks.
+//   DsRunner    -- standalone Dolev-Strong broadcast (sync model), with an
+//                  identical-extracted-sets oracle.
+//
+// Setting RBVC_REPLAY=<file> re-executes that exact counterexample (any
+// mode) instead of fuzzing; RBVC_FUZZ_EPISODES scales episode counts for
+// nightly sweeps.
 #pragma once
 
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <string>
 
@@ -16,21 +36,25 @@ namespace rbvc::harness {
 
 /// Invariant oracle: returns "" when the outcome is acceptable, otherwise a
 /// one-line description of the violation. Must be deterministic.
-using AsyncOracle = std::function<std::string(
-    const workload::AsyncExperiment&, const workload::AsyncOutcome&)>;
+template <class ExperimentT, class OutcomeT>
+using Oracle = std::function<std::string(const ExperimentT&, const OutcomeT&)>;
 
 /// Default episode count when neither the property nor the environment
 /// overrides it -- small so tier-1 ctest stays fast.
 inline constexpr std::size_t kDefaultEpisodes = 8;
 
-struct AsyncProperty {
+/// A property over one episode runner. `generate` draws a random experiment,
+/// `oracle` judges its outcome. Sync/ds experiments must use a serializable
+/// SyncRule (not a raw DecisionFn closure) so the repro can round-trip.
+template <class Runner>
+struct Property {
   std::string name;  // identifies repro files; [a-zA-Z0-9_-] recommended
-  std::function<workload::AsyncExperiment(Rng&)> generate;
-  AsyncOracle oracle;
+  std::function<typename Runner::Experiment(Rng&)> generate;
+  Oracle<typename Runner::Experiment, typename Runner::Outcome> oracle;
   std::size_t episodes = 0;  // 0 = fuzz_episodes(kDefaultEpisodes)
   std::uint64_t base_seed = 20260806;
   bool shrink = true;
-  std::size_t shrink_budget = 400;  // max candidate replays while shrinking
+  std::size_t shrink_budget = 400;  // max candidate re-runs while shrinking
   std::string repro_dir = ".";      // where the repro file is written
 };
 
@@ -42,25 +66,198 @@ struct PropertyResult {
   std::string failure;              // oracle message (empty when passed)
   std::string repro_path;           // written on failure ("" otherwise)
   std::size_t original_len = 0;     // recorded schedule entries
-  std::size_t shrunk_len = 0;       // after shrinking (<= original_len)
+  std::size_t shrunk_len = 0;       // after shrinking
 };
 
 /// RBVC_FUZZ_EPISODES as a positive integer, else `fallback`.
 std::size_t fuzz_episodes(std::size_t fallback);
 
-/// The standard oracle: every correct process decides, decisions are
+// ---------------------------------------------------------------------------
+// Episode runners. Each binds an experiment/outcome pair to a ReproMode and
+// supplies the three mode-specific steps of the engine: a recorded run, a
+// counterexample minimizer, and a repro replay. The minimizer leaves the
+// experiment serialization-clean (record/replay hooks null, trace capture
+// off) and returns the schedule to embed in the repro; `replay` returns the
+// failure message for a re-executed repro ("" = invariant now holds), which
+// for deterministic runners includes checkpoint-divergence detection.
+// ---------------------------------------------------------------------------
+
+struct AsyncRunner {
+  using Experiment = workload::AsyncExperiment;
+  using Outcome = workload::AsyncOutcome;
+  static constexpr ReproMode kMode = ReproMode::kAsync;
+  static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
+  static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
+                                   const Oracle<Experiment, Outcome>& oracle,
+                                   std::size_t budget,
+                                   std::string* trace_dump);
+  static Repro<Experiment> load(const std::string& path);
+  static std::string replay(const Repro<Experiment>& rep,
+                            const Oracle<Experiment, Outcome>& oracle);
+};
+
+struct SyncRunner {
+  using Experiment = workload::SyncExperiment;
+  using Outcome = workload::SyncOutcome;
+  static constexpr ReproMode kMode = ReproMode::kSync;
+  static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
+  static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
+                                   const Oracle<Experiment, Outcome>& oracle,
+                                   std::size_t budget,
+                                   std::string* trace_dump);
+  static Repro<Experiment> load(const std::string& path);
+  static std::string replay(const Repro<Experiment>& rep,
+                            const Oracle<Experiment, Outcome>& oracle);
+};
+
+struct RbcRunner {
+  using Experiment = workload::RbcExperiment;
+  using Outcome = workload::RbcOutcome;
+  static constexpr ReproMode kMode = ReproMode::kRbc;
+  static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
+  static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
+                                   const Oracle<Experiment, Outcome>& oracle,
+                                   std::size_t budget,
+                                   std::string* trace_dump);
+  static Repro<Experiment> load(const std::string& path);
+  static std::string replay(const Repro<Experiment>& rep,
+                            const Oracle<Experiment, Outcome>& oracle);
+};
+
+struct DsRunner {
+  using Experiment = workload::BroadcastExperiment;
+  using Outcome = workload::BroadcastOutcome;
+  static constexpr ReproMode kMode = ReproMode::kDs;
+  static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
+  static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
+                                   const Oracle<Experiment, Outcome>& oracle,
+                                   std::size_t budget,
+                                   std::string* trace_dump);
+  static Repro<Experiment> load(const std::string& path);
+  static std::string replay(const Repro<Experiment>& rep,
+                            const Oracle<Experiment, Outcome>& oracle);
+};
+
+using AsyncProperty = Property<AsyncRunner>;
+using SyncProperty = Property<SyncRunner>;
+using RbcProperty = Property<RbcRunner>;
+using DsProperty = Property<DsRunner>;
+
+// ---------------------------------------------------------------------------
+// Stock oracles.
+// ---------------------------------------------------------------------------
+
+/// Deprecated PR-2 name for the async oracle signature.
+using AsyncOracle = Oracle<workload::AsyncExperiment, workload::AsyncOutcome>;
+
+/// The standard async oracle: every correct process decides, decisions are
 /// eps-agreeing, and they satisfy the (delta,p)-relaxed validity budget
 /// delta = kappa * honest input diameter (cf. consensus/verifier.h).
 AsyncOracle decide_agree_valid_oracle(double eps, double kappa,
                                       double p = 2.0);
 
-/// Runs the property. If RBVC_REPLAY names a repro file whose `property`
-/// field matches `prop.name`, that single counterexample is re-executed
-/// instead of fuzzing (episodes = 1, replayed_from_file = true).
-PropertyResult check_async_property(const AsyncProperty& prop);
+/// Sync-model counterpart: the decision rule succeeds at every correct
+/// process, decisions eps-agree, and they satisfy the same relaxed-validity
+/// budget as the async oracle.
+Oracle<workload::SyncExperiment, workload::SyncOutcome>
+sync_decide_agree_valid_oracle(double eps, double kappa, double p = 2.0);
+
+/// Bracha RBC contract: no correct process delivers twice for one
+/// (source, instance); any two correct deliveries for the same instance
+/// carry identical content (no equivocation); every instance delivered
+/// anywhere is delivered everywhere (totality); and a correct source's
+/// broadcast delivers exactly its input at every correct process.
+Oracle<workload::RbcExperiment, workload::RbcOutcome> rbc_contract_oracle();
+
+/// Dolev-Strong broadcast contract: every correct process resolves the full
+/// multiset, the extracted multisets are identical across correct processes
+/// (the interactive-consistency lemma), and the slot of each correct source
+/// holds exactly that source's input.
+Oracle<workload::BroadcastExperiment, workload::BroadcastOutcome>
+broadcast_agreement_oracle();
 
 /// Human-readable report, including the one-line RBVC_REPLAY re-run hint
 /// when a repro file was written. Suitable for gtest failure messages.
 std::string describe(const PropertyResult& r);
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// Runs the property. If RBVC_REPLAY names a repro file whose `property`
+/// field matches `prop.name`, that single counterexample is re-executed
+/// instead of fuzzing (episodes = 1, replayed_from_file = true); the file's
+/// mode must match the runner's, else invalid_argument.
+template <class Runner>
+PropertyResult check_property(const Property<Runner>& prop) {
+  RBVC_REQUIRE(prop.generate && prop.oracle,
+               "check_property: generator and oracle are required");
+  if (const char* env = std::getenv("RBVC_REPLAY"); env && *env) {
+    // Replay mode targets one property; others run their normal episodes
+    // so a multi-property binary still exercises the rest of its suite.
+    const ReproInfo info = peek_repro_file(env);
+    if (info.property == prop.name) {
+      RBVC_REQUIRE(info.mode == Runner::kMode,
+                   std::string("RBVC_REPLAY: repro file is mode `") +
+                       to_string(info.mode) + "` but property `" + prop.name +
+                       "` runs mode `" + to_string(Runner::kMode) + "`");
+      PropertyResult r;
+      r.replayed_from_file = true;
+      r.episodes = 1;
+      const auto rep = Runner::load(env);
+      r.failure = Runner::replay(rep, prop.oracle);
+      r.passed = r.failure.empty();
+      r.repro_path = env;
+      r.original_len = r.shrunk_len = rep.schedule.size();
+      return r;
+    }
+  }
+
+  PropertyResult r;
+  const std::size_t episodes =
+      prop.episodes ? prop.episodes : fuzz_episodes(kDefaultEpisodes);
+  for (std::size_t ep = 0; ep < episodes; ++ep) {
+    // Per-episode seed independent of previous episodes, so a failing
+    // episode index is reproducible in isolation.
+    Rng ep_rng(prop.base_seed + 0x9E3779B97F4A7C15ULL * (ep + 1));
+    typename Runner::Experiment exp = prop.generate(ep_rng);
+    sim::ScheduleLog log;
+    const auto out = Runner::run_recorded(exp, log);
+    const std::string violation = prop.oracle(exp, out);
+    if (violation.empty()) continue;
+
+    r.passed = false;
+    r.failure = violation;
+    r.failing_episode = ep;
+    r.episodes = ep + 1;
+    r.original_len = log.size();
+
+    std::string trace_dump;
+    const sim::ScheduleLog best =
+        Runner::minimize(exp, log, prop.oracle,
+                         prop.shrink ? prop.shrink_budget : 0, &trace_dump);
+    r.shrunk_len = best.size();
+
+    Repro<typename Runner::Experiment> rep;
+    rep.property = prop.name;
+    rep.failure = violation;
+    rep.experiment = exp;  // minimize() left it serialization-clean
+    rep.schedule = best;
+    rep.trace_dump = trace_dump;
+    const auto path = std::filesystem::absolute(
+        std::filesystem::path(prop.repro_dir) /
+        ("rbvc_repro_" + prop.name + ".txt"));
+    write_repro(path.string(), rep);
+    r.repro_path = path.string();
+    return r;
+  }
+  r.episodes = episodes;
+  return r;
+}
+
+/// Deprecated PR-2 name, kept so existing call sites compile unchanged.
+inline PropertyResult check_async_property(const AsyncProperty& prop) {
+  return check_property<AsyncRunner>(prop);
+}
 
 }  // namespace rbvc::harness

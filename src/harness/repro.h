@@ -1,33 +1,100 @@
-// Self-contained counterexample files for asynchronous runs: everything
-// needed to re-execute a failing episode byte-for-byte -- the full
-// experiment configuration (including seeds and numeric options) plus the
-// recorded (usually shrunk) schedule -- in a line-oriented `key value` text
-// format. docs/HARNESS.md documents the format and the RBVC_REPLAY flow.
+// Self-contained counterexample files: everything needed to re-execute a
+// failing episode byte-for-byte -- the full experiment configuration
+// (including seeds and numeric options) plus the recorded (usually shrunk)
+// schedule -- in a line-oriented `key value` text format.
+//
+// Format v2 is mode-tagged: one file format serves all four experiment
+// kinds (`mode: sync|async|rbc|ds`), so RBVC_REPLAY can re-execute any of
+// them, and parsers reject unknown versions/modes with a diagnostic instead
+// of misreplaying. Legacy v1 files (async-only) still load. docs/HARNESS.md
+// documents the format and the RBVC_REPLAY flow.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "workload/runner.h"
 
 namespace rbvc::harness {
 
-struct AsyncRepro {
-  std::string property;  // name of the property that failed
-  std::string failure;   // oracle's violation message at record time
-  workload::AsyncExperiment experiment;  // record/replay pointers left null
-  sim::ScheduleLog schedule;             // the failing schedule
-  std::string trace_dump;  // optional: Trace::dump() of the failing replay
+/// Which experiment kind a repro file re-executes.
+enum class ReproMode { kAsync, kSync, kRbc, kDs };
+
+const char* to_string(ReproMode mode);
+std::optional<ReproMode> parse_repro_mode(const std::string& tag);
+
+/// Current schema version; parsers accept v1 (implicitly async) and v2.
+inline constexpr int kReproVersion = 2;
+
+/// One counterexample: the property it violates, the full experiment
+/// config, and the complete nondeterminism record (scheduler picks for
+/// async-model runs; round checkpoints for deterministic sync-model runs,
+/// where they act as divergence detectors on re-execution).
+template <class ExperimentT>
+struct Repro {
+  std::string property;    // name of the property that failed
+  std::string failure;     // oracle's violation message at record time
+  ExperimentT experiment;  // record/replay pointers left null
+  sim::ScheduleLog schedule;
+  std::string trace_dump;  // optional: Trace::dump() of the failing run
 };
 
-std::string serialize_async_repro(const AsyncRepro& r);
-/// Inverse of serialize_async_repro(); unknown keys are ignored so old
-/// binaries can read newer files. Throws invalid_argument when malformed.
-AsyncRepro parse_async_repro(const std::string& text);
+using AsyncRepro = Repro<workload::AsyncExperiment>;
+using SyncRepro = Repro<workload::SyncExperiment>;
+using RbcRepro = Repro<workload::RbcExperiment>;
+using DsRepro = Repro<workload::BroadcastExperiment>;
 
-void write_async_repro(const std::string& path, const AsyncRepro& r);
+/// The mode-independent envelope of a repro file, readable without knowing
+/// the experiment type. Throws invalid_argument on unknown version or mode
+/// -- the "reject, don't misreplay" contract.
+struct ReproInfo {
+  int version = 0;
+  ReproMode mode = ReproMode::kAsync;
+  std::string property;
+};
+
+ReproInfo peek_repro(const std::string& text);
+ReproInfo peek_repro_file(const std::string& path);
+
+/// Serializers (one overload per mode; the mode tag is derived from the
+/// experiment type). Sync/ds experiments must use a serializable
+/// SyncRule -- a raw DecisionFn closure is rejected.
+std::string serialize_repro(const AsyncRepro& r);
+std::string serialize_repro(const SyncRepro& r);
+std::string serialize_repro(const RbcRepro& r);
+std::string serialize_repro(const DsRepro& r);
+
+/// Parsers. Unknown keys are ignored (old binaries read newer files);
+/// unknown versions/modes and mode mismatches throw invalid_argument.
+AsyncRepro parse_async_repro(const std::string& text);
+SyncRepro parse_sync_repro(const std::string& text);
+RbcRepro parse_rbc_repro(const std::string& text);
+DsRepro parse_ds_repro(const std::string& text);
+
+void write_repro_text(const std::string& path, const std::string& text);
+
+template <class ExperimentT>
+void write_repro(const std::string& path, const Repro<ExperimentT>& r) {
+  write_repro_text(path, serialize_repro(r));
+}
+
+/// Reads a whole repro file (throws invalid_argument when unreadable).
+std::string read_repro_file(const std::string& path);
+
 AsyncRepro load_async_repro(const std::string& path);
+SyncRepro load_sync_repro(const std::string& path);
+RbcRepro load_rbc_repro(const std::string& path);
+DsRepro load_ds_repro(const std::string& path);
 
 /// Re-executes the repro's experiment under its schedule (trace captured).
 workload::AsyncOutcome replay_async_repro(const AsyncRepro& r);
+
+/// Deprecated PR-2 names, kept so existing call sites compile unchanged.
+inline std::string serialize_async_repro(const AsyncRepro& r) {
+  return serialize_repro(r);
+}
+inline void write_async_repro(const std::string& path, const AsyncRepro& r) {
+  write_repro(path, r);
+}
 
 }  // namespace rbvc::harness

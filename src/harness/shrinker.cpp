@@ -1,6 +1,7 @@
 #include "harness/shrinker.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rbvc::harness {
 
@@ -91,6 +92,66 @@ sim::ScheduleLog shrink_schedule(const sim::ScheduleLog& failing,
   }
 
   st.final_size = cur.size();
+  return cur;
+}
+
+namespace {
+std::size_t nonzero_coords(const std::vector<Vec>& inputs) {
+  std::size_t count = 0;
+  for (const Vec& v : inputs) {
+    for (double x : v) count += x != 0.0;
+  }
+  return count;
+}
+}  // namespace
+
+std::vector<Vec> shrink_inputs(const std::vector<Vec>& failing,
+                               const InputFailurePredicate& still_fails,
+                               std::size_t max_attempts, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  st = {};
+  st.original_size = nonzero_coords(failing);
+
+  std::vector<Vec> cur = failing;
+  auto attempt = [&](const std::vector<Vec>& cand) {
+    ++st.attempts;
+    if (!still_fails(cand)) return false;
+    ++st.accepted;
+    cur = cand;
+    return true;
+  };
+
+  // Magnitudes below this are close enough to zero that further halving
+  // only burns budget; the loop terminates once every coordinate is zero
+  // or sub-threshold.
+  constexpr double kFloor = 1e-6;
+  bool changed = true;
+  while (changed && st.attempts < max_attempts) {
+    changed = false;
+    ++st.passes;
+    for (std::size_t i = 0; i < cur.size() && st.attempts < max_attempts;
+         ++i) {
+      for (std::size_t j = 0; j < cur[i].size() && st.attempts < max_attempts;
+           ++j) {
+        if (cur[i][j] == 0.0) continue;
+        std::vector<Vec> cand = cur;
+        cand[i][j] = 0.0;
+        if (attempt(cand)) {
+          changed = true;
+          continue;
+        }
+        if (std::abs(cur[i][j]) <= kFloor || st.attempts >= max_attempts) {
+          continue;
+        }
+        cand = cur;
+        cand[i][j] *= 0.5;
+        if (attempt(cand)) changed = true;
+      }
+    }
+  }
+
+  st.final_size = nonzero_coords(cur);
   return cur;
 }
 

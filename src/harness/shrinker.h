@@ -36,4 +36,21 @@ sim::ScheduleLog shrink_schedule(const sim::ScheduleLog& failing,
                                  std::size_t max_attempts = 500,
                                  ShrinkStats* stats = nullptr);
 
+/// Re-runs the experiment with the candidate honest inputs and reports
+/// whether the invariant still fails. Must be deterministic.
+using InputFailurePredicate =
+    std::function<bool(const std::vector<Vec>&)>;
+
+/// Counterexample minimizer for deterministic (sync-model) runs, where the
+/// schedule is a divergence checkpoint rather than a degree of freedom:
+/// greedily zeroes, then halves, honest-input coordinates, accepting any
+/// candidate that still fails. The result has the same shape as the input
+/// and is never "larger" (each coordinate is 0 or closer to 0). `failing`
+/// must satisfy `still_fails`; the result always does. Stats sizes count
+/// nonzero coordinates.
+std::vector<Vec> shrink_inputs(const std::vector<Vec>& failing,
+                               const InputFailurePredicate& still_fails,
+                               std::size_t max_attempts = 500,
+                               ShrinkStats* stats = nullptr);
+
 }  // namespace rbvc::harness

@@ -40,9 +40,12 @@ std::vector<BrachaRbc::Delivery> BrachaRbc::on_message(const Message& m,
   const Content content{{m.meta.begin() + 3, m.meta.end()}, m.payload};
   Slot& s = slot(source, instance);
 
-  const std::size_t echo_quorum = (n_ + f_ + 2) / 2;  // ceil((n+f+1)/2)
-  const std::size_t ready_amplify = f_ + 1;
-  const std::size_t ready_deliver = 2 * f_ + 1;
+  const std::size_t echo_quorum =
+      quorums_.echo ? quorums_.echo : (n_ + f_ + 2) / 2;  // ceil((n+f+1)/2)
+  const std::size_t ready_amplify =
+      quorums_.ready_amplify ? quorums_.ready_amplify : f_ + 1;
+  const std::size_t ready_deliver =
+      quorums_.ready_deliver ? quorums_.ready_deliver : 2 * f_ + 1;
 
   switch (phase) {
     case kInit: {

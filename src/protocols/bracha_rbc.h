@@ -31,7 +31,21 @@ using sim::ProcessId;
 
 class BrachaRbc {
  public:
+  /// Test-only fault injection: overrides for the three vote thresholds
+  /// (0 = use the protocol value). Lowering the echo quorum below
+  /// ceil((n+f+1)/2) or the delivery threshold below 2f+1 breaks the
+  /// intersection argument that prevents equivocation from splitting
+  /// correct deliveries -- which is exactly what the property harness
+  /// plants to prove its oracle catches the violation.
+  struct Quorums {
+    std::size_t echo = 0;           // protocol: ceil((n+f+1)/2)
+    std::size_t ready_amplify = 0;  // protocol: f+1
+    std::size_t ready_deliver = 0;  // protocol: 2f+1
+  };
+
   BrachaRbc(std::size_t n, std::size_t f, ProcessId self);
+
+  void override_quorums(const Quorums& q) { quorums_ = q; }
 
   /// Starts broadcasting `value` (+ optional extra ints) as the source of
   /// instance (self, instance).
@@ -75,6 +89,7 @@ class BrachaRbc {
 
   std::size_t n_, f_;
   ProcessId self_;
+  Quorums quorums_;
   std::size_t sent_ = 0;
   std::map<std::pair<ProcessId, int>, Slot> slots_;
 };

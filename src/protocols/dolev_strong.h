@@ -62,6 +62,14 @@ class DolevStrongProcess : public sim::SyncProcess {
   const std::vector<Vec>& resolved_inputs() const;
   const Vec& input() const { return input_; }
 
+  /// Test-only fault injection: disables cryptographic chain validation
+  /// (structural checks remain). Without validation, a Byzantine relay can
+  /// inject a forged chain for another source's instance to a subset of
+  /// processes, breaking the identical-extracted-sets lemma -- the planted
+  /// bug the property harness must catch. Correct deployments never unset
+  /// this.
+  void set_validate_chains(bool v) { validate_chains_ = v; }
+
   static std::size_t rounds_needed(std::size_t f) { return f + 2; }
 
  protected:
@@ -82,6 +90,7 @@ class DolevStrongProcess : public sim::SyncProcess {
 
  private:
   DecisionFn decide_;
+  bool validate_chains_ = true;
   // Per-instance extracted values (std::set for deterministic order).
   std::vector<std::set<Vec>> extracted_;
   std::vector<Vec> resolved_;

@@ -37,6 +37,7 @@
 #include "sim/async_engine.h"
 #include "sim/message.h"
 #include "sim/rng.h"
+#include "sim/schedule_log.h"
 #include "sim/signatures.h"
 #include "sim/sync_engine.h"
 #include "sim/trace.h"
@@ -59,3 +60,7 @@
 #include "workload/byzantine_strategies.h"
 #include "workload/generators.h"
 #include "workload/runner.h"
+
+#include "harness/property.h"
+#include "harness/repro.h"
+#include "harness/shrinker.h"

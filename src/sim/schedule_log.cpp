@@ -68,6 +68,26 @@ ScheduleLog ScheduleLog::parse(const std::string& text) {
   return log;
 }
 
+std::string describe_divergence(const ScheduleLog& expected,
+                                const ScheduleLog& actual) {
+  auto token = [](const ScheduleEntry& e) {
+    return std::string(e.kind == ScheduleEntryKind::kPick ? "p" : "r") +
+           std::to_string(e.value);
+  };
+  const std::size_t common = std::min(expected.size(), actual.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (expected.entries()[i] == actual.entries()[i]) continue;
+    return "schedule divergence at entry " + std::to_string(i) +
+           ": expected " + token(expected.entries()[i]) + ", re-run produced " +
+           token(actual.entries()[i]);
+  }
+  if (expected.size() != actual.size()) {
+    return "schedule divergence: recorded " + std::to_string(expected.size()) +
+           " entries, re-run produced " + std::to_string(actual.size());
+  }
+  return "";
+}
+
 std::size_t ReplayScheduler::pick(const std::vector<Message>& pending) {
   RBVC_REQUIRE(!pending.empty(), "ReplayScheduler: nothing pending");
   while (next_ < log_.size() &&

@@ -55,6 +55,16 @@ class ScheduleLog {
   std::vector<ScheduleEntry> entries_;
 };
 
+/// Compares a recorded schedule against a re-recorded one and describes the
+/// first point of divergence ("" when identical). Sync and Dolev-Strong
+/// repro files use this as their replay check: those runs are deterministic
+/// given the config, so any mismatch between the stored round checkpoints
+/// and a re-run means the repro no longer reproduces the original execution
+/// (stale file, edited log, or changed code) and must be reported rather
+/// than silently ignored.
+std::string describe_divergence(const ScheduleLog& expected,
+                                const ScheduleLog& actual);
+
 /// Replays a recorded schedule: each pick() pops the next kPick entry.
 /// Shrunk or hand-edited logs stay valid: an out-of-range index wraps
 /// (value % pending), and an exhausted log falls back to FIFO delivery

@@ -63,6 +63,8 @@ const char* to_string(SyncStrategy s) {
       return "outlier-input";
     case SyncStrategy::kCrashMidway:
       return "crash-midway";
+    case SyncStrategy::kBadChainRelay:
+      return "bad-chain-relay";
   }
   return "?";
 }
@@ -91,6 +93,11 @@ std::unique_ptr<sim::SyncProcess> make_sync_byzantine(
           std::make_unique<protocols::EigConsensusProcess>(
               n, f, self, rng.normal_vec(d), zeros(d), dummy_decision()),
           /*crash_round=*/1);
+    case SyncStrategy::kBadChainRelay:
+      // Forged chains are a signature-model attack; in the unauthenticated
+      // EIG model the closest behavior is lying while relaying.
+      return std::make_unique<LyingRelaySyncProcess>(
+          n, f, self, rng.normal_vec(d), zeros(d), rng.next_u64());
   }
   throw invalid_argument("unknown sync strategy");
 }
@@ -123,6 +130,53 @@ DsEquivocatingProcess::initial_messages() {
   return out;
 }
 
+DsBadChainRelayProcess::DsBadChainRelayProcess(std::size_t n, std::size_t f,
+                                               protocols::ProcessId self,
+                                               Vec value, Vec forged,
+                                               sim::Signer signer)
+    : n_(n),
+      f_(f),
+      self_(self),
+      value_(std::move(value)),
+      forged_(std::move(forged)),
+      signer_(signer) {}
+
+void DsBadChainRelayProcess::round(std::size_t round_no,
+                                   const std::vector<sim::Message>&,
+                                   sim::Outbox& out) {
+  namespace wire = protocols::ds_wire;
+  if (round_no == 0) {
+    // Honest initial broadcast of our own value, so the attack is not a
+    // trivial no-show: the forged chain rides alongside a plausible run.
+    protocols::SigChain chain;
+    chain.emplace_back(self_,
+                       signer_.sign(wire::chain_digest(self_, value_, {})));
+    const sim::Message m = wire::encode(self_, value_, chain);
+    for (protocols::ProcessId r = 0; r < n_; ++r) {
+      if (r == self_) continue;
+      sim::Message copy = m;
+      out.send(r, std::move(copy));
+    }
+    return;
+  }
+  if (round_no != 1 || f_ < 1) return;
+  // Round 1 relays carry 2-signature chains, so a forged chain sent now has
+  // the length receivers expect in round 2. The victim's signature is
+  // fabricated; ours is genuine over the forged prefix -- chain validation
+  // rejects the chain at its first link, which is the point.
+  const protocols::ProcessId victim = self_ == 0 ? 1 : 0;
+  protocols::SigChain chain;
+  chain.emplace_back(victim, sim::Signature{0xBADC0DEBADC0DEULL});
+  chain.emplace_back(
+      self_, signer_.sign(wire::chain_digest(victim, forged_, chain)));
+  const sim::Message m = wire::encode(victim, forged_, chain);
+  for (protocols::ProcessId r = 0; r < n_ / 2; ++r) {
+    if (r == self_) continue;
+    sim::Message copy = m;
+    out.send(r, std::move(copy));
+  }
+}
+
 std::unique_ptr<sim::SyncProcess> make_ds_byzantine(
     SyncStrategy strategy, std::size_t n, std::size_t f,
     protocols::ProcessId self, std::size_t d, std::uint64_t seed,
@@ -149,6 +203,10 @@ std::unique_ptr<sim::SyncProcess> make_ds_byzantine(
               n, f, self, rng.normal_vec(d), zeros(d), dummy_decision(),
               signer, authority),
           /*crash_round=*/1);
+    case SyncStrategy::kBadChainRelay:
+      return std::make_unique<DsBadChainRelayProcess>(
+          n, f, self, rng.normal_vec(d), scale(50.0, rng.normal_vec(d)),
+          signer);
   }
   throw invalid_argument("unknown sync strategy");
 }

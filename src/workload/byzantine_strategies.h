@@ -86,8 +86,9 @@ enum class SyncStrategy {
   kSilent,
   kEquivocate,
   kLyingRelay,
-  kOutlierInput,  // honest protocol, adversarially distant input
-  kCrashMidway,   // honest until round 1, then permanently silent
+  kOutlierInput,   // honest protocol, adversarially distant input
+  kCrashMidway,    // honest until round 1, then permanently silent
+  kBadChainRelay,  // DS: relays a forged signature chain to half the network
 };
 
 const char* to_string(SyncStrategy s);
@@ -134,6 +135,34 @@ class DsWithholdingProcess final : public protocols::DolevStrongProcess {
   bool should_relay(protocols::ProcessId, const Vec&) override {
     return false;
   }
+};
+
+/// Broadcasts its own value honestly, then in round 1 injects a forged
+/// chain -- a fabricated value for a victim correct source, carried by a
+/// chain whose victim signature is garbage but whose own appended signature
+/// is genuine -- to the lower half of the network. Correct chain validation
+/// rejects it outright; with validation disabled (the harness's planted
+/// fault, see DolevStrongProcess::set_validate_chains) the receiving half
+/// extracts a second value for the victim's instance and resolves the
+/// default, while the other half resolves the victim's true input:
+/// interactive consistency breaks, deterministically.
+class DsBadChainRelayProcess final : public sim::SyncProcess {
+ public:
+  DsBadChainRelayProcess(std::size_t n, std::size_t f,
+                         protocols::ProcessId self, Vec value, Vec forged,
+                         sim::Signer signer);
+
+  void round(std::size_t round_no, const std::vector<sim::Message>& inbox,
+             sim::Outbox& out) override;
+  bool decided() const override { return true; }
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+  protocols::ProcessId self_;
+  Vec value_;
+  Vec forged_;
+  sim::Signer signer_;
 };
 
 /// Builds a Byzantine Dolev-Strong participant for `strategy` (kLyingRelay

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "consensus/algo_relaxed.h"
 #include "consensus/exact_bvc.h"
+#include "consensus/k_relaxed.h"
 #include "sim/sync_engine.h"
 
 namespace rbvc::workload {
@@ -13,8 +15,28 @@ bool is_byzantine(const std::vector<std::size_t>& ids, std::size_t id) {
 }
 }  // namespace
 
+protocols::DecisionFn make_decision(SyncRule rule, std::size_t f,
+                                    std::size_t k) {
+  switch (rule) {
+    case SyncRule::kAlgoRelaxed:
+      return consensus::algo_decision(f);
+    case SyncRule::kExactBvc:
+      return consensus::exact_bvc_decision(f);
+    case SyncRule::kKRelaxed:
+      return consensus::k_relaxed_decision(f, k);
+    case SyncRule::kFirstResolved:
+      return [](const std::vector<Vec>& s) { return s.front(); };
+    case SyncRule::kCustom:
+      break;
+  }
+  throw invalid_argument(
+      "make_decision: SyncRule::kCustom has no factory; set "
+      "SyncExperiment::decision instead");
+}
+
 SyncOutcome run_sync_experiment(const SyncExperiment& e) {
-  RBVC_REQUIRE(e.decision, "run_sync_experiment: missing decision rule");
+  const protocols::DecisionFn decision =
+      e.decision ? e.decision : make_decision(e.rule, e.f, e.k);
   RBVC_REQUIRE(e.byzantine_ids.size() <= e.f,
                "run_sync_experiment: more faulty ids than the fault budget");
   RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.n,
@@ -46,11 +68,13 @@ SyncOutcome run_sync_experiment(const SyncExperiment& e) {
       if (e.backend == SyncBackend::kEig) {
         engine.add(std::make_unique<protocols::EigConsensusProcess>(
             e.n, e.f, id, e.honest_inputs.at(next_input++), zeros(d),
-            e.decision));
+            decision));
       } else {
-        engine.add(std::make_unique<protocols::DolevStrongProcess>(
+        auto p = std::make_unique<protocols::DolevStrongProcess>(
             e.n, e.f, id, e.honest_inputs.at(next_input++), zeros(d),
-            e.decision, authority.signer_for(id), &authority));
+            decision, authority.signer_for(id), &authority);
+        p->set_validate_chains(e.validate_chains);
+        engine.add(std::move(p));
       }
       correct_ids.push_back(id);
     }
@@ -140,6 +164,170 @@ AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
     }
     out.decisions.push_back(p.decision());
     out.round0_deltas.push_back(p.round0_delta());
+  }
+  return out;
+}
+
+namespace {
+
+/// A correct participant of a standalone RBC experiment: broadcasts its
+/// input as instance 0 and records everything it delivers. Never reports
+/// decided -- the experiment runs to network quiescence, which is the only
+/// point where the RBC totality clause is checkable.
+class RbcPeerProcess final : public sim::AsyncProcess {
+ public:
+  RbcPeerProcess(std::size_t n, std::size_t f, sim::ProcessId self, Vec input,
+                 const protocols::BrachaRbc::Quorums& quorums)
+      : rbc_(n, f, self), input_(std::move(input)) {
+    rbc_.override_quorums(quorums);
+  }
+
+  void init(sim::Outbox& out) override { rbc_.broadcast(0, input_, out); }
+  void on_message(const sim::Message& m, sim::Outbox& out) override {
+    for (auto& d : rbc_.on_message(m, out)) {
+      deliveries_.push_back(std::move(d));
+    }
+  }
+  bool decided() const override { return false; }
+
+  const std::vector<protocols::BrachaRbc::Delivery>& deliveries() const {
+    return deliveries_;
+  }
+
+ private:
+  protocols::BrachaRbc rbc_;
+  Vec input_;
+  std::vector<protocols::BrachaRbc::Delivery> deliveries_;
+};
+
+}  // namespace
+
+RbcOutcome run_rbc_experiment(const RbcExperiment& e) {
+  RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.n,
+               "run_rbc_experiment: inputs + faulty ids must cover n");
+  RBVC_REQUIRE(e.byzantine_ids.size() <= e.f,
+               "run_rbc_experiment: more faulty ids than the fault budget");
+  RBVC_REQUIRE(!e.honest_inputs.empty(),
+               "run_rbc_experiment: need at least one correct process");
+  const std::size_t d = e.honest_inputs.front().size();
+
+  Rng seeds(e.seed);
+  // Same seed-derivation order as run_async_experiment, so schedules and
+  // Byzantine randomness replay identically.
+  const std::uint64_t sched_seed = seeds.next_u64();
+  std::unique_ptr<sim::Scheduler> sched;
+  if (e.replay) {
+    sched = std::make_unique<sim::ReplayScheduler>(*e.replay);
+  } else if (e.scheduler == SchedulerKind::kRandom) {
+    sched = std::make_unique<sim::RandomScheduler>(sched_seed);
+  } else {
+    std::vector<sim::ProcessId> laggards(e.byzantine_ids.begin(),
+                                         e.byzantine_ids.end());
+    if (laggards.empty() && e.n > 0) laggards.push_back(e.n - 1);
+    sched = std::make_unique<sim::LaggardScheduler>(sched_seed,
+                                                    std::move(laggards));
+  }
+  sim::AsyncEngine engine(std::move(sched));
+  engine.trace().set_enabled(e.capture_trace);
+  if (e.record) {
+    e.record->clear();
+    engine.set_schedule_log(e.record);
+  }
+
+  std::vector<sim::ProcessId> correct_ids;
+  std::size_t next_input = 0;
+  for (std::size_t id = 0; id < e.n; ++id) {
+    if (is_byzantine(e.byzantine_ids, id)) {
+      Rng rng(seeds.next_u64());
+      switch (e.strategy) {
+        case AsyncStrategy::kSilent:
+          engine.add(std::make_unique<SilentAsyncProcess>());
+          break;
+        case AsyncStrategy::kEquivocate:
+          engine.add(std::make_unique<EquivocatingAsyncProcess>(
+              e.n, id, scale(10.0, rng.normal_vec(d)),
+              scale(-10.0, rng.normal_vec(d))));
+          break;
+        case AsyncStrategy::kOutlierInput:
+          engine.add(std::make_unique<RbcPeerProcess>(
+              e.n, e.f, id, scale(25.0, rng.normal_vec(d)),
+              protocols::BrachaRbc::Quorums{}));
+          break;
+        case AsyncStrategy::kCrashMidway:
+          engine.add(std::make_unique<CrashingAsyncProcess>(
+              std::make_unique<RbcPeerProcess>(
+                  e.n, e.f, id, rng.normal_vec(d),
+                  protocols::BrachaRbc::Quorums{}),
+              /*max_deliveries=*/10));
+          break;
+      }
+    } else {
+      engine.add(std::make_unique<RbcPeerProcess>(
+          e.n, e.f, id, e.honest_inputs.at(next_input++), e.quorums));
+      correct_ids.push_back(id);
+    }
+  }
+
+  RbcOutcome out;
+  out.honest_inputs = e.honest_inputs;
+  out.correct_ids = correct_ids;
+  // RbcPeerProcess::decided() is always false, so the run ends only at
+  // quiescence (empty pool) or the event cap -- totality needs the former.
+  out.stats = engine.run(correct_ids, e.max_events);
+  out.trace = engine.trace();
+  for (sim::ProcessId id : correct_ids) {
+    out.deliveries.push_back(
+        dynamic_cast<RbcPeerProcess&>(engine.process(id)).deliveries());
+  }
+  return out;
+}
+
+BroadcastOutcome run_broadcast_experiment(const BroadcastExperiment& e) {
+  RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.n,
+               "run_broadcast_experiment: inputs + faulty ids must cover n");
+  RBVC_REQUIRE(e.byzantine_ids.size() <= e.f,
+               "run_broadcast_experiment: more faulty ids than the budget");
+  RBVC_REQUIRE(!e.honest_inputs.empty(),
+               "run_broadcast_experiment: need at least one correct process");
+  const std::size_t d = e.honest_inputs.front().size();
+
+  sim::SyncEngine engine;
+  engine.trace().set_enabled(e.capture_trace);
+  if (e.record) {
+    e.record->clear();
+    engine.set_schedule_log(e.record);
+  }
+  Rng seeds(e.seed);
+  sim::SignatureAuthority authority(seeds.next_u64());
+  const protocols::DecisionFn resolve_only =
+      make_decision(SyncRule::kFirstResolved, e.f);
+  std::vector<std::size_t> correct_ids;
+  std::size_t next_input = 0;
+  for (std::size_t id = 0; id < e.n; ++id) {
+    if (is_byzantine(e.byzantine_ids, id)) {
+      engine.add(make_ds_byzantine(e.strategy, e.n, e.f, id, d,
+                                   seeds.next_u64(), authority.signer_for(id),
+                                   &authority));
+    } else {
+      auto p = std::make_unique<protocols::DolevStrongProcess>(
+          e.n, e.f, id, e.honest_inputs.at(next_input++), zeros(d),
+          resolve_only, authority.signer_for(id), &authority);
+      p->set_validate_chains(e.validate_chains);
+      engine.add(std::move(p));
+      correct_ids.push_back(id);
+    }
+  }
+
+  BroadcastOutcome out;
+  out.honest_inputs = e.honest_inputs;
+  out.correct_ids = correct_ids;
+  out.stats =
+      engine.run(protocols::DolevStrongProcess::rounds_needed(e.f));
+  out.trace = engine.trace();
+  for (std::size_t id : correct_ids) {
+    out.resolved.push_back(
+        dynamic_cast<protocols::DolevStrongProcess&>(engine.process(id))
+            .resolved_inputs());
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "consensus/async_averaging.h"
+#include "protocols/bracha_rbc.h"
 #include "sim/async_engine.h"
 #include "sim/schedule_log.h"
 #include "workload/byzantine_strategies.h"
@@ -21,14 +22,38 @@ namespace rbvc::workload {
 ///                   n >= f+2 (the paper's footnote-3 regime)
 enum class SyncBackend { kEig, kDolevStrong };
 
+/// Serializable decision rules, so a SyncExperiment can round-trip through
+/// a repro file (a raw DecisionFn closure cannot). kCustom means "the
+/// `decision` field carries an arbitrary closure" and is rejected by the
+/// repro serializer.
+enum class SyncRule {
+  kCustom = 0,
+  kAlgoRelaxed = 1,    // consensus::algo_decision(f)
+  kExactBvc = 2,       // consensus::exact_bvc_decision(f)
+  kKRelaxed = 3,       // consensus::k_relaxed_decision(f, k)
+  kFirstResolved = 4,  // first entry of the agreed multiset (broadcast-only)
+};
+
+/// Builds the DecisionFn for a serializable rule (throws on kCustom).
+protocols::DecisionFn make_decision(SyncRule rule, std::size_t f,
+                                    std::size_t k = 1);
+
 struct SyncExperiment {
   std::size_t n = 0;
   std::size_t f = 0;                      // fault budget given to processes
   std::vector<Vec> honest_inputs;         // one per correct process
   std::vector<std::size_t> byzantine_ids; // actual faulty ids (size <= f)
   SyncStrategy strategy = SyncStrategy::kSilent;
+  // Decision: either an arbitrary closure in `decision`, or (for harness
+  // properties, which must serialize the experiment) a SyncRule. When
+  // `decision` is empty the rule is used; kCustom then throws.
   protocols::DecisionFn decision;
+  SyncRule rule = SyncRule::kCustom;
+  std::size_t k = 1;                      // k for SyncRule::kKRelaxed
   SyncBackend backend = SyncBackend::kEig;
+  // Fault injection (test-only): disable Dolev-Strong chain validation at
+  // the correct processes, exposing them to forged-chain relays.
+  bool validate_chains = true;
   std::uint64_t seed = 1;
   // Record/replay hooks (sync runs are deterministic given the config, so
   // the recorded log doubles as a divergence checkpoint for re-runs).
@@ -82,5 +107,77 @@ struct AsyncOutcome {
 };
 
 AsyncOutcome run_async_experiment(const AsyncExperiment& e);
+
+// ---------------------------------------------------------------------------
+// Standalone Bracha reliable-broadcast experiments: every correct process
+// RBC-broadcasts its input (instance 0) and records what it delivers. The
+// harness oracle checks the RBC contract directly -- no consensus layer on
+// top -- so broadcast-substrate bugs shrink to broadcast-sized repros.
+// ---------------------------------------------------------------------------
+
+struct RbcExperiment {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::vector<Vec> honest_inputs;          // broadcast value per correct id
+  std::vector<std::size_t> byzantine_ids;  // actual faulty ids (size <= f)
+  AsyncStrategy strategy = AsyncStrategy::kSilent;
+  SchedulerKind scheduler = SchedulerKind::kRandom;
+  // Fault injection (test-only): vote-threshold overrides for the correct
+  // processes' RBC instances (0 = protocol value).
+  protocols::BrachaRbc::Quorums quorums;
+  std::uint64_t seed = 1;
+  std::size_t max_events = 500'000;
+  // Record/replay hooks, as for AsyncExperiment.
+  sim::ScheduleLog* record = nullptr;
+  const sim::ScheduleLog* replay = nullptr;
+  bool capture_trace = false;
+};
+
+struct RbcOutcome {
+  // Per correct process (in `correct_ids` order), its deliveries in the
+  // order they happened.
+  std::vector<std::vector<protocols::BrachaRbc::Delivery>> deliveries;
+  std::vector<std::size_t> correct_ids;
+  std::vector<Vec> honest_inputs;
+  sim::AsyncRunStats stats;
+  sim::Trace trace;  // populated when capture_trace was set
+};
+
+RbcOutcome run_rbc_experiment(const RbcExperiment& e);
+
+// ---------------------------------------------------------------------------
+// Standalone Dolev-Strong broadcast experiments: n parallel authenticated
+// broadcasts (the interactive-consistency substrate), with the per-process
+// resolved multisets exposed so the oracle can check the
+// identical-extracted-sets lemma and per-source validity directly.
+// ---------------------------------------------------------------------------
+
+struct BroadcastExperiment {
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::vector<Vec> honest_inputs;          // one per correct process
+  std::vector<std::size_t> byzantine_ids;  // actual faulty ids (size <= f)
+  SyncStrategy strategy = SyncStrategy::kSilent;
+  // Fault injection (test-only): disable chain validation at the correct
+  // processes (see protocols::DolevStrongProcess::set_validate_chains).
+  bool validate_chains = true;
+  std::uint64_t seed = 1;
+  // Record/replay hooks (deterministic run; round checkpoints).
+  sim::ScheduleLog* record = nullptr;
+  bool capture_trace = false;
+};
+
+struct BroadcastOutcome {
+  // Per correct process (in `correct_ids` order), its resolved multiset --
+  // one value per source instance, identical across correct processes when
+  // the protocol holds.
+  std::vector<std::vector<Vec>> resolved;
+  std::vector<std::size_t> correct_ids;
+  std::vector<Vec> honest_inputs;
+  sim::SyncRunStats stats;
+  sim::Trace trace;  // populated when capture_trace was set
+};
+
+BroadcastOutcome run_broadcast_experiment(const BroadcastExperiment& e);
 
 }  // namespace rbvc::workload

@@ -1,0 +1,196 @@
+// Sync-model property harness (ctest label: fuzz): the same
+// check_property engine as the async suites, instantiated for lockstep
+// consensus runs. Covers the healthy sweep, a planted Dolev-Strong
+// bad-chain counterexample (caught, input-shrunk, written as a v2 repro,
+// re-executed via RBVC_REPLAY), and checkpoint-divergence detection for
+// mutated repro files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/property.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+class HarnessSyncPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    save("RBVC_REPLAY", replay_);
+    save("RBVC_FUZZ_EPISODES", episodes_);
+  }
+  void TearDown() override {
+    restore("RBVC_REPLAY", replay_);
+    restore("RBVC_FUZZ_EPISODES", episodes_);
+  }
+
+ private:
+  static void save(const char* name, std::pair<bool, std::string>& slot) {
+    const char* v = std::getenv(name);
+    slot = {v != nullptr, v ? v : ""};
+  }
+  static void restore(const char* name,
+                      const std::pair<bool, std::string>& slot) {
+    if (slot.first) {
+      ::setenv(name, slot.second.c_str(), 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  std::pair<bool, std::string> replay_;
+  std::pair<bool, std::string> episodes_;
+};
+
+std::size_t nonzero_coords(const std::vector<Vec>& inputs) {
+  std::size_t count = 0;
+  for (const Vec& v : inputs) {
+    for (double x : v) count += x != 0.0;
+  }
+  return count;
+}
+
+/// Chaos-sweep-shaped healthy generator: both backends, every strategy,
+/// serializable decision rule. Agreement is exact for sync runs, so the
+/// oracle's eps can be tight.
+harness::SyncProperty healthy_property() {
+  harness::SyncProperty prop;
+  prop.name = "healthy_sync_consensus";
+  prop.generate = [](Rng& rng) {
+    workload::SyncExperiment e;
+    e.f = 1 + rng.below(2);
+    const std::size_t d = 2 + rng.below(2);
+    const bool use_ds = rng.below(2) == 0;
+    // kappa = 1 validity needs every drop-f subset to keep an honest
+    // input: n >= 2f+1 for DS, 3f+1 for EIG (cf. chaos_sweep_test).
+    e.n = (use_ds ? std::max(e.f + 2, 2 * e.f + 1) : 3 * e.f + 1) +
+          rng.below(2);
+    e.backend = use_ds ? workload::SyncBackend::kDolevStrong
+                       : workload::SyncBackend::kEig;
+    const std::size_t faults = rng.below(e.f + 1);
+    e.honest_inputs = workload::gaussian_cloud(rng, e.n - faults, d);
+    std::vector<std::size_t> ids(e.n);
+    for (std::size_t i = 0; i < e.n; ++i) ids[i] = i;
+    rng.shuffle(ids);
+    e.byzantine_ids.assign(ids.begin(), ids.begin() + faults);
+    constexpr workload::SyncStrategy strategies[] = {
+        workload::SyncStrategy::kSilent,
+        workload::SyncStrategy::kEquivocate,
+        workload::SyncStrategy::kLyingRelay,
+        workload::SyncStrategy::kOutlierInput,
+        workload::SyncStrategy::kCrashMidway,
+        workload::SyncStrategy::kBadChainRelay};
+    e.strategy = strategies[rng.below(6)];
+    e.rule = workload::SyncRule::kAlgoRelaxed;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::sync_decide_agree_valid_oracle(1e-9, 1.0);
+  prop.repro_dir = ::testing::TempDir();
+  return prop;
+}
+
+/// The planted counterexample: chain validation disabled at the correct
+/// processes plus a bad-chain relayer. The forged chain poisons the lower
+/// half of the receivers' extracted set for the victim's instance, so
+/// kFirstResolved (decide the resolved slot-0 value) disagrees across
+/// correct processes on every schedule -- the attack Dolev-Strong's chain
+/// check exists to contain.
+harness::SyncProperty planted_bad_chain_property() {
+  harness::SyncProperty prop;
+  prop.name = "sync_planted_bad_chain";
+  prop.generate = [](Rng& rng) {
+    workload::SyncExperiment e;
+    e.n = 4;
+    e.f = 1;
+    e.byzantine_ids = {3};
+    e.honest_inputs = workload::gaussian_cloud(rng, 3, 2);
+    e.strategy = workload::SyncStrategy::kBadChainRelay;
+    e.backend = workload::SyncBackend::kDolevStrong;
+    e.validate_chains = false;  // test-only fault injection
+    e.rule = workload::SyncRule::kFirstResolved;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::sync_decide_agree_valid_oracle(1e-6, 5.0);
+  prop.episodes = 4;
+  prop.repro_dir = ::testing::TempDir();
+  return prop;
+}
+
+TEST_F(HarnessSyncPropertyTest, HealthyConsensusHoldsAcrossEpisodes) {
+  auto prop = healthy_property();
+  prop.episodes = harness::fuzz_episodes(4);  // nightly scale via env
+  const auto res = harness::check_property<harness::SyncRunner>(prop);
+  EXPECT_TRUE(res.passed) << harness::describe(res);
+  EXPECT_TRUE(res.repro_path.empty());
+}
+
+TEST_F(HarnessSyncPropertyTest, ValidationOnContainsTheBadChainAttack) {
+  auto prop = planted_bad_chain_property();
+  prop.name = "sync_bad_chain_contained";
+  auto inner = prop.generate;
+  prop.generate = [inner](Rng& rng) {
+    auto e = inner(rng);
+    e.validate_chains = true;  // the protocol as specified
+    return e;
+  };
+  const auto res = harness::check_property<harness::SyncRunner>(prop);
+  EXPECT_TRUE(res.passed) << harness::describe(res);
+}
+
+TEST_F(HarnessSyncPropertyTest, PlantedBadChainIsCaughtShrunkAndReplayed) {
+  ::unsetenv("RBVC_REPLAY");
+  ::unsetenv("RBVC_FUZZ_EPISODES");
+  const auto prop = planted_bad_chain_property();
+  const auto fuzzed = harness::check_property<harness::SyncRunner>(prop);
+  ASSERT_FALSE(fuzzed.passed) << harness::describe(fuzzed);
+  ASSERT_FALSE(fuzzed.repro_path.empty());
+
+  // The repro holds the minimized experiment: the disagreement needs only
+  // the victim's input, so shrinking zeroes (almost) everything else.
+  const auto rep = harness::load_sync_repro(fuzzed.repro_path);
+  EXPECT_EQ(rep.property, prop.name);
+  EXPECT_EQ(rep.experiment.strategy, workload::SyncStrategy::kBadChainRelay);
+  EXPECT_LE(nonzero_coords(rep.experiment.honest_inputs), 2u);
+  EXPECT_GE(nonzero_coords(rep.experiment.honest_inputs), 1u);
+  // Deterministic run: the stored checkpoints are non-trivial.
+  EXPECT_GT(rep.schedule.size(), 0u);
+
+  // RBVC_REPLAY re-executes the counterexample byte-for-byte.
+  ::setenv("RBVC_REPLAY", fuzzed.repro_path.c_str(), 1);
+  const auto replayed = harness::check_property<harness::SyncRunner>(prop);
+  EXPECT_TRUE(replayed.replayed_from_file);
+  EXPECT_FALSE(replayed.passed);
+  EXPECT_EQ(replayed.episodes, 1u);
+  // The failure is the oracle's verdict, not a divergence report.
+  EXPECT_EQ(replayed.failure.find("divergence"), std::string::npos)
+      << replayed.failure;
+}
+
+TEST_F(HarnessSyncPropertyTest, MutatedCheckpointLogIsDetected) {
+  ::unsetenv("RBVC_REPLAY");
+  ::unsetenv("RBVC_FUZZ_EPISODES");
+  const auto prop = planted_bad_chain_property();
+  const auto fuzzed = harness::check_property<harness::SyncRunner>(prop);
+  ASSERT_FALSE(fuzzed.passed) << harness::describe(fuzzed);
+
+  // Tamper with the recorded round checkpoints and replay: the re-run no
+  // longer matches, and the harness must say so instead of trusting it.
+  auto rep = harness::load_sync_repro(fuzzed.repro_path);
+  ASSERT_GT(rep.schedule.size(), 0u);
+  rep.schedule.set_value(0, rep.schedule.entries()[0].value + 1);
+  const std::string mutated =
+      ::testing::TempDir() + "/rbvc_repro_mutated_sync.txt";
+  harness::write_repro(mutated, rep);
+
+  ::setenv("RBVC_REPLAY", mutated.c_str(), 1);
+  const auto replayed = harness::check_property<harness::SyncRunner>(prop);
+  EXPECT_TRUE(replayed.replayed_from_file);
+  EXPECT_FALSE(replayed.passed);
+  EXPECT_NE(replayed.failure.find("divergence"), std::string::npos)
+      << replayed.failure;
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -1,0 +1,175 @@
+// Schema v2 repro envelope: field-exact round-trips for every mode, the
+// mode-independent peek, legacy v1 acceptance, and the reject-don't-
+// misreplay contract for unknown versions, unknown modes, and mode
+// mismatches. (The async round-trip has field-level coverage in
+// harness_property_test.cpp; here it participates in the envelope checks.)
+#include <gtest/gtest.h>
+
+#include "harness/repro.h"
+
+namespace rbvc {
+namespace {
+
+TEST(ReproRoundtripTest, SerializedHeaderCarriesVersionAndMode) {
+  harness::SyncRepro rep;
+  rep.property = "p";
+  rep.experiment.n = 4;
+  rep.experiment.rule = workload::SyncRule::kAlgoRelaxed;
+  const std::string text = harness::serialize_repro(rep);
+  EXPECT_EQ(text.rfind("rbvc-repro v2\n", 0), 0u);
+  EXPECT_NE(text.find("\nmode sync\n"), std::string::npos);
+
+  const auto info = harness::peek_repro(text);
+  EXPECT_EQ(info.version, harness::kReproVersion);
+  EXPECT_EQ(info.mode, harness::ReproMode::kSync);
+  EXPECT_EQ(info.property, "p");
+}
+
+TEST(ReproRoundtripTest, SyncRoundTripsLosslessly) {
+  harness::SyncRepro rep;
+  rep.property = "sync_prop";
+  rep.failure = "agreement: multi\nline";
+  rep.experiment.n = 5;
+  rep.experiment.f = 2;
+  rep.experiment.honest_inputs = {{0.1, -2.5}, {1e-17, 3.0}, {4.0, 5.0}};
+  rep.experiment.byzantine_ids = {1, 3};
+  rep.experiment.strategy = workload::SyncStrategy::kBadChainRelay;
+  rep.experiment.rule = workload::SyncRule::kKRelaxed;
+  rep.experiment.k = 2;
+  rep.experiment.backend = workload::SyncBackend::kDolevStrong;
+  rep.experiment.validate_chains = false;
+  rep.experiment.seed = 0xABCDEF0123ULL;
+  rep.schedule.add_round(12);
+  rep.schedule.add_round(9);
+  rep.trace_dump = "round 0: 12 messages\n";
+
+  const auto parsed =
+      harness::parse_sync_repro(harness::serialize_repro(rep));
+  EXPECT_EQ(parsed.property, rep.property);
+  EXPECT_EQ(parsed.failure, rep.failure);
+  EXPECT_EQ(parsed.experiment.n, rep.experiment.n);
+  EXPECT_EQ(parsed.experiment.f, rep.experiment.f);
+  EXPECT_EQ(parsed.experiment.honest_inputs, rep.experiment.honest_inputs);
+  EXPECT_EQ(parsed.experiment.byzantine_ids, rep.experiment.byzantine_ids);
+  EXPECT_EQ(parsed.experiment.strategy, rep.experiment.strategy);
+  EXPECT_EQ(parsed.experiment.rule, rep.experiment.rule);
+  EXPECT_EQ(parsed.experiment.k, rep.experiment.k);
+  EXPECT_EQ(parsed.experiment.backend, rep.experiment.backend);
+  EXPECT_EQ(parsed.experiment.validate_chains,
+            rep.experiment.validate_chains);
+  EXPECT_EQ(parsed.experiment.seed, rep.experiment.seed);
+  EXPECT_TRUE(parsed.schedule == rep.schedule);
+  EXPECT_EQ(parsed.trace_dump, rep.trace_dump);
+  // The parsed experiment is runnable without a closure.
+  EXPECT_FALSE(parsed.experiment.decision);
+}
+
+TEST(ReproRoundtripTest, RbcRoundTripsLosslessly) {
+  harness::RbcRepro rep;
+  rep.property = "rbc_prop";
+  rep.failure = "equivocation delivered";
+  rep.experiment.n = 4;
+  rep.experiment.f = 1;
+  rep.experiment.honest_inputs = {{1.0, 2.0}, {3.0, 4.0}, {-0.5, 0.25}};
+  rep.experiment.byzantine_ids = {3};
+  rep.experiment.strategy = workload::AsyncStrategy::kEquivocate;
+  rep.experiment.scheduler = workload::SchedulerKind::kLaggard;
+  rep.experiment.quorums.echo = 1;
+  rep.experiment.quorums.ready_amplify = 1;
+  rep.experiment.quorums.ready_deliver = 1;
+  rep.experiment.seed = 77;
+  rep.experiment.max_events = 4321;
+  rep.schedule.add_pick(5);
+  rep.schedule.add_pick(0);
+
+  const auto parsed = harness::parse_rbc_repro(harness::serialize_repro(rep));
+  EXPECT_EQ(parsed.property, rep.property);
+  EXPECT_EQ(parsed.experiment.n, rep.experiment.n);
+  EXPECT_EQ(parsed.experiment.f, rep.experiment.f);
+  EXPECT_EQ(parsed.experiment.honest_inputs, rep.experiment.honest_inputs);
+  EXPECT_EQ(parsed.experiment.byzantine_ids, rep.experiment.byzantine_ids);
+  EXPECT_EQ(parsed.experiment.strategy, rep.experiment.strategy);
+  EXPECT_EQ(parsed.experiment.scheduler, rep.experiment.scheduler);
+  EXPECT_EQ(parsed.experiment.quorums.echo, rep.experiment.quorums.echo);
+  EXPECT_EQ(parsed.experiment.quorums.ready_amplify,
+            rep.experiment.quorums.ready_amplify);
+  EXPECT_EQ(parsed.experiment.quorums.ready_deliver,
+            rep.experiment.quorums.ready_deliver);
+  EXPECT_EQ(parsed.experiment.seed, rep.experiment.seed);
+  EXPECT_EQ(parsed.experiment.max_events, rep.experiment.max_events);
+  EXPECT_TRUE(parsed.schedule == rep.schedule);
+}
+
+TEST(ReproRoundtripTest, DsRoundTripsLosslessly) {
+  harness::DsRepro rep;
+  rep.property = "ds_prop";
+  rep.failure = "identical-extracted-sets";
+  rep.experiment.n = 4;
+  rep.experiment.f = 1;
+  rep.experiment.honest_inputs = {{9.0}, {-0.125}, {3.5}};
+  rep.experiment.byzantine_ids = {2};
+  rep.experiment.strategy = workload::SyncStrategy::kBadChainRelay;
+  rep.experiment.validate_chains = false;
+  rep.experiment.seed = 13;
+  rep.schedule.add_round(6);
+
+  const auto parsed = harness::parse_ds_repro(harness::serialize_repro(rep));
+  EXPECT_EQ(parsed.property, rep.property);
+  EXPECT_EQ(parsed.experiment.n, rep.experiment.n);
+  EXPECT_EQ(parsed.experiment.f, rep.experiment.f);
+  EXPECT_EQ(parsed.experiment.honest_inputs, rep.experiment.honest_inputs);
+  EXPECT_EQ(parsed.experiment.byzantine_ids, rep.experiment.byzantine_ids);
+  EXPECT_EQ(parsed.experiment.strategy, rep.experiment.strategy);
+  EXPECT_EQ(parsed.experiment.validate_chains,
+            rep.experiment.validate_chains);
+  EXPECT_EQ(parsed.experiment.seed, rep.experiment.seed);
+  EXPECT_TRUE(parsed.schedule == rep.schedule);
+}
+
+TEST(ReproRoundtripTest, LegacyV1FilesAreImplicitlyAsync) {
+  const std::string v1 =
+      "rbvc-async-repro v1\n"
+      "property old\n"
+      "n 4\nf 1\nd 2\nseed 9\n"
+      "input 1 2\ninput 3 4\ninput 5 6\ninput 7 8\n"
+      "schedule p1 p0\n";
+  const auto info = harness::peek_repro(v1);
+  EXPECT_EQ(info.version, 1);
+  EXPECT_EQ(info.mode, harness::ReproMode::kAsync);
+  const auto rep = harness::parse_async_repro(v1);
+  EXPECT_EQ(rep.experiment.prm.n, 4u);
+  EXPECT_EQ(rep.schedule.size(), 2u);
+}
+
+TEST(ReproRoundtripTest, UnknownVersionsAndModesAreRejected) {
+  EXPECT_THROW(harness::peek_repro("rbvc-repro v3\nmode async\n"),
+               invalid_argument);
+  EXPECT_THROW(harness::parse_async_repro("rbvc-repro v3\nmode async\nn 4\n"),
+               invalid_argument);
+  EXPECT_THROW(harness::peek_repro("rbvc-repro v2\nmode warp\n"),
+               invalid_argument);
+  // v2 without a mode line is ambiguous, not implicitly anything.
+  EXPECT_THROW(harness::peek_repro("rbvc-repro v2\nproperty x\n"),
+               invalid_argument);
+}
+
+TEST(ReproRoundtripTest, ModeMismatchIsRejected) {
+  harness::DsRepro ds;
+  ds.property = "x";
+  ds.experiment.n = 4;
+  const std::string text = harness::serialize_repro(ds);
+  EXPECT_NO_THROW(harness::parse_ds_repro(text));
+  EXPECT_THROW(harness::parse_sync_repro(text), invalid_argument);
+  EXPECT_THROW(harness::parse_rbc_repro(text), invalid_argument);
+  EXPECT_THROW(harness::parse_async_repro(text), invalid_argument);
+}
+
+TEST(ReproRoundtripTest, CustomDecisionClosuresCannotSerialize) {
+  harness::SyncRepro rep;
+  rep.experiment.n = 4;
+  rep.experiment.rule = workload::SyncRule::kCustom;
+  EXPECT_THROW(harness::serialize_repro(rep), invalid_argument);
+}
+
+}  // namespace
+}  // namespace rbvc
