@@ -1,13 +1,21 @@
 // Shared helpers for the experiment benches: fixed-width table printing and
 // a standard main() that first regenerates the experiment's paper-style
-// table, then runs the registered google-benchmark timings.
+// table, then runs the registered google-benchmark timings. Every bench
+// also accepts `--json <path>` (or `--json=<path>`): after the run, the
+// process-wide metrics registry (obs/metrics.h) -- counters, histograms,
+// and kernel timings accumulated by the report and the timed iterations --
+// is dumped there as stable JSON, so BENCH_*.json files capture a
+// machine-diffable trajectory next to the human tables.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace rbvc::bench {
 
@@ -55,15 +63,44 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Extracts `--json <path>` / `--json=<path>` from argv (removing it, so
+/// google-benchmark never sees the flag) and returns the path, or "".
+inline std::string extract_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+/// Writes the global metrics registry to `path` when non-empty.
+inline void write_json_metrics(const std::string& path) {
+  if (path.empty()) return;
+  rbvc::obs::export_global(path);
+  std::printf("\nmetrics written: %s\n", path.c_str());
+}
+
 }  // namespace rbvc::bench
 
-/// Defines a main() that prints the experiment report, then runs timings.
+/// Defines a main() that prints the experiment report, runs timings, and
+/// honors `--json <path>` by dumping the metrics registry afterwards.
 #define RBVC_BENCH_MAIN(report_fn)                      \
   int main(int argc, char** argv) {                     \
+    const std::string rbvc_json_path =                  \
+        ::rbvc::bench::extract_json_flag(argc, argv);   \
     report_fn();                                        \
     ::benchmark::Initialize(&argc, argv);               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();              \
     ::benchmark::Shutdown();                            \
+    ::rbvc::bench::write_json_metrics(rbvc_json_path);  \
     return 0;                                           \
   }

@@ -11,6 +11,7 @@
 #include "consensus/algo_relaxed.h"
 #include "consensus/verifier.h"
 #include "geometry/simplex_geometry.h"
+#include "obs/metrics.h"
 #include "workload/generators.h"
 #include "workload/runner.h"
 
@@ -73,5 +74,14 @@ int main() {
               achieved, budget, excess <= 1e-9 ? "SATISFIED" : "VIOLATED");
   std::printf("\nprotocol cost: %zu messages over %zu rounds\n",
               outcome.stats.messages, outcome.stats.rounds);
+
+  // --- 4. Run telemetry: with RBVC_METRICS_OUT=<path> set, the metrics
+  //        the run accumulated (engine/protocol counters, LP and geometry
+  //        kernel timings) are exported as stable JSON.
+  const std::string metrics_path = obs::export_global();
+  if (!metrics_path.empty()) {
+    std::printf("metrics written: %s (%zu metrics)\n", metrics_path.c_str(),
+                obs::global().size());
+  }
   return excess <= 1e-9 && agreement.identical ? 0 : 1;
 }

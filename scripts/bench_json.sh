@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Builds the benches in Release mode, runs every bench_* with `--json`, and
+# aggregates the per-bench metric registries into BENCH_e2e.json (one
+# top-level key per bench) so future PRs can diff the perf trajectory.
+#
+# Usage:
+#   scripts/bench_json.sh [out.json]
+#
+# Env knobs:
+#   RBVC_BENCH_BUILD_DIR   build directory (default: build-bench)
+#   RBVC_BENCH_FILTER      --benchmark_filter regex passed to each bench
+#                          (default: ^$ -- report phase + metrics only, no
+#                          timed iterations, so the sweep stays fast; set
+#                          to '.' for full timings)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_e2e.json}"
+BUILD_DIR="${RBVC_BENCH_BUILD_DIR:-build-bench}"
+FILTER="${RBVC_BENCH_FILTER:-^\$}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+benches=()
+for exe in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$exe" ] || continue
+  benches+=("$exe")
+done
+[ "${#benches[@]}" -gt 0 ] || { echo "no benches under $BUILD_DIR/bench"; exit 1; }
+
+for exe in "${benches[@]}"; do
+  name="$(basename "$exe")"
+  echo "== $name =="
+  "$exe" --benchmark_filter="$FILTER" --json "$TMP_DIR/$name.json"
+done
+
+# Aggregate: { "<bench>": <registry dump>, ... } -- each registry dump is
+# already valid JSON (obs::Registry::dump_json), embedded verbatim.
+{
+  printf '{\n'
+  first=1
+  for exe in "${benches[@]}"; do
+    name="$(basename "$exe")"
+    [ "$first" -eq 1 ] || printf ',\n'
+    first=0
+    printf '"%s": ' "$name"
+    cat "$TMP_DIR/$name.json"
+  done
+  printf '}\n'
+} > "$OUT"
+
+echo "aggregated ${#benches[@]} bench registries into $OUT"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace rbvc {
 
 namespace {
@@ -17,6 +19,8 @@ lp::SimplexOptions options_for(double tol) {
 std::optional<Vec> hull_coefficients(const Vec& u, const std::vector<Vec>& pts,
                                      double tol) {
   RBVC_REQUIRE(!pts.empty(), "hull_coefficients: empty point set");
+  obs::global().counter("geom.hull.membership_lps").inc();
+  obs::ScopedTimer timer(obs::global(), "geom.hull.seconds");
   const std::size_t d = u.size();
   for (const Vec& p : pts) {
     RBVC_REQUIRE(p.size() == d, "hull_coefficients: dimension mismatch");
@@ -47,6 +51,8 @@ bool in_hull(const Vec& u, const std::vector<Vec>& pts, double tol) {
 std::optional<Vec> hull_intersection_point(
     const std::vector<std::vector<Vec>>& sets, double tol) {
   RBVC_REQUIRE(!sets.empty(), "hull_intersection_point: no sets");
+  obs::global().counter("geom.hull.intersection_lps").inc();
+  obs::ScopedTimer timer(obs::global(), "geom.hull.seconds");
   const std::size_t d = sets.front().front().size();
   lp::Model m;
   const auto u0 = m.add_vars(d, 0.0, /*free=*/true);

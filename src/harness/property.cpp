@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "consensus/verifier.h"
+#include "obs/metrics.h"
 
 namespace rbvc::harness {
 
@@ -191,8 +192,9 @@ struct PickModel {
 
   static sim::ScheduleLog minimize(Exp& e, const sim::ScheduleLog& log,
                                    const Oracle<Exp, Out>& oracle,
-                                   std::size_t budget,
-                                   std::string* trace_dump, const Run& run) {
+                                   std::size_t budget, std::string* trace_dump,
+                                   std::string* metrics_json,
+                                   const Run& run) {
     Exp base = e;
     base.record = nullptr;
     base.replay = nullptr;
@@ -207,11 +209,15 @@ struct PickModel {
       best = shrink_schedule(log, still_fails, budget);
     }
     // One final replay captures the counterexample's trace for the file.
+    // Zeroing the global registry right before it makes the snapshot cover
+    // exactly the minimized failing episode.
+    if (metrics_json) obs::global().reset_values();
     Exp fin = base;
     fin.replay = &best;
     fin.capture_trace = true;
     const Out out = run(fin);
     if (trace_dump) *trace_dump = out.trace.dump();
+    if (metrics_json) *metrics_json = obs::global().dump_json();
     e = base;
     return best;
   }
@@ -247,8 +253,9 @@ struct CheckpointModel {
 
   static sim::ScheduleLog minimize(Exp& e, const sim::ScheduleLog&,
                                    const Oracle<Exp, Out>& oracle,
-                                   std::size_t budget,
-                                   std::string* trace_dump, const Run& run) {
+                                   std::size_t budget, std::string* trace_dump,
+                                   std::string* metrics_json,
+                                   const Run& run) {
     Exp base = e;
     base.record = nullptr;
     base.capture_trace = false;
@@ -295,13 +302,16 @@ struct CheckpointModel {
       }
     }
     // Re-record the checkpoints (and trace) of the minimized experiment --
-    // they, not the original's, are what a replay must reproduce.
+    // they, not the original's, are what a replay must reproduce. Zeroing
+    // the global registry first scopes the metrics snapshot to this run.
+    if (metrics_json) obs::global().reset_values();
     sim::ScheduleLog rec;
     Exp fin = base;
     fin.record = &rec;
     fin.capture_trace = true;
     const Out out = run(fin);
     if (trace_dump) *trace_dump = out.trace.dump();
+    if (metrics_json) *metrics_json = obs::global().dump_json();
     e = base;
     return rec;
   }
@@ -352,12 +362,12 @@ workload::AsyncOutcome AsyncRunner::run_recorded(Experiment& e,
                                                  sim::ScheduleLog& log) {
   return AsyncModel::run_recorded(e, log, kRunAsync);
 }
-sim::ScheduleLog AsyncRunner::minimize(Experiment& e,
-                                       const sim::ScheduleLog& log,
-                                       const Oracle<Experiment, Outcome>& o,
-                                       std::size_t budget,
-                                       std::string* trace_dump) {
-  return AsyncModel::minimize(e, log, o, budget, trace_dump, kRunAsync);
+sim::ScheduleLog AsyncRunner::minimize(
+    Experiment& e, const sim::ScheduleLog& log,
+    const Oracle<Experiment, Outcome>& o, std::size_t budget,
+    std::string* trace_dump, std::string* metrics_json) {
+  return AsyncModel::minimize(e, log, o, budget, trace_dump,
+                         metrics_json, kRunAsync);
 }
 Repro<workload::AsyncExperiment> AsyncRunner::load(const std::string& path) {
   return load_async_repro(path);
@@ -371,12 +381,12 @@ workload::RbcOutcome RbcRunner::run_recorded(Experiment& e,
                                              sim::ScheduleLog& log) {
   return RbcModel::run_recorded(e, log, kRunRbc);
 }
-sim::ScheduleLog RbcRunner::minimize(Experiment& e,
-                                     const sim::ScheduleLog& log,
-                                     const Oracle<Experiment, Outcome>& o,
-                                     std::size_t budget,
-                                     std::string* trace_dump) {
-  return RbcModel::minimize(e, log, o, budget, trace_dump, kRunRbc);
+sim::ScheduleLog RbcRunner::minimize(
+    Experiment& e, const sim::ScheduleLog& log,
+    const Oracle<Experiment, Outcome>& o, std::size_t budget,
+    std::string* trace_dump, std::string* metrics_json) {
+  return RbcModel::minimize(e, log, o, budget, trace_dump,
+                         metrics_json, kRunRbc);
 }
 Repro<workload::RbcExperiment> RbcRunner::load(const std::string& path) {
   return load_rbc_repro(path);
@@ -390,12 +400,12 @@ workload::SyncOutcome SyncRunner::run_recorded(Experiment& e,
                                                sim::ScheduleLog& log) {
   return SyncModel::run_recorded(e, log, kRunSync);
 }
-sim::ScheduleLog SyncRunner::minimize(Experiment& e,
-                                      const sim::ScheduleLog& log,
-                                      const Oracle<Experiment, Outcome>& o,
-                                      std::size_t budget,
-                                      std::string* trace_dump) {
-  return SyncModel::minimize(e, log, o, budget, trace_dump, kRunSync);
+sim::ScheduleLog SyncRunner::minimize(
+    Experiment& e, const sim::ScheduleLog& log,
+    const Oracle<Experiment, Outcome>& o, std::size_t budget,
+    std::string* trace_dump, std::string* metrics_json) {
+  return SyncModel::minimize(e, log, o, budget, trace_dump,
+                         metrics_json, kRunSync);
 }
 Repro<workload::SyncExperiment> SyncRunner::load(const std::string& path) {
   return load_sync_repro(path);
@@ -409,12 +419,12 @@ workload::BroadcastOutcome DsRunner::run_recorded(Experiment& e,
                                                   sim::ScheduleLog& log) {
   return DsModel::run_recorded(e, log, kRunDs);
 }
-sim::ScheduleLog DsRunner::minimize(Experiment& e,
-                                    const sim::ScheduleLog& log,
-                                    const Oracle<Experiment, Outcome>& o,
-                                    std::size_t budget,
-                                    std::string* trace_dump) {
-  return DsModel::minimize(e, log, o, budget, trace_dump, kRunDs);
+sim::ScheduleLog DsRunner::minimize(
+    Experiment& e, const sim::ScheduleLog& log,
+    const Oracle<Experiment, Outcome>& o, std::size_t budget,
+    std::string* trace_dump, std::string* metrics_json) {
+  return DsModel::minimize(e, log, o, budget, trace_dump,
+                         metrics_json, kRunDs);
 }
 Repro<workload::BroadcastExperiment> DsRunner::load(const std::string& path) {
   return load_ds_repro(path);

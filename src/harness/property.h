@@ -1,7 +1,8 @@
 // Protocol-agnostic property-test driver: wraps an (experiment generator,
 // invariant oracle) pair, runs N seeded episodes with nondeterminism
 // recording on, and on the first violation minimizes the counterexample and
-// writes a self-contained repro file (schema v2, see harness/repro.h).
+// writes a self-contained repro file (schema v3, see harness/repro.h)
+// embedding the minimized episode's metrics snapshot (obs/metrics.h).
 //
 // The engine is one template, `check_property<Runner>`, instantiated for
 // four episode runners:
@@ -77,7 +78,9 @@ std::size_t fuzz_episodes(std::size_t fallback);
 // supplies the three mode-specific steps of the engine: a recorded run, a
 // counterexample minimizer, and a repro replay. The minimizer leaves the
 // experiment serialization-clean (record/replay hooks null, trace capture
-// off) and returns the schedule to embed in the repro; `replay` returns the
+// off), returns the schedule to embed in the repro, and snapshots the
+// global metrics registry around its final replay so the repro carries the
+// minimized episode's telemetry (`metrics_json`); `replay` returns the
 // failure message for a re-executed repro ("" = invariant now holds), which
 // for deterministic runners includes checkpoint-divergence detection.
 // ---------------------------------------------------------------------------
@@ -89,8 +92,8 @@ struct AsyncRunner {
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
-                                   std::size_t budget,
-                                   std::string* trace_dump);
+                                   std::size_t budget, std::string* trace_dump,
+                                   std::string* metrics_json);
   static Repro<Experiment> load(const std::string& path);
   static std::string replay(const Repro<Experiment>& rep,
                             const Oracle<Experiment, Outcome>& oracle);
@@ -103,8 +106,8 @@ struct SyncRunner {
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
-                                   std::size_t budget,
-                                   std::string* trace_dump);
+                                   std::size_t budget, std::string* trace_dump,
+                                   std::string* metrics_json);
   static Repro<Experiment> load(const std::string& path);
   static std::string replay(const Repro<Experiment>& rep,
                             const Oracle<Experiment, Outcome>& oracle);
@@ -117,8 +120,8 @@ struct RbcRunner {
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
-                                   std::size_t budget,
-                                   std::string* trace_dump);
+                                   std::size_t budget, std::string* trace_dump,
+                                   std::string* metrics_json);
   static Repro<Experiment> load(const std::string& path);
   static std::string replay(const Repro<Experiment>& rep,
                             const Oracle<Experiment, Outcome>& oracle);
@@ -131,8 +134,8 @@ struct DsRunner {
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
-                                   std::size_t budget,
-                                   std::string* trace_dump);
+                                   std::size_t budget, std::string* trace_dump,
+                                   std::string* metrics_json);
   static Repro<Experiment> load(const std::string& path);
   static std::string replay(const Repro<Experiment>& rep,
                             const Oracle<Experiment, Outcome>& oracle);
@@ -233,9 +236,10 @@ PropertyResult check_property(const Property<Runner>& prop) {
     r.original_len = log.size();
 
     std::string trace_dump;
-    const sim::ScheduleLog best =
-        Runner::minimize(exp, log, prop.oracle,
-                         prop.shrink ? prop.shrink_budget : 0, &trace_dump);
+    std::string metrics_json;
+    const sim::ScheduleLog best = Runner::minimize(
+        exp, log, prop.oracle, prop.shrink ? prop.shrink_budget : 0,
+        &trace_dump, &metrics_json);
     r.shrunk_len = best.size();
 
     Repro<typename Runner::Experiment> rep;
@@ -244,6 +248,7 @@ PropertyResult check_property(const Property<Runner>& prop) {
     rep.experiment = exp;  // minimize() left it serialization-clean
     rep.schedule = best;
     rep.trace_dump = trace_dump;
+    rep.metrics_json = metrics_json;
     const auto path = std::filesystem::absolute(
         std::filesystem::path(prop.repro_dir) /
         ("rbvc_repro_" + prop.name + ".txt"));

@@ -13,7 +13,8 @@ namespace rbvc::harness {
 
 namespace {
 
-constexpr const char* kHeaderV2 = "rbvc-repro v2";
+constexpr const char* kHeaderV3 = "rbvc-repro v3";
+constexpr const char* kHeaderV2 = "rbvc-repro v2";        // no metrics line
 constexpr const char* kHeaderV1 = "rbvc-async-repro v1";  // legacy, async
 
 std::string fmt_double(double x) {
@@ -52,11 +53,12 @@ std::uint64_t parse_u64(const std::string& s) {
 }
 
 int parse_header_version(const std::string& line) {
+  if (line == kHeaderV3) return 3;
   if (line == kHeaderV2) return 2;
   if (line == kHeaderV1) return 1;
   throw invalid_argument("repro: unsupported header `" + line +
-                         "` (this build reads `" + kHeaderV2 +
-                         "` and legacy `" + kHeaderV1 + "`)");
+                         "` (this build reads `" + kHeaderV3 + "`, `" +
+                         kHeaderV2 + "`, and legacy `" + kHeaderV1 + "`)");
 }
 
 // ---------------------------------------------------------------------------
@@ -98,11 +100,13 @@ Repro<ExperimentT> parse_envelope(const std::string& text, ReproMode want,
       r.schedule = sim::ScheduleLog::parse(val);
     } else if (key == "trace") {
       r.trace_dump = sim::unescape_detail(val);
+    } else if (key == "metrics") {
+      r.metrics_json = sim::unescape_detail(val);
     } else {
       field(r.experiment, key, val);  // unknown keys: skipped
     }
   }
-  RBVC_REQUIRE(mode_seen, "repro: v2 file is missing its `mode` line");
+  RBVC_REQUIRE(mode_seen, "repro: mode-tagged file is missing its `mode` line");
   RBVC_REQUIRE(mode == want,
                std::string("repro: file mode is `") + to_string(mode) +
                    "`, this parser expects `" + to_string(want) + "`");
@@ -113,7 +117,7 @@ template <class ExperimentT>
 std::string serialize_envelope(const Repro<ExperimentT>& r, ReproMode mode,
                                const std::string& experiment_fields) {
   std::string out;
-  out += kHeaderV2;
+  out += kHeaderV3;
   out += '\n';
   out += std::string("mode ") + to_string(mode) + "\n";
   out += "property " + r.property + "\n";
@@ -122,6 +126,9 @@ std::string serialize_envelope(const Repro<ExperimentT>& r, ReproMode mode,
   out += "schedule " + r.schedule.serialize() + "\n";
   if (!r.trace_dump.empty()) {
     out += "trace " + sim::escape_detail(r.trace_dump) + "\n";
+  }
+  if (!r.metrics_json.empty()) {
+    out += "metrics " + sim::escape_detail(r.metrics_json) + "\n";
   }
   return out;
 }
@@ -391,7 +398,7 @@ ReproInfo peek_repro(const std::string& text) {
       info.property = val;
     }
   }
-  RBVC_REQUIRE(mode_seen, "repro: v2 file is missing its `mode` line");
+  RBVC_REQUIRE(mode_seen, "repro: mode-tagged file is missing its `mode` line");
   return info;
 }
 

@@ -3,11 +3,12 @@
 // (including seeds and numeric options) plus the recorded (usually shrunk)
 // schedule -- in a line-oriented `key value` text format.
 //
-// Format v2 is mode-tagged: one file format serves all four experiment
-// kinds (`mode: sync|async|rbc|ds`), so RBVC_REPLAY can re-execute any of
-// them, and parsers reject unknown versions/modes with a diagnostic instead
-// of misreplaying. Legacy v1 files (async-only) still load. docs/HARNESS.md
-// documents the format and the RBVC_REPLAY flow.
+// Format v3 = the mode-tagged v2 envelope (`mode: sync|async|rbc|ds`, so
+// RBVC_REPLAY can re-execute any experiment kind) plus an optional
+// `metrics` line embedding the failing episode's obs::Registry snapshot as
+// escaped JSON. Parsers reject unknown versions/modes with a diagnostic
+// instead of misreplaying; v2 and legacy v1 files (async-only) still load.
+// docs/HARNESS.md documents the format and the RBVC_REPLAY flow.
 #pragma once
 
 #include <optional>
@@ -23,8 +24,8 @@ enum class ReproMode { kAsync, kSync, kRbc, kDs };
 const char* to_string(ReproMode mode);
 std::optional<ReproMode> parse_repro_mode(const std::string& tag);
 
-/// Current schema version; parsers accept v1 (implicitly async) and v2.
-inline constexpr int kReproVersion = 2;
+/// Current schema version; parsers accept v1 (implicitly async), v2, v3.
+inline constexpr int kReproVersion = 3;
 
 /// One counterexample: the property it violates, the full experiment
 /// config, and the complete nondeterminism record (scheduler picks for
@@ -36,7 +37,9 @@ struct Repro {
   std::string failure;     // oracle's violation message at record time
   ExperimentT experiment;  // record/replay pointers left null
   sim::ScheduleLog schedule;
-  std::string trace_dump;  // optional: Trace::dump() of the failing run
+  std::string trace_dump;    // optional: Trace::dump() of the failing run
+  std::string metrics_json;  // optional: obs::Registry::dump_json() snapshot
+                             // of the minimized failing episode (v3+)
 };
 
 using AsyncRepro = Repro<workload::AsyncExperiment>;

@@ -5,10 +5,31 @@
 
 #include "geometry/hull.h"
 #include "linalg/qr.h"
+#include "obs/metrics.h"
 
 namespace rbvc {
 
 namespace {
+
+const char* method_label(DeltaStarResult::Method m) {
+  switch (m) {
+    case DeltaStarResult::Method::kGammaNonempty:
+      return "gamma_nonempty";
+    case DeltaStarResult::Method::kSimplexInradius:
+      return "simplex_inradius";
+    case DeltaStarResult::Method::kNumerical:
+      return "numerical";
+  }
+  return "unknown";
+}
+
+void record_call(const DeltaStarResult& out) {
+  obs::Registry& reg = obs::global();
+  reg.counter("geom.delta_star.calls").inc();
+  reg.counter(std::string("geom.delta_star.method.") +
+              method_label(out.method))
+      .inc();
+}
 
 // Isometric coordinates of the points within their own affine span
 // (translate by the last point, express in an orthonormal basis). Valid for
@@ -47,6 +68,7 @@ SpanFrame make_frame(const std::vector<Vec>& s, double tol) {
 DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
                              double tol, const MinimaxOptions& opts) {
   RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_2: need 1 <= f < |S|");
+  obs::ScopedTimer timer(obs::global(), "geom.delta_star.seconds");
   DeltaStarResult out;
 
   const SpanFrame fr = make_frame(s, tol);
@@ -56,6 +78,7 @@ DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
     out.point = s.front();
     out.exact = true;
     out.method = DeltaStarResult::Method::kGammaNonempty;
+    record_call(out);
     return out;
   }
 
@@ -65,6 +88,7 @@ DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
     out.point = fr.lift(*g);
     out.exact = true;
     out.method = DeltaStarResult::Method::kGammaNonempty;
+    record_call(out);
     return out;
   }
 
@@ -76,6 +100,7 @@ DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
       out.point = fr.lift(geom->incenter());
       out.exact = true;
       out.method = DeltaStarResult::Method::kSimplexInradius;
+      record_call(out);
       return out;
     }
   }
@@ -87,6 +112,7 @@ DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
   out.point = fr.lift(mm.point);
   out.exact = false;
   out.method = DeltaStarResult::Method::kNumerical;
+  record_call(out);
   return out;
 }
 
@@ -95,12 +121,14 @@ DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
   RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_linear: need 1 <= f < |S|");
   RBVC_REQUIRE(p == 1.0 || p >= kInfNorm,
                "delta_star_linear: p must be 1 or inf");
+  obs::ScopedTimer timer(obs::global(), "geom.delta_star.seconds");
   DeltaStarResult out;
   if (auto g = gamma_point(s, f, tol)) {
     out.value = 0.0;
     out.point = *g;
     out.exact = true;
     out.method = DeltaStarResult::Method::kGammaNonempty;
+    record_call(out);
     return out;
   }
   double lo = 0.0;
@@ -108,6 +136,7 @@ DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
   Vec witness = mean(s);
   const double scale = std::max(1.0, hi);
   while (hi - lo > tol * scale) {
+    obs::global().counter("geom.delta_star.bisect_iters").inc();
     const double mid = 0.5 * (lo + hi);
     if (auto w = gamma_delta_point_linear(s, f, mid, p, tol)) {
       hi = mid;
@@ -120,6 +149,7 @@ DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
   out.point = witness;
   out.exact = true;  // LP bisection: certified to within tol*scale
   out.method = DeltaStarResult::Method::kNumerical;
+  record_call(out);
   return out;
 }
 
@@ -128,12 +158,14 @@ DeltaStarResult delta_star_p(const std::vector<Vec>& s, std::size_t f,
   RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_p: need 1 <= f < |S|");
   if (p == 2.0) return delta_star_2(s, f, tol, opts);
   if (p == 1.0 || p >= kInfNorm) return delta_star_linear(s, f, p, tol);
+  obs::ScopedTimer timer(obs::global(), "geom.delta_star.seconds");
   DeltaStarResult out;
   if (auto g = gamma_point(s, f, tol)) {
     out.value = 0.0;
     out.point = *g;
     out.exact = true;
     out.method = DeltaStarResult::Method::kGammaNonempty;
+    record_call(out);
     return out;
   }
   opts.p = p;
@@ -144,6 +176,7 @@ DeltaStarResult delta_star_p(const std::vector<Vec>& s, std::size_t f,
   out.point = mm.point;
   out.exact = false;
   out.method = DeltaStarResult::Method::kNumerical;
+  record_call(out);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace rbvc::lp {
 
 const char* to_string(Status s) {
@@ -76,6 +78,7 @@ class Tableau {
 
   double phase1_objective() const { return -cost1_[total_]; }
   double phase2_objective() const { return -cost2_[total_]; }
+  std::size_t pivots() const { return pivots_; }
   std::vector<double>& cost1() { return cost1_; }
   std::vector<double>& cost2() { return cost2_; }
 
@@ -167,9 +170,11 @@ class Tableau {
     eliminate(cost1_);
     eliminate(cost2_);
     basis_[r] = c;
+    ++pivots_;
   }
 
   SimplexOptions opts_;
+  std::size_t pivots_ = 0;
   std::size_t n_, m_, total_;
   std::vector<std::vector<double>> rows_;
   std::vector<std::size_t> basis_;
@@ -182,16 +187,24 @@ Solution solve_standard(const Matrix& a, const Vec& b, const Vec& c,
                         const SimplexOptions& opts) {
   RBVC_REQUIRE(a.rows() == b.size(), "simplex: A/b shape mismatch");
   RBVC_REQUIRE(a.cols() == c.size(), "simplex: A/c shape mismatch");
+  obs::Registry& reg = obs::global();
+  reg.counter("lp.solves").inc();
+  obs::ScopedTimer timer(reg, "lp.seconds");
   Solution sol;
+  const auto finish = [&reg](const Solution& s, std::size_t pivots) {
+    reg.counter("lp.pivots").inc(pivots);
+    reg.counter(std::string("lp.status.") + to_string(s.status)).inc();
+  };
   if (a.rows() == 0) {  // no constraints: optimum 0 at x=0 unless c<0 somewhere
+    sol.status = Status::kOptimal;
     for (double cj : c) {
       if (cj < -opts.tol) {
         sol.status = Status::kUnbounded;
-        return sol;
+        break;
       }
     }
-    sol.status = Status::kOptimal;
-    sol.x = zeros(a.cols());
+    if (sol.status == Status::kOptimal) sol.x = zeros(a.cols());
+    finish(sol, 0);
     return sol;
   }
 
@@ -200,6 +213,7 @@ Solution solve_standard(const Matrix& a, const Vec& b, const Vec& c,
   const Status p1 = t.run_phase(t.cost1(), /*allow_artificials=*/true);
   if (p1 == Status::kIterLimit) {
     sol.status = p1;
+    finish(sol, t.pivots());
     return sol;
   }
   // Feasibility tolerance scales with the RHS magnitude.
@@ -207,6 +221,7 @@ Solution solve_standard(const Matrix& a, const Vec& b, const Vec& c,
   for (double v : b) bscale = std::max(bscale, std::abs(v));
   if (t.phase1_objective() > opts.tol * bscale * 10.0) {
     sol.status = Status::kInfeasible;
+    finish(sol, t.pivots());
     return sol;
   }
   t.drive_out_artificials();
@@ -217,6 +232,7 @@ Solution solve_standard(const Matrix& a, const Vec& b, const Vec& c,
     sol.objective = t.phase2_objective();
     sol.x = t.extract_x();
   }
+  finish(sol, t.pivots());
   return sol;
 }
 

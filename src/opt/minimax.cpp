@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace rbvc {
 
 namespace {
@@ -32,6 +34,8 @@ Farthest farthest_hull(const Vec& p, const std::vector<std::vector<Vec>>& sets,
 MinimaxResult min_max_hull_distance(const std::vector<std::vector<Vec>>& sets,
                                     Vec init, const MinimaxOptions& opts) {
   RBVC_REQUIRE(!sets.empty(), "min_max_hull_distance: no sets");
+  obs::global().counter("opt.minimax.calls").inc();
+  obs::ScopedTimer timer(obs::global(), "opt.minimax.seconds");
   MinimaxResult best;
   Vec p = std::move(init);
   {
@@ -76,6 +80,7 @@ MinimaxResult min_max_hull_distance(const std::vector<std::vector<Vec>>& sets,
       p[i] += step * (far.proj[i] - p[i]);
     }
   }
+  obs::global().counter("opt.minimax.evals").inc(best.evals);
   return best;
 }
 

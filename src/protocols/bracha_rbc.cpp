@@ -1,5 +1,7 @@
 #include "protocols/bracha_rbc.h"
 
+#include "obs/metrics.h"
+
 namespace rbvc::protocols {
 
 BrachaRbc::BrachaRbc(std::size_t n, std::size_t f, ProcessId self)
@@ -19,6 +21,7 @@ void BrachaRbc::emit(Phase phase, ProcessId source, int instance,
     out.send(p, std::move(copy));
     ++sent_;
   }
+  obs::global().counter("protocols.rbc.emits").inc();
 }
 
 void BrachaRbc::broadcast(int instance, const Vec& value, Outbox& out,
@@ -62,6 +65,7 @@ std::vector<BrachaRbc::Delivery> BrachaRbc::on_message(const Message& m,
       const std::size_t votes = ++s.echo_votes[content];
       if (votes >= echo_quorum && !s.sent_ready) {
         s.sent_ready = true;
+        obs::global().counter("protocols.rbc.echo_quorums").inc();
         emit(kReady, source, instance, content, out);
       }
       break;
@@ -71,10 +75,12 @@ std::vector<BrachaRbc::Delivery> BrachaRbc::on_message(const Message& m,
       const std::size_t votes = ++s.ready_votes[content];
       if (votes >= ready_amplify && !s.sent_ready) {
         s.sent_ready = true;
+        obs::global().counter("protocols.rbc.ready_amplifications").inc();
         emit(kReady, source, instance, content, out);
       }
       if (votes >= ready_deliver && !s.delivered) {
         s.delivered = true;
+        obs::global().counter("protocols.rbc.deliveries").inc();
         deliveries.push_back({source, instance, content.second, content.first});
       }
       break;

@@ -1,7 +1,9 @@
 #include "sim/async_engine.h"
 
 #include <algorithm>
+#include <map>
 
+#include "obs/metrics.h"
 #include "sim/schedule_log.h"
 
 namespace rbvc::sim {
@@ -40,19 +42,22 @@ namespace {
 class PoolOutbox final : public Outbox {
  public:
   PoolOutbox(ProcessId self, std::size_t n, std::vector<Message>& pool,
-             Trace& trace, std::size_t time, std::size_t& counter)
+             Trace& trace, std::size_t time, std::size_t& counter,
+             std::map<std::string, std::uint64_t>& kind_counts)
       : self_(self),
         n_(n),
         pool_(pool),
         trace_(trace),
         time_(time),
-        counter_(counter) {}
+        counter_(counter),
+        kind_counts_(kind_counts) {}
 
   void send(ProcessId to, Message m) override {
     RBVC_REQUIRE(to < n_, "send: unknown recipient");
     m.from = self_;
     m.to = to;
     trace_.record(EventType::kSend, time_, self_, describe(m));
+    ++kind_counts_[m.kind];
     pool_.push_back(std::move(m));
     ++counter_;
   }
@@ -64,6 +69,7 @@ class PoolOutbox final : public Outbox {
   Trace& trace_;
   std::size_t time_;
   std::size_t& counter_;
+  std::map<std::string, std::uint64_t>& kind_counts_;
 };
 
 }  // namespace
@@ -78,9 +84,13 @@ AsyncRunStats AsyncEngine::run(const std::vector<ProcessId>& wait_for,
   const std::size_t n = procs_.size();
   AsyncRunStats stats;
   std::vector<Message> pending;
+  std::map<std::string, std::uint64_t> kind_counts;
+  obs::Registry& reg = obs::global();
+  obs::Histogram& queue_depth =
+      reg.histogram("sim.async.queue_depth", obs::count_buckets());
 
   for (ProcessId id = 0; id < n; ++id) {
-    PoolOutbox out(id, n, pending, trace_, 0, stats.sends);
+    PoolOutbox out(id, n, pending, trace_, 0, stats.sends, kind_counts);
     procs_[id]->init(out);
   }
 
@@ -92,6 +102,7 @@ AsyncRunStats AsyncEngine::run(const std::vector<ProcessId>& wait_for,
   };
 
   while (stats.deliveries < max_events && !pending.empty() && !all_done()) {
+    queue_depth.observe(static_cast<double>(pending.size()));
     const std::size_t idx = sched_->pick(pending);
     RBVC_REQUIRE(idx < pending.size(), "scheduler picked out of range");
     if (slog_) slog_->add_pick(idx);
@@ -99,10 +110,20 @@ AsyncRunStats AsyncEngine::run(const std::vector<ProcessId>& wait_for,
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(idx));
     ++stats.deliveries;
     trace_.record(EventType::kDeliver, stats.deliveries, m.to, describe(m));
-    PoolOutbox out(m.to, n, pending, trace_, stats.deliveries, stats.sends);
+    PoolOutbox out(m.to, n, pending, trace_, stats.deliveries, stats.sends,
+                   kind_counts);
     procs_[m.to]->on_message(m, out);
   }
   stats.all_decided = all_done();
+
+  reg.counter("sim.async.runs").inc();
+  reg.counter("sim.async.messages_sent").inc(stats.sends);
+  reg.counter("sim.async.messages_delivered").inc(stats.deliveries);
+  reg.counter("sim.async.messages_undelivered").inc(pending.size());
+  reg.counter("sim.async.scheduler_picks").inc(stats.deliveries);
+  for (const auto& [kind, count] : kind_counts) {
+    reg.counter("sim.async.sent." + obs::sanitize_label(kind)).inc(count);
+  }
   return stats;
 }
 

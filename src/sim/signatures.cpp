@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace rbvc::sim {
 
 namespace {
@@ -50,6 +52,9 @@ Signature SignatureAuthority::compute(ProcessId id,
 
 bool SignatureAuthority::verify(ProcessId id, std::uint64_t digest,
                                 Signature sig) const {
+  // Hot path: cache the handle once (reset_values() keeps it valid).
+  static obs::Counter& checks = obs::global().counter("sim.signature_checks");
+  checks.inc();
   return compute(id, digest) == sig;
 }
 

@@ -112,15 +112,19 @@ std::string Trace::dump() const {
 }
 
 Trace Trace::parse(const std::string& text) {
+  // dump() terminates every event line (including the last) with '\n' and
+  // never emits empty lines, so both are rejected here: trailing garbage
+  // after the final newline means a truncated or corrupted dump.
+  RBVC_REQUIRE(text.empty() || text.back() == '\n',
+               "Trace::parse: trailing garbage after the last event line");
   Trace t;
   t.set_enabled(true);
   std::size_t pos = 0;
   while (pos < text.size()) {
-    std::size_t eol = text.find('\n', pos);
-    if (eol == std::string::npos) eol = text.size();
+    const std::size_t eol = text.find('\n', pos);
     const std::string line = text.substr(pos, eol - pos);
     pos = eol + 1;
-    if (line.empty()) continue;
+    RBVC_REQUIRE(!line.empty(), "Trace::parse: empty event line");
 
     const std::size_t s1 = line.find(' ');
     RBVC_REQUIRE(s1 != std::string::npos, "Trace::parse: missing time field");

@@ -5,6 +5,9 @@
 #include "consensus/algo_relaxed.h"
 #include "consensus/exact_bvc.h"
 #include "consensus/k_relaxed.h"
+#include "hull/delta_star.h"
+#include "hull/gamma.h"
+#include "obs/metrics.h"
 #include "sim/sync_engine.h"
 
 namespace rbvc::workload {
@@ -12,6 +15,32 @@ namespace rbvc::workload {
 namespace {
 bool is_byzantine(const std::vector<std::size_t>& ids, std::size_t id) {
   return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+// Expensive derived metrics, gated on Registry::enabled(): how far the
+// correct decisions actually sit outside the drop-f hulls of the honest
+// inputs (the achieved delta), against delta*(honest inputs) -- the paper's
+// Thm 9/12 yardstick. Both need LP solves, so never on the default path;
+// a degenerate episode (f = 0, too few inputs, solver failure) just skips
+// the gauges rather than failing the run.
+void record_delta_gauges(const char* prefix, const std::vector<Vec>& decisions,
+                         const std::vector<Vec>& honest_inputs,
+                         std::size_t f) {
+  obs::Registry& reg = obs::global();
+  if (!reg.enabled() || decisions.empty()) return;
+  if (f < 1 || honest_inputs.size() <= f) return;
+  try {
+    double achieved = 0.0;
+    for (const Vec& dec : decisions) {
+      achieved = std::max(achieved,
+                          gamma_excess(dec, honest_inputs, f, /*p=*/2.0));
+    }
+    const double bound = delta_star_2(honest_inputs, f).value;
+    reg.gauge(std::string(prefix) + ".achieved_delta").set(achieved);
+    reg.gauge(std::string(prefix) + ".delta_star_bound").set(bound);
+  } catch (const std::exception&) {
+    // Diagnostics only: a solver failure here must not fail the episode.
+  }
 }
 }  // namespace
 
@@ -35,6 +64,9 @@ protocols::DecisionFn make_decision(SyncRule rule, std::size_t f,
 }
 
 SyncOutcome run_sync_experiment(const SyncExperiment& e) {
+  obs::Registry& reg = obs::global();
+  reg.counter("workload.sync.episodes").inc();
+  obs::ScopedTimer timer(reg, "workload.sync.episode_seconds");
   const protocols::DecisionFn decision =
       e.decision ? e.decision : make_decision(e.rule, e.f, e.k);
   RBVC_REQUIRE(e.byzantine_ids.size() <= e.f,
@@ -104,10 +136,16 @@ SyncOutcome run_sync_experiment(const SyncExperiment& e) {
               .decision());
     }
   }
+  reg.histogram("workload.sync.decide_rounds", obs::count_buckets())
+      .observe(static_cast<double>(out.stats.rounds));
+  record_delta_gauges("workload.sync", out.decisions, out.honest_inputs, e.f);
   return out;
 }
 
 AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
+  obs::Registry& reg = obs::global();
+  reg.counter("workload.async.episodes").inc();
+  obs::ScopedTimer timer(reg, "workload.async.episode_seconds");
   RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.prm.n,
                "run_async_experiment: inputs + faulty ids must cover n");
   RBVC_REQUIRE(e.byzantine_ids.size() <= e.prm.f,
@@ -165,6 +203,12 @@ AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
     out.decisions.push_back(p.decision());
     out.round0_deltas.push_back(p.round0_delta());
   }
+  reg.histogram("workload.async.decide_deliveries", obs::count_buckets())
+      .observe(static_cast<double>(out.stats.deliveries));
+  if (!out.failed) {
+    record_delta_gauges("workload.async", out.decisions, out.honest_inputs,
+                        e.prm.f);
+  }
   return out;
 }
 
@@ -203,6 +247,9 @@ class RbcPeerProcess final : public sim::AsyncProcess {
 }  // namespace
 
 RbcOutcome run_rbc_experiment(const RbcExperiment& e) {
+  obs::Registry& reg = obs::global();
+  reg.counter("workload.rbc.episodes").inc();
+  obs::ScopedTimer timer(reg, "workload.rbc.episode_seconds");
   RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.n,
                "run_rbc_experiment: inputs + faulty ids must cover n");
   RBVC_REQUIRE(e.byzantine_ids.size() <= e.f,
@@ -283,6 +330,9 @@ RbcOutcome run_rbc_experiment(const RbcExperiment& e) {
 }
 
 BroadcastOutcome run_broadcast_experiment(const BroadcastExperiment& e) {
+  obs::Registry& reg = obs::global();
+  reg.counter("workload.ds.episodes").inc();
+  obs::ScopedTimer timer(reg, "workload.ds.episode_seconds");
   RBVC_REQUIRE(e.honest_inputs.size() + e.byzantine_ids.size() == e.n,
                "run_broadcast_experiment: inputs + faulty ids must cover n");
   RBVC_REQUIRE(e.byzantine_ids.size() <= e.f,

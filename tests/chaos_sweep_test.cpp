@@ -1,26 +1,16 @@
 // Chaos sweep: randomized end-to-end runs across (n, f, d, workload shape,
 // strategy, backend, faulty-id placement), asserting the universal
-// guarantees on every draw. This is the closest thing to fuzzing a
-// consensus stack admits.
+// guarantees on every draw. Runs on the check_property harness, so a
+// failing draw is recorded, shrunk, and written as a repro file that
+// RBVC_REPLAY re-executes exactly (docs/HARNESS.md); RBVC_FUZZ_EPISODES
+// scales the sweep for nightly runs.
 #include <gtest/gtest.h>
 
-#include "consensus/algo_relaxed.h"
-#include "consensus/verifier.h"
-#include "geometry/simplex_geometry.h"
+#include "harness/property.h"
 #include "workload/generators.h"
-#include "workload/runner.h"
 
 namespace rbvc {
 namespace {
-
-workload::SyncStrategy pick_strategy(Rng& rng) {
-  constexpr workload::SyncStrategy all[] = {
-      workload::SyncStrategy::kSilent, workload::SyncStrategy::kEquivocate,
-      workload::SyncStrategy::kLyingRelay,
-      workload::SyncStrategy::kOutlierInput,
-      workload::SyncStrategy::kCrashMidway};
-  return all[rng.below(5)];
-}
 
 std::vector<Vec> pick_inputs(Rng& rng, std::size_t count, std::size_t d) {
   switch (rng.below(4)) {
@@ -37,72 +27,61 @@ std::vector<Vec> pick_inputs(Rng& rng, std::size_t count, std::size_t d) {
 }
 
 TEST(ChaosSweepTest, SyncAlgoSurvivesEverything) {
-  Rng rng(20260704);
-  for (int rep = 0; rep < 40; ++rep) {
-    const std::size_t f = 1 + rng.below(2);
+  harness::SyncProperty prop;
+  prop.name = "chaos_sync_algo";
+  prop.generate = [](Rng& rng) {
+    workload::SyncExperiment e;
+    e.f = 1 + rng.below(2);
     const std::size_t d = 2 + rng.below(4);
     const bool use_ds = rng.below(2) == 0;
     // With signatures the broadcast works from n = f+2, but the kappa = 1
     // validity envelope below needs every drop-f subset to contain at least
     // one honest input, i.e. n >= 2f+1 (at n = 2f the adversary pair forms
     // its own subset and delta* legitimately explodes).
-    const std::size_t n_min =
-        use_ds ? std::max(f + 2, 2 * f + 1) : 3 * f + 1;
-    const std::size_t n = n_min + rng.below(3);
-    const std::size_t actual_faults = rng.below(f + 1);  // 0..f
-
-    workload::SyncExperiment e;
-    e.n = n;
-    e.f = f;
-    e.honest_inputs = pick_inputs(rng, n - actual_faults, d);
-    std::vector<std::size_t> ids(n);
-    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    e.n = (use_ds ? std::max(e.f + 2, 2 * e.f + 1) : 3 * e.f + 1) +
+          rng.below(3);
+    e.backend = use_ds ? workload::SyncBackend::kDolevStrong
+                       : workload::SyncBackend::kEig;
+    const std::size_t actual_faults = rng.below(e.f + 1);  // 0..f
+    e.honest_inputs = pick_inputs(rng, e.n - actual_faults, d);
+    std::vector<std::size_t> ids(e.n);
+    for (std::size_t i = 0; i < e.n; ++i) ids[i] = i;
     rng.shuffle(ids);
     e.byzantine_ids.assign(ids.begin(),
                            ids.begin() + static_cast<long>(actual_faults));
-    e.strategy = pick_strategy(rng);
-    e.backend = use_ds ? workload::SyncBackend::kDolevStrong
-                       : workload::SyncBackend::kEig;
-    e.decision = consensus::algo_decision(f);
+    constexpr workload::SyncStrategy strategies[] = {
+        workload::SyncStrategy::kSilent, workload::SyncStrategy::kEquivocate,
+        workload::SyncStrategy::kLyingRelay,
+        workload::SyncStrategy::kOutlierInput,
+        workload::SyncStrategy::kCrashMidway};
+    e.strategy = strategies[rng.below(5)];
+    e.rule = workload::SyncRule::kAlgoRelaxed;  // serializable for repros
     e.seed = rng.next_u64();
-
-    const auto out = workload::run_sync_experiment(e);
-    const std::string ctx = "rep " + std::to_string(rep) + " n=" +
-                            std::to_string(n) + " f=" + std::to_string(f) +
-                            " d=" + std::to_string(d) + " " +
-                            workload::to_string(e.strategy) +
-                            (use_ds ? " ds" : " eig");
-    ASSERT_FALSE(out.decision_failed) << ctx;
-    ASSERT_EQ(out.decisions.size(), n - actual_faults) << ctx;
-    // Agreement is always exact and bitwise.
-    EXPECT_TRUE(check_agreement(out.decisions).identical) << ctx;
-    // Universal validity envelope: within the honest diameter of the honest
-    // hull (much looser than the per-theorem bounds, but holds for every
-    // (n, f) combination in the sweep, including n below (d+1)f+1).
-    const double budget =
-        std::max(1e-9, input_dependent_delta(out.honest_inputs, 1.0));
-    EXPECT_LT(delta_p_validity_excess(out.decisions, out.honest_inputs,
-                                      budget, 2.0),
-              1e-5)
-        << ctx;
-  }
+    return e;
+  };
+  // Agreement is exact and bitwise for sync runs; validity is the universal
+  // kappa = 1 envelope (within the honest diameter of the honest hull --
+  // much looser than the per-theorem bounds, but it holds for every (n, f)
+  // combination in the sweep, including n below (d+1)f+1).
+  prop.oracle = harness::sync_decide_agree_valid_oracle(1e-12, 1.0);
+  prop.episodes = harness::fuzz_episodes(40);
+  prop.repro_dir = ::testing::TempDir();
+  const auto res = harness::check_property<harness::SyncRunner>(prop);
+  EXPECT_TRUE(res.passed) << harness::describe(res);
 }
 
 TEST(ChaosSweepTest, AsyncAveragingSurvivesEverything) {
-  Rng rng(20260705);
-  for (int rep = 0; rep < 12; ++rep) {
-    const std::size_t f = 1;
-    const std::size_t d = 2 + rng.below(3);
-    const std::size_t n = 4 + rng.below(3);
-    const std::size_t actual_faults = rng.below(2);
-
+  harness::AsyncProperty prop;
+  prop.name = "chaos_async_averaging";
+  prop.generate = [](Rng& rng) {
     workload::AsyncExperiment e;
-    e.prm.n = n;
-    e.prm.f = f;
+    e.prm.f = 1;
+    e.prm.n = 4 + rng.below(3);
     e.prm.rounds = 4 + rng.below(4);
-    e.d = d;
-    e.honest_inputs = pick_inputs(rng, n - actual_faults, d);
-    if (actual_faults > 0) e.byzantine_ids = {rng.below(n)};
+    e.d = 2 + rng.below(3);
+    const std::size_t actual_faults = rng.below(2);
+    e.honest_inputs = pick_inputs(rng, e.prm.n - actual_faults, e.d);
+    if (actual_faults > 0) e.byzantine_ids = {rng.below(e.prm.n)};
     constexpr workload::AsyncStrategy strategies[] = {
         workload::AsyncStrategy::kSilent,
         workload::AsyncStrategy::kEquivocate,
@@ -112,21 +91,14 @@ TEST(ChaosSweepTest, AsyncAveragingSurvivesEverything) {
     e.scheduler = rng.below(2) == 0 ? workload::SchedulerKind::kRandom
                                     : workload::SchedulerKind::kLaggard;
     e.seed = rng.next_u64();
-
-    const auto out = workload::run_async_experiment(e);
-    const std::string ctx = "rep " + std::to_string(rep) + " n=" +
-                            std::to_string(n) + " d=" + std::to_string(d) +
-                            " " + workload::to_string(e.strategy);
-    ASSERT_FALSE(out.failed) << ctx;
-    ASSERT_EQ(out.decisions.size(), n - actual_faults) << ctx;
-    EXPECT_TRUE(check_epsilon_agreement(out.decisions, 0.5)) << ctx;
-    const double budget =
-        std::max(1e-9, input_dependent_delta(out.honest_inputs, 1.0));
-    EXPECT_LT(delta_p_validity_excess(out.decisions, out.honest_inputs,
-                                      budget, 2.0),
-              1e-4)
-        << ctx;
-  }
+    return e;
+  };
+  // Async agreement only converges geometrically, hence the loose eps.
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.episodes = harness::fuzz_episodes(12);
+  prop.repro_dir = ::testing::TempDir();
+  const auto res = harness::check_property<harness::AsyncRunner>(prop);
+  EXPECT_TRUE(res.passed) << harness::describe(res);
 }
 
 }  // namespace

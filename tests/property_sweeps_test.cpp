@@ -2,9 +2,9 @@
 // workload shapes -- the "fuzzing" layer on top of the targeted unit tests.
 #include <gtest/gtest.h>
 
-#include "consensus/algo_relaxed.h"
 #include "consensus/verifier.h"
 #include "geometry/simplex_geometry.h"
+#include "harness/property.h"
 #include "hull/delta_star.h"
 #include "hull/psi.h"
 #include "workload/adversarial_inputs.h"
@@ -128,58 +128,55 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // --------------------------------------------------------------------------
-// Sweep 3: ALGO end-to-end over (strategy, faulty id, seed).
+// Sweep 3: ALGO end-to-end over (strategy, faulty id, seed), on the
+// check_property harness: a failing draw is shrunk and written as a repro
+// file, and RBVC_FUZZ_EPISODES scales the sweep for nightly runs. The
+// oracle checks the *paper's* Theorem 9 budget min(min_edge/2,
+// max_edge/(n-2)), tighter than the stock oracle's kappa-diameter envelope.
 // --------------------------------------------------------------------------
 
-struct AlgoSweepCase {
-  workload::SyncStrategy strategy;
-  std::size_t faulty_id;
-  std::uint64_t seed;
-};
-
-class AlgoEndToEndSweep : public ::testing::TestWithParam<AlgoSweepCase> {};
-
-TEST_P(AlgoEndToEndSweep, AgreementAndBoundedValidity) {
-  const auto param = GetParam();
-  Rng rng(param.seed);
-  workload::SyncExperiment e;
-  e.n = 5;
-  e.f = 1;
-  e.honest_inputs = workload::gaussian_cloud(rng, 4, 4);
-  e.byzantine_ids = {param.faulty_id};
-  e.strategy = param.strategy;
-  e.decision = consensus::algo_decision(1);
-  e.seed = rng.next_u64();
-  const auto out = workload::run_sync_experiment(e);
-  ASSERT_FALSE(out.decision_failed);
-  EXPECT_TRUE(check_agreement(out.decisions).identical);
-  const auto ee = edge_extremes(out.honest_inputs);
-  const double bound =
-      std::min(ee.min_edge / 2.0, ee.max_edge / static_cast<double>(e.n - 2));
-  EXPECT_LT(
-      delta_p_validity_excess(out.decisions, out.honest_inputs, bound, 2.0),
-      1e-6);
+TEST(AlgoEndToEndSweep, AgreementAndBoundedValidity) {
+  harness::SyncProperty prop;
+  prop.name = "algo_end_to_end_thm9";
+  prop.generate = [](Rng& rng) {
+    workload::SyncExperiment e;
+    e.n = 5;
+    e.f = 1;
+    e.honest_inputs = workload::gaussian_cloud(rng, 4, 4);
+    e.byzantine_ids = {rng.below(e.n)};
+    constexpr workload::SyncStrategy strategies[] = {
+        workload::SyncStrategy::kSilent, workload::SyncStrategy::kEquivocate,
+        workload::SyncStrategy::kLyingRelay,
+        workload::SyncStrategy::kOutlierInput};
+    e.strategy = strategies[rng.below(4)];
+    e.rule = workload::SyncRule::kAlgoRelaxed;  // serializable for repros
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = [](const workload::SyncExperiment& e,
+                   const workload::SyncOutcome& out) -> std::string {
+    if (out.decision_failed) {
+      return "decision rule failed: " + out.failure;
+    }
+    if (!check_agreement(out.decisions).identical) {
+      return "agreement: decisions are not bitwise identical";
+    }
+    const auto ee = edge_extremes(out.honest_inputs);
+    const double bound = std::min(
+        ee.min_edge / 2.0, ee.max_edge / static_cast<double>(e.n - 2));
+    const double excess =
+        delta_p_validity_excess(out.decisions, out.honest_inputs, bound, 2.0);
+    if (excess > 1e-6) {
+      return "Theorem 9 validity: decision leaves the budget-" +
+             std::to_string(bound) + " hull by " + std::to_string(excess);
+    }
+    return "";
+  };
+  prop.episodes = harness::fuzz_episodes(8);
+  prop.repro_dir = ::testing::TempDir();
+  const auto res = harness::check_property<harness::SyncRunner>(prop);
+  EXPECT_TRUE(res.passed) << harness::describe(res);
 }
-
-INSTANTIATE_TEST_SUITE_P(
-    Grid, AlgoEndToEndSweep,
-    ::testing::Values(
-        AlgoSweepCase{workload::SyncStrategy::kSilent, 0, 31},
-        AlgoSweepCase{workload::SyncStrategy::kSilent, 4, 32},
-        AlgoSweepCase{workload::SyncStrategy::kEquivocate, 1, 33},
-        AlgoSweepCase{workload::SyncStrategy::kEquivocate, 3, 34},
-        AlgoSweepCase{workload::SyncStrategy::kLyingRelay, 2, 35},
-        AlgoSweepCase{workload::SyncStrategy::kLyingRelay, 0, 36},
-        AlgoSweepCase{workload::SyncStrategy::kOutlierInput, 4, 37},
-        AlgoSweepCase{workload::SyncStrategy::kOutlierInput, 2, 38}),
-    [](const auto& info) {
-      std::string name = workload::to_string(info.param.strategy);
-      for (char& c : name) {
-        if (c == '-') c = '_';
-      }
-      return name + "_id" + std::to_string(info.param.faulty_id) + "_s" +
-             std::to_string(info.param.seed);
-    });
 
 // --------------------------------------------------------------------------
 // Sweep 4: Psi_k feasibility frontier over n for the Thm 3 family.

@@ -1,11 +1,13 @@
-// Schema v2 repro envelope: field-exact round-trips for every mode, the
-// mode-independent peek, legacy v1 acceptance, and the reject-don't-
-// misreplay contract for unknown versions, unknown modes, and mode
-// mismatches. (The async round-trip has field-level coverage in
-// harness_property_test.cpp; here it participates in the envelope checks.)
+// Schema v3 repro envelope: field-exact round-trips for every mode
+// (including the optional metrics snapshot), the mode-independent peek,
+// legacy v2/v1 acceptance, and the reject-don't-misreplay contract for
+// unknown versions, unknown modes, and mode mismatches. (The async
+// round-trip has field-level coverage in harness_property_test.cpp; here it
+// participates in the envelope checks.)
 #include <gtest/gtest.h>
 
 #include "harness/repro.h"
+#include "obs/metrics.h"
 
 namespace rbvc {
 namespace {
@@ -16,7 +18,7 @@ TEST(ReproRoundtripTest, SerializedHeaderCarriesVersionAndMode) {
   rep.experiment.n = 4;
   rep.experiment.rule = workload::SyncRule::kAlgoRelaxed;
   const std::string text = harness::serialize_repro(rep);
-  EXPECT_EQ(text.rfind("rbvc-repro v2\n", 0), 0u);
+  EXPECT_EQ(text.rfind("rbvc-repro v3\n", 0), 0u);
   EXPECT_NE(text.find("\nmode sync\n"), std::string::npos);
 
   const auto info = harness::peek_repro(text);
@@ -126,6 +128,56 @@ TEST(ReproRoundtripTest, DsRoundTripsLosslessly) {
   EXPECT_TRUE(parsed.schedule == rep.schedule);
 }
 
+TEST(ReproRoundtripTest, MetricsSnapshotRoundTripsByteForByte) {
+  obs::Registry reg;
+  reg.counter("sim.sync.messages_sent").inc(48);
+  reg.gauge("workload.sync.achieved_delta").set(0.1234);
+  reg.histogram("lp.seconds", obs::time_buckets()).observe(2.5e-4);
+
+  harness::SyncRepro rep;
+  rep.property = "with_metrics";
+  rep.experiment.n = 4;
+  rep.experiment.rule = workload::SyncRule::kAlgoRelaxed;
+  rep.metrics_json = reg.dump_json();
+
+  const std::string text = harness::serialize_repro(rep);
+  EXPECT_NE(text.find("\nmetrics "), std::string::npos);
+  const auto parsed = harness::parse_sync_repro(text);
+  EXPECT_EQ(parsed.metrics_json, rep.metrics_json);
+  // The embedded snapshot is itself a loadable registry.
+  const obs::Registry back = obs::Registry::parse(parsed.metrics_json);
+  EXPECT_EQ(back.dump_json(), rep.metrics_json);
+
+  // A snapshot-free repro stays snapshot-free (no empty `metrics` line).
+  rep.metrics_json.clear();
+  const std::string bare = harness::serialize_repro(rep);
+  EXPECT_EQ(bare.find("\nmetrics "), std::string::npos);
+  EXPECT_EQ(harness::parse_sync_repro(bare).metrics_json, "");
+}
+
+TEST(ReproRoundtripTest, LegacyV2FilesLoadWithoutMetrics) {
+  harness::DsRepro rep;
+  rep.property = "old_ds";
+  rep.experiment.n = 4;
+  rep.experiment.f = 1;
+  rep.experiment.honest_inputs = {{1.0}, {2.0}, {3.0}};
+  rep.experiment.byzantine_ids = {0};
+  rep.schedule.add_round(6);
+  // A v2 file is exactly a v3 file minus the metrics line and header bump.
+  std::string text = harness::serialize_repro(rep);
+  ASSERT_EQ(text.rfind("rbvc-repro v3\n", 0), 0u);
+  text.replace(0, std::string("rbvc-repro v3").size(), "rbvc-repro v2");
+
+  const auto info = harness::peek_repro(text);
+  EXPECT_EQ(info.version, 2);
+  EXPECT_EQ(info.mode, harness::ReproMode::kDs);
+  const auto parsed = harness::parse_ds_repro(text);
+  EXPECT_EQ(parsed.property, rep.property);
+  EXPECT_EQ(parsed.experiment.honest_inputs, rep.experiment.honest_inputs);
+  EXPECT_TRUE(parsed.schedule == rep.schedule);
+  EXPECT_EQ(parsed.metrics_json, "");
+}
+
 TEST(ReproRoundtripTest, LegacyV1FilesAreImplicitlyAsync) {
   const std::string v1 =
       "rbvc-async-repro v1\n"
@@ -142,9 +194,9 @@ TEST(ReproRoundtripTest, LegacyV1FilesAreImplicitlyAsync) {
 }
 
 TEST(ReproRoundtripTest, UnknownVersionsAndModesAreRejected) {
-  EXPECT_THROW(harness::peek_repro("rbvc-repro v3\nmode async\n"),
+  EXPECT_THROW(harness::peek_repro("rbvc-repro v4\nmode async\n"),
                invalid_argument);
-  EXPECT_THROW(harness::parse_async_repro("rbvc-repro v3\nmode async\nn 4\n"),
+  EXPECT_THROW(harness::parse_async_repro("rbvc-repro v4\nmode async\nn 4\n"),
                invalid_argument);
   EXPECT_THROW(harness::peek_repro("rbvc-repro v2\nmode warp\n"),
                invalid_argument);

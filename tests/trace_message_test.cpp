@@ -83,6 +83,47 @@ TEST(TraceTest, ParseRejectsMalformedLines) {
   EXPECT_THROW(Trace::parse("send x 2 y\n"), invalid_argument);
 }
 
+TEST(TraceTest, ParseRejectsTrailingGarbageAndEmptyLines) {
+  // dump() terminates every line with '\n'; an unterminated tail is a
+  // truncated or corrupted dump, not a valid final event.
+  EXPECT_THROW(Trace::parse("send 0 1 ok\nsend 1 2 truncated"),
+               invalid_argument);
+  EXPECT_THROW(Trace::parse("send 0 1 x"), invalid_argument);
+  EXPECT_THROW(Trace::parse("send 0 1 x\n\nsend 1 2 y\n"), invalid_argument);
+  EXPECT_THROW(Trace::parse("\n"), invalid_argument);
+  // The empty dump is the fixpoint of zero events, not garbage.
+  EXPECT_TRUE(Trace::parse("").events().empty());
+}
+
+TEST(TraceTest, EmptyDetailRoundTrips) {
+  Trace t;
+  t.set_enabled(true);
+  t.record(EventType::kNote, 5, 3, "");
+  t.record(EventType::kSend, 6, 0, "after-empty");
+  const std::string dump = t.dump();
+  EXPECT_EQ(dump.substr(0, dump.find('\n')), "note 5 3 ");
+  const Trace back = Trace::parse(dump);
+  ASSERT_EQ(back.events().size(), 2u);
+  EXPECT_EQ(back.events()[0].detail, "");
+  EXPECT_TRUE(back == t);
+  EXPECT_EQ(back.dump(), dump);
+}
+
+TEST(TraceTest, EmbeddedBackslashDetailRoundTrips) {
+  Trace t;
+  t.set_enabled(true);
+  t.record(EventType::kDeliver, 1, 2, "path\\to\\thing");
+  t.record(EventType::kNote, 2, 0, "\\");
+  t.record(EventType::kNote, 3, 0, "\\n is two chars, \n is one");
+  const Trace back = Trace::parse(t.dump());
+  ASSERT_EQ(back.events().size(), 3u);
+  EXPECT_EQ(back.events()[0].detail, "path\\to\\thing");
+  EXPECT_EQ(back.events()[1].detail, "\\");
+  EXPECT_EQ(back.events()[2].detail, "\\n is two chars, \n is one");
+  EXPECT_TRUE(back == t);
+  EXPECT_EQ(Trace::parse(back.dump()).dump(), t.dump());
+}
+
 TEST(TraceTest, DetailEscapingRoundTrips) {
   const std::string hostile = "a\\b\nc\rd \\n e\\\\f";
   EXPECT_EQ(unescape_detail(escape_detail(hostile)), hostile);
