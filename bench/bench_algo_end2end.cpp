@@ -140,6 +140,35 @@ void BM_AlgoRun(benchmark::State& state) {
 }
 BENCHMARK(BM_AlgoRun)->Arg(3)->Arg(5)->Arg(8);
 
+// Episode sweep across the worker pool: the property-harness fan-out
+// pattern, timed. Each episode derives its experiment from
+// seed_sequence(base, ep) exactly as check_property does, so per-iteration
+// wall time at --jobs N vs --jobs 1 is the harness speedup.
+void BM_AlgoEpisodeSweep(benchmark::State& state) {
+  const std::size_t episodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t jobs = rbvc::bench::bench_jobs();
+  exec::ParallelExecutor pool(jobs);
+  for (auto _ : state) {
+    pool.parallel_for(episodes, [](std::size_t ep) {
+      Rng rng(seed_sequence(1234, ep));
+      workload::SyncExperiment e;
+      const std::size_t d = 4;
+      e.n = d + 1;
+      e.f = 1;
+      e.honest_inputs = workload::gaussian_cloud(rng, d, d);
+      e.byzantine_ids = {rng.below(e.n)};
+      e.strategy = workload::SyncStrategy::kEquivocate;
+      e.decision = consensus::algo_decision(1);
+      e.seed = rng.next_u64();
+      benchmark::DoNotOptimize(workload::run_sync_experiment(e));
+    });
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["episodes_per_s"] = benchmark::Counter(
+      static_cast<double>(episodes), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_AlgoEpisodeSweep)->Arg(32)->UseRealTime();
+
 }  // namespace
 
 RBVC_BENCH_MAIN(report)

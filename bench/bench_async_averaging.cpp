@@ -172,6 +172,25 @@ void BM_AsyncRun(benchmark::State& state) {
 }
 BENCHMARK(BM_AsyncRun)->Arg(2)->Arg(6);
 
+// Episode sweep across the worker pool (see bench_algo_end2end.cpp): the
+// async harness fan-out, timed at --jobs N.
+void BM_AsyncEpisodeSweep(benchmark::State& state) {
+  const std::size_t episodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t jobs = rbvc::bench::bench_jobs();
+  exec::ParallelExecutor pool(jobs);
+  for (auto _ : state) {
+    pool.parallel_for(episodes, [](std::size_t ep) {
+      benchmark::DoNotOptimize(run(4, 1, 3, 6, Rule::kRelaxedL2,
+                                   workload::AsyncStrategy::kOutlierInput,
+                                   seed_sequence(777, ep)));
+    });
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["episodes_per_s"] = benchmark::Counter(
+      static_cast<double>(episodes), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_AsyncEpisodeSweep)->Arg(32)->UseRealTime();
+
 }  // namespace
 
 RBVC_BENCH_MAIN(report)

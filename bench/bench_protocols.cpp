@@ -131,6 +131,31 @@ void BM_AsyncAveragingRun(benchmark::State& state) {
 }
 BENCHMARK(BM_AsyncAveragingRun)->Arg(4)->Arg(6);
 
+// Episode sweep across the worker pool: interactive-consistency runs fanned
+// out the way the property harness does, timed at --jobs N.
+void BM_ProtocolEpisodeSweep(benchmark::State& state) {
+  const std::size_t episodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t jobs = rbvc::bench::bench_jobs();
+  exec::ParallelExecutor pool(jobs);
+  for (auto _ : state) {
+    pool.parallel_for(episodes, [](std::size_t ep) {
+      Rng rng(seed_sequence(555, ep));
+      workload::SyncExperiment e;
+      e.n = 7;
+      e.f = 2;
+      e.honest_inputs = workload::gaussian_cloud(rng, e.n, 3);
+      e.byzantine_ids = {};
+      e.decision = consensus::algo_decision(e.f);
+      e.seed = rng.next_u64();
+      benchmark::DoNotOptimize(workload::run_sync_experiment(e));
+    });
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["episodes_per_s"] = benchmark::Counter(
+      static_cast<double>(episodes), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ProtocolEpisodeSweep)->Arg(32)->UseRealTime();
+
 }  // namespace
 
 RBVC_BENCH_MAIN(report)

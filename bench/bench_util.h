@@ -6,6 +6,11 @@
 // and kernel timings accumulated by the report and the timed iterations --
 // is dumped there as stable JSON, so BENCH_*.json files capture a
 // machine-diffable trajectory next to the human tables.
+//
+// Benches with episode-sweep timings also accept `--jobs N` (or
+// `--jobs=N`): the worker count handed to exec::ParallelExecutor for the
+// BM_*EpisodeSweep benchmarks. Default: RBVC_JOBS, else
+// hardware_concurrency (exec::default_jobs()).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel_executor.h"
 #include "obs/metrics.h"
 
 namespace rbvc::bench {
@@ -88,6 +94,40 @@ inline void write_json_metrics(const std::string& path) {
   std::printf("\nmetrics written: %s\n", path.c_str());
 }
 
+/// Worker count for episode-sweep benchmarks. 0 = not set on the command
+/// line; bench_jobs() then falls back to exec::default_jobs().
+inline std::size_t& jobs_flag_slot() {
+  static std::size_t jobs = 0;
+  return jobs;
+}
+
+/// Extracts `--jobs N` / `--jobs=N` from argv (removing it, so
+/// google-benchmark never sees the flag) and stores it in jobs_flag_slot().
+inline void extract_jobs_flag(int& argc, char** argv) {
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const char* val = nullptr;
+    if (std::strcmp(argv[r], "--jobs") == 0 && r + 1 < argc) {
+      val = argv[++r];
+    } else if (std::strncmp(argv[r], "--jobs=", 7) == 0) {
+      val = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+      continue;
+    }
+    const long parsed = std::strtol(val, nullptr, 10);
+    if (parsed > 0) jobs_flag_slot() = static_cast<std::size_t>(parsed);
+  }
+  argc = w;
+}
+
+/// The effective worker count: --jobs if given, else RBVC_JOBS, else
+/// hardware_concurrency.
+inline std::size_t bench_jobs() {
+  const std::size_t flag = jobs_flag_slot();
+  return flag ? flag : rbvc::exec::default_jobs();
+}
+
 }  // namespace rbvc::bench
 
 /// Defines a main() that prints the experiment report, runs timings, and
@@ -96,6 +136,7 @@ inline void write_json_metrics(const std::string& path) {
   int main(int argc, char** argv) {                     \
     const std::string rbvc_json_path =                  \
         ::rbvc::bench::extract_json_flag(argc, argv);   \
+    ::rbvc::bench::extract_jobs_flag(argc, argv);       \
     report_fn();                                        \
     ::benchmark::Initialize(&argc, argv);               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

@@ -36,7 +36,16 @@ done
 for exe in "${benches[@]}"; do
   name="$(basename "$exe")"
   echo "== $name =="
-  "$exe" --benchmark_filter="$FILTER" --json "$TMP_DIR/$name.json"
+  status=0
+  "$exe" --benchmark_filter="$FILTER" --json "$TMP_DIR/$name.json" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "bench_json.sh: FATAL: $name exited with status $status" >&2
+    exit 1
+  fi
+  if [ ! -s "$TMP_DIR/$name.json" ]; then
+    echo "bench_json.sh: FATAL: $name wrote no metrics JSON" >&2
+    exit 1
+  fi
 done
 
 # Aggregate: { "<bench>": <registry dump>, ... } -- each registry dump is

@@ -1,0 +1,112 @@
+// Work-stealing thread-pool episode executor. The property harness, the
+// randomized sweeps, and the episode-loop benches all have the same shape --
+// N independent, seeded episodes whose results must not depend on execution
+// order -- and this pool fans them out across threads while preserving that
+// contract:
+//
+//   * parallel_for(n, task) runs task(i) for every i in [0, n) exactly once.
+//   * find_first(n, pred) runs pred(i) over [0, n) and returns the LOWEST
+//     index for which pred returned true, regardless of completion order:
+//     once a hit at index k is known, only indices above k may be skipped,
+//     so every index below the returned one has provably run and missed.
+//     This is what makes a parallel fuzz sweep report the same failing
+//     episode as a serial one.
+//
+// Width comes from the RBVC_JOBS env knob (default: hardware_concurrency).
+// With jobs == 1 no threads are spawned and work runs inline on the caller,
+// so the serial path stays byte-identical to the pre-pool behavior. Tasks
+// must be independent (no ordering between indices) and thread-safe; the
+// harness guarantees this by deriving each episode's RNG stream from
+// seed_sequence(base_seed, episode_idx) with no shared generator state.
+//
+// Scheduling is work-stealing: worker w owns a deque seeded with the
+// indices w, w+jobs, w+2*jobs, ... and pops from its front (so low indices
+// run early globally -- the find_first early-exit likes that); an idle
+// worker steals from the back of a victim's deque. The pool records
+// exec.* metrics (tasks, steals, skips, queue depth, per-worker busy time)
+// into the global registry, whose counters are shard-per-thread and safe
+// under this pool (see obs/metrics.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rbvc::exec {
+
+/// Returned by find_first when no index satisfied the predicate.
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// RBVC_JOBS as a positive integer, else 0 (= "knob unset").
+std::size_t env_jobs();
+
+/// Pool width when the caller does not pin one: RBVC_JOBS if set, else
+/// hardware_concurrency (at least 1).
+std::size_t default_jobs();
+
+class ParallelExecutor {
+ public:
+  /// jobs == 0 means default_jobs(). With an effective width of 1 the
+  /// executor spawns no threads and runs batches inline on the caller.
+  explicit ParallelExecutor(std::size_t jobs = 0);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs task(i) for every i in [0, n) exactly once. The first exception
+  /// thrown by a task is rethrown on the caller after the batch drains
+  /// (remaining indices are skipped, not run).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& task);
+
+  /// Runs pred(i) over [0, n) and returns the lowest hitting index, or
+  /// kNoIndex. Every index below the returned one is guaranteed to have
+  /// been executed (and missed); indices above it may be skipped.
+  std::size_t find_first(std::size_t n,
+                         const std::function<bool(std::size_t)>& pred);
+
+ private:
+  struct alignas(64) WorkerQueue {
+    std::mutex mu;
+    std::deque<std::size_t> q;
+  };
+
+  std::size_t run_batch(std::size_t n,
+                        const std::function<bool(std::size_t)>& body,
+                        bool early_exit);
+  void worker_main(std::size_t w);
+  void drain(std::size_t w, const std::function<bool(std::size_t)>& body,
+             bool early_exit);
+  bool acquire(std::size_t w, std::size_t& idx);
+
+  std::size_t jobs_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // Batch lifecycle. The mutable batch description (body_, early_exit_,
+  // batch_id_) is written by run_batch and read by workers only under mu_;
+  // progress (remaining_, best_, abort_) is lock-free.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t batch_id_ = 0;
+  bool shutdown_ = false;
+  const std::function<bool(std::size_t)>* body_ = nullptr;
+  bool early_exit_ = false;
+  std::exception_ptr error_;              // first task exception, under mu_
+  std::size_t busy_workers_ = 0;          // workers inside drain(), under mu_
+  std::atomic<std::size_t> remaining_{0};  // indices not yet accounted
+  std::atomic<std::size_t> best_{kNoIndex};
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace rbvc::exec

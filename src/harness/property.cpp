@@ -217,7 +217,13 @@ struct PickModel {
     fin.capture_trace = true;
     const Out out = run(fin);
     if (trace_dump) *trace_dump = out.trace.dump();
-    if (metrics_json) *metrics_json = obs::global().dump_json();
+    if (metrics_json) {
+      // Timings depend on the machine, not the episode; scrub them so the
+      // repro is a deterministic artifact (the RBVC_JOBS byte-identity
+      // contract covers this snapshot).
+      obs::global().reset_wallclock_values();
+      *metrics_json = obs::global().dump_json();
+    }
     e = base;
     return best;
   }
@@ -311,7 +317,12 @@ struct CheckpointModel {
     fin.capture_trace = true;
     const Out out = run(fin);
     if (trace_dump) *trace_dump = out.trace.dump();
-    if (metrics_json) *metrics_json = obs::global().dump_json();
+    if (metrics_json) {
+      // Same scrub as PickModel::minimize: wall-clock values would break
+      // the repro's byte-level determinism.
+      obs::global().reset_wallclock_values();
+      *metrics_json = obs::global().dump_json();
+    }
     e = base;
     return rec;
   }

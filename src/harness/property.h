@@ -23,15 +23,30 @@
 // Setting RBVC_REPLAY=<file> re-executes that exact counterexample (any
 // mode) instead of fuzzing; RBVC_FUZZ_EPISODES scales episode counts for
 // nightly sweeps.
+//
+// Episodes fan out across the work-stealing pool (exec/parallel_executor.h)
+// when RBVC_JOBS (default: hardware_concurrency) exceeds 1, under a strict
+// determinism contract: results are bit-identical to a serial run. Each
+// episode's RNG stream is seed_sequence(base_seed, episode_idx) -- no
+// shared generator state -- the reported failure is always the LOWEST
+// failing episode index regardless of completion order, and the failing
+// episode is then re-executed, minimized, and written out on the calling
+// thread alone, so the repro file (schedule, trace, metrics snapshot) is
+// byte-identical at any job count. generate/oracle must therefore be
+// thread-safe in addition to deterministic; every stock oracle and all
+// in-repo generators are (stateless closures over the passed-in Rng).
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
 #include <string>
 
+#include "exec/parallel_executor.h"
 #include "harness/repro.h"
 #include "harness/shrinker.h"
+#include "sim/rng.h"
 
 namespace rbvc::harness {
 
@@ -219,44 +234,71 @@ PropertyResult check_property(const Property<Runner>& prop) {
   PropertyResult r;
   const std::size_t episodes =
       prop.episodes ? prop.episodes : fuzz_episodes(kDefaultEpisodes);
-  for (std::size_t ep = 0; ep < episodes; ++ep) {
-    // Per-episode seed independent of previous episodes, so a failing
-    // episode index is reproducible in isolation.
-    Rng ep_rng(prop.base_seed + 0x9E3779B97F4A7C15ULL * (ep + 1));
+
+  // Detection phase: find the lowest failing episode index. Each episode is
+  // self-contained -- its RNG stream is seed_sequence(base_seed, ep) -- so
+  // with >1 job the pool's find_first fans episodes across workers and still
+  // returns exactly the index a serial scan would (every index below the hit
+  // is guaranteed to have run and passed).
+  auto episode_fails = [&prop](std::size_t ep) {
+    Rng ep_rng(seed_sequence(prop.base_seed, ep));
     typename Runner::Experiment exp = prop.generate(ep_rng);
     sim::ScheduleLog log;
     const auto out = Runner::run_recorded(exp, log);
-    const std::string violation = prop.oracle(exp, out);
-    if (violation.empty()) continue;
-
-    r.passed = false;
-    r.failure = violation;
-    r.failing_episode = ep;
-    r.episodes = ep + 1;
-    r.original_len = log.size();
-
-    std::string trace_dump;
-    std::string metrics_json;
-    const sim::ScheduleLog best = Runner::minimize(
-        exp, log, prop.oracle, prop.shrink ? prop.shrink_budget : 0,
-        &trace_dump, &metrics_json);
-    r.shrunk_len = best.size();
-
-    Repro<typename Runner::Experiment> rep;
-    rep.property = prop.name;
-    rep.failure = violation;
-    rep.experiment = exp;  // minimize() left it serialization-clean
-    rep.schedule = best;
-    rep.trace_dump = trace_dump;
-    rep.metrics_json = metrics_json;
-    const auto path = std::filesystem::absolute(
-        std::filesystem::path(prop.repro_dir) /
-        ("rbvc_repro_" + prop.name + ".txt"));
-    write_repro(path.string(), rep);
-    r.repro_path = path.string();
+    return !prop.oracle(exp, out).empty();
+  };
+  // The pool is constructed at any width (width 1 spawns no threads and
+  // runs inline, in index order) so the exec.* metric entries -- and hence
+  // the key set of any registry snapshot -- never depend on the job count.
+  exec::ParallelExecutor pool(
+      std::min<std::size_t>(exec::default_jobs(), episodes ? episodes : 1));
+  const std::size_t failing = pool.find_first(episodes, episode_fails);
+  if (failing == exec::kNoIndex) {
+    r.episodes = episodes;
     return r;
   }
-  r.episodes = episodes;
+
+  // Failure tail: always single-threaded on the calling thread, so the
+  // minimizer's replays and the metrics snapshot embedded in the repro are
+  // identical at any job count. The failing episode is re-generated and
+  // re-run from its seed (it ran once in the detection phase, discarded --
+  // one duplicate run is noise next to the shrink budget).
+  Rng ep_rng(seed_sequence(prop.base_seed, failing));
+  typename Runner::Experiment exp = prop.generate(ep_rng);
+  sim::ScheduleLog log;
+  const auto out = Runner::run_recorded(exp, log);
+  const std::string violation = prop.oracle(exp, out);
+  RBVC_REQUIRE(!violation.empty(),
+               "check_property: episode " + std::to_string(failing) +
+                   " failed in the detection phase but passed when re-run; "
+                   "generate/oracle must be deterministic functions of the "
+                   "episode seed");
+
+  r.passed = false;
+  r.failure = violation;
+  r.failing_episode = failing;
+  r.episodes = failing + 1;
+  r.original_len = log.size();
+
+  std::string trace_dump;
+  std::string metrics_json;
+  const sim::ScheduleLog best = Runner::minimize(
+      exp, log, prop.oracle, prop.shrink ? prop.shrink_budget : 0, &trace_dump,
+      &metrics_json);
+  r.shrunk_len = best.size();
+
+  Repro<typename Runner::Experiment> rep;
+  rep.property = prop.name;
+  rep.failure = violation;
+  rep.experiment = exp;  // minimize() left it serialization-clean
+  rep.schedule = best;
+  rep.trace_dump = trace_dump;
+  rep.metrics_json = metrics_json;
+  const auto path = std::filesystem::absolute(
+      std::filesystem::path(prop.repro_dir) /
+      ("rbvc_repro_" + prop.name + ".txt"));
+  write_repro(path.string(), rep);
+  r.repro_path = path.string();
   return r;
 }
 

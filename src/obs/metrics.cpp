@@ -181,16 +181,35 @@ class Parser {
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// Counter.
+// ---------------------------------------------------------------------------
+
+std::size_t Counter::shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+// ---------------------------------------------------------------------------
 // Histogram.
 // ---------------------------------------------------------------------------
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1)  // value-initialized atomics (zero)
+{
   for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
     RBVC_REQUIRE(bounds_[i] < bounds_[i + 1],
                  "Histogram: bounds must be strictly increasing");
   }
-  counts_.assign(bounds_.size() + 1, 0);
 }
+
+Histogram::Histogram(Histogram&& other) noexcept
+    : bounds_(std::move(other.bounds_)),
+      counts_(std::move(other.counts_)),
+      total_(other.total_.load(std::memory_order_relaxed)),
+      sum_(other.sum_.load(std::memory_order_relaxed)) {}
 
 std::size_t Histogram::bucket_of(double v) const {
   // First bound >= v; past-the-end means the overflow bucket.
@@ -199,15 +218,30 @@ std::size_t Histogram::bucket_of(double v) const {
 }
 
 void Histogram::observe(double v) {
-  ++counts_[bucket_of(v)];
-  ++total_;
-  sum_ += v;
+  counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  // CAS accumulation instead of atomic<double>::fetch_add for toolchain
+  // portability; uncontended in practice (distinct histograms per site).
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Histogram::reset() {
-  std::fill(counts_.begin(), counts_.end(), 0);
-  total_ = 0;
-  sum_ = 0.0;
+  for (std::atomic<std::uint64_t>& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
 }
 
 const std::vector<double>& time_buckets() {
@@ -229,11 +263,13 @@ const std::vector<double>& count_buckets() {
 
 Registry::Registry() {
   const char* on = std::getenv("RBVC_METRICS");
-  enabled_ = (on && *on && std::string(on) != "0") || !env_out_path().empty();
+  enabled_.store(
+      (on && *on && std::string(on) != "0") || !env_out_path().empty(),
+      std::memory_order_relaxed);
 }
 
 Registry::Registry(Registry&& other) noexcept
-    : enabled_(other.enabled_),
+    : enabled_(other.enabled_.load(std::memory_order_relaxed)),
       counters_(std::move(other.counters_)),
       gauges_(std::move(other.gauges_)),
       histograms_(std::move(other.histograms_)) {}
@@ -292,6 +328,13 @@ void Registry::reset_values() {
   for (auto& [name, h] : histograms_) h.reset();
 }
 
+void Registry::reset_wallclock_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, h] : histograms_) {
+    if (h.bounds() == time_buckets()) h.reset();
+  }
+}
+
 std::string Registry::dump_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\n";
@@ -329,7 +372,7 @@ std::string Registry::dump_json() const {
 
 Registry Registry::parse(const std::string& json) {
   Registry reg;
-  reg.enabled_ = false;  // a parsed snapshot is data, not a live gate
+  reg.enabled_.store(false, std::memory_order_relaxed);  // data, not a gate
   Parser p(json);
   p.expect('{');
   p.expect_key("version");
@@ -370,9 +413,13 @@ Registry Registry::parse(const std::string& json) {
     RBVC_REQUIRE(counts.size() == bounds.size() + 1,
                  "metrics parse: histogram `" + name + "` needs " +
                      std::to_string(bounds.size() + 1) + " counts");
-    h.counts_ = std::move(counts);
-    for (std::uint64_t c : h.counts_) h.total_ += c;
-    h.sum_ = sum;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      h.counts_[i].store(counts[i], std::memory_order_relaxed);
+      total += counts[i];
+    }
+    h.total_.store(total, std::memory_order_relaxed);
+    h.sum_.store(sum, std::memory_order_relaxed);
     reg.histograms_.emplace(name, std::move(h));
   });
   p.expect('}');

@@ -20,12 +20,19 @@
 //     registry is written there at process exit (and on demand via
 //     export_global()); RBVC_METRICS=1 enables the gated derived metrics.
 //
-// Thread-safety: handle creation and serialization take a registry mutex;
-// recording through a handle is a plain store/add. That is
-// "thread-safe-enough" for the single-run engines this instruments --
-// concurrent *recording* to one handle is not synchronized.
+// Thread-safety: fully concurrent recording. Handle creation and
+// serialization take a registry mutex; recording through a handle is
+// lock-free -- counters add into per-thread shards (aggregated on
+// snapshot), gauges are atomic stores, histogram buckets are atomic adds.
+// The parallel episode executor (exec/parallel_executor.h) runs many
+// engine instances against the one global registry, so RBVC_METRICS totals
+// stay exact under RBVC_JOBS > 1. Snapshots taken while a pool is running
+// are per-metric consistent, not cross-metric consistent; the property
+// harness snapshots only from its single-threaded minimize path.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -39,52 +46,80 @@ namespace rbvc::obs {
 /// Serialization schema version embedded in dump_json().
 inline constexpr int kMetricsVersion = 1;
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Writes land in one of kShards
+/// cache-line-sized slots chosen per thread (round-robin at first use), so
+/// concurrent inc() from an episode pool never contends on one line;
+/// value() aggregates the shards. Relaxed ordering: totals are exact once
+/// the writers are quiesced (pool drained / joined), which is when the
+/// harness and the exit sink read them.
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { value_ += by; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  static constexpr std::size_t kShards = 16;
+
+  void inc(std::uint64_t by = 1) {
+    shards_[shard_index()].v.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  /// This thread's shard slot, assigned round-robin on first use.
+  static std::size_t shard_index();
+  std::array<Shard, kShards> shards_{};
 };
 
 /// Last-observed value (e.g. the most recent episode's achieved delta*).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram. `bounds` are strictly increasing upper bounds;
 /// bucket i counts observations v with v <= bounds[i] (and > bounds[i-1]);
 /// one extra overflow bucket counts v > bounds.back(). Tracks the running
-/// sum and total so means are recoverable.
+/// sum and total so means are recoverable. observe() is concurrent-safe
+/// (atomic bucket/total adds, CAS-accumulated sum); counts() returns a
+/// point-in-time snapshot.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
+  Histogram(Histogram&& other) noexcept;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+  Histogram& operator=(Histogram&&) = delete;
 
   void observe(double v);
   /// Index of the bucket `observe(v)` increments (exposed for tests).
   std::size_t bucket_of(double v) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<std::uint64_t>& counts() const { return counts_; }
-  std::uint64_t total() const { return total_; }
-  double sum() const { return sum_; }
+  std::vector<std::uint64_t> counts() const;  // snapshot, overflow last
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   void reset();
 
  private:
   friend class Registry;  // parse() restores counts_/total_/sum_ directly
   std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
-  std::uint64_t total_ = 0;
-  double sum_ = 0.0;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
 };
 
 /// Default bucket sets. Timers use seconds (1us .. 10s); count-shaped
@@ -130,15 +165,22 @@ class Registry {
   /// the per-episode snapshot primitive used by the property harness.
   void reset_values();
 
+  /// Zeroes only the wall-clock histograms (those with time_buckets()
+  /// bounds). Timings are functions of the machine, not the episode, so
+  /// snapshots that must be deterministic artifacts -- the repro-embedded
+  /// one, which the RBVC_JOBS contract requires to be byte-identical across
+  /// job counts and runs -- scrub them first.
+  void reset_wallclock_values();
+
   /// Gate for *expensive derived* metrics only (cheap counters are always
   /// recorded). Defaults to true when RBVC_METRICS is a nonzero value or
   /// RBVC_METRICS_OUT is set.
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
  private:
   mutable std::mutex mu_;
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

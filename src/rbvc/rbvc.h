@@ -10,6 +10,9 @@
 
 #include "rbvc/common.h"
 
+#include "exec/parallel_executor.h"
+#include "obs/metrics.h"
+
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
 #include "linalg/qr.h"

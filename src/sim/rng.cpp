@@ -24,4 +24,11 @@ Vec Rng::uniform_vec(std::size_t d, double lo, double hi) {
   return v;
 }
 
+std::uint64_t seed_sequence(std::uint64_t base, std::uint64_t idx) {
+  // base + (idx+1)*phi64: distinct SplitMix64 entry points per episode.
+  // Rng's constructor and step mix the state, so consecutive episode seeds
+  // do not yield correlated streams despite the linear stride.
+  return base + 0x9E3779B97F4A7C15ULL * (idx + 1);
+}
+
 }  // namespace rbvc

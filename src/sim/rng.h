@@ -62,4 +62,14 @@ class Rng {
   std::uint64_t state_;
 };
 
+/// Seed of episode `idx`'s independent RNG stream: a pure function of
+/// (base, idx), so episodes can run in any order -- or concurrently on the
+/// parallel executor -- with no shared generator state, and a failing
+/// episode index reproduces in isolation. This is the golden-ratio stride
+/// the property harness has always used; it is now the single definition
+/// every episode loop must share, because the RBVC_JOBS determinism
+/// contract (docs/HARNESS.md) holds exactly when serial and parallel runs
+/// derive identical per-episode seeds.
+std::uint64_t seed_sequence(std::uint64_t base, std::uint64_t idx);
+
 }  // namespace rbvc

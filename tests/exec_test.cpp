@@ -1,0 +1,196 @@
+// Work-stealing executor contract tests: exactly-once execution, the
+// lowest-hit find_first guarantee (including "every index below the hit
+// ran"), exception propagation, pool reuse, the serial inline path, env
+// knob parsing, and the exec.* metric deltas. Runs under the `tsan` ctest
+// label -- these tests are the data-race canary for the pool.
+#include "exec/parallel_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rbvc::exec {
+namespace {
+
+/// Saves/restores RBVC_JOBS around each test so knob tests can't leak into
+/// the rest of the suite (or inherit CI's setting).
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* v = std::getenv("RBVC_JOBS");
+    had_jobs_ = v != nullptr;
+    if (had_jobs_) saved_jobs_ = v;
+    ::unsetenv("RBVC_JOBS");
+  }
+  void TearDown() override {
+    if (had_jobs_) {
+      ::setenv("RBVC_JOBS", saved_jobs_.c_str(), 1);
+    } else {
+      ::unsetenv("RBVC_JOBS");
+    }
+  }
+
+ private:
+  bool had_jobs_ = false;
+  std::string saved_jobs_;
+};
+
+TEST_F(ExecTest, ParallelForRunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 257;  // not a multiple of the worker count
+  ParallelExecutor pool(4);
+  EXPECT_EQ(pool.jobs(), 4u);
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ExecTest, ParallelForZeroAndOneTasks) {
+  ParallelExecutor pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(ExecTest, FindFirstReturnsLowestHit) {
+  ParallelExecutor pool(4);
+  const std::size_t hit = pool.find_first(
+      200, [](std::size_t i) { return i == 11 || i == 37 || i == 150; });
+  EXPECT_EQ(hit, 11u);
+}
+
+TEST_F(ExecTest, FindFirstNoHitReturnsNoIndex) {
+  ParallelExecutor pool(4);
+  EXPECT_EQ(pool.find_first(100, [](std::size_t) { return false; }),
+            kNoIndex);
+  EXPECT_EQ(pool.find_first(0, [](std::size_t) { return true; }), kNoIndex);
+}
+
+TEST_F(ExecTest, FindFirstRanEveryIndexBelowTheHit) {
+  // The determinism contract: indices above the hit may be skipped, but
+  // everything below it must have executed (and missed). Repeat to give a
+  // racy implementation chances to misbehave.
+  constexpr std::size_t kN = 300;
+  constexpr std::size_t kHit = 201;
+  for (int round = 0; round < 10; ++round) {
+    ParallelExecutor pool(8);
+    std::vector<std::atomic<int>> ran(kN);
+    const std::size_t hit = pool.find_first(kN, [&](std::size_t i) {
+      ran[i].fetch_add(1, std::memory_order_relaxed);
+      return i >= kHit;  // several hits; lowest is kHit
+    });
+    ASSERT_EQ(hit, kHit) << "round " << round;
+    for (std::size_t i = 0; i < kHit; ++i) {
+      EXPECT_EQ(ran[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST_F(ExecTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ParallelExecutor pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("episode 13");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must have fully drained: the next batch runs normally.
+  std::vector<std::atomic<int>> hits(32);
+  pool.parallel_for(32, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_F(ExecTest, ReuseAcrossMixedBatches) {
+  ParallelExecutor pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+    EXPECT_EQ(pool.find_first(50, [&](std::size_t i) { return i == 42; }),
+              42u);
+  }
+}
+
+TEST_F(ExecTest, SerialPoolRunsInlineInIndexOrder) {
+  ParallelExecutor pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  std::vector<std::size_t> order;  // no lock needed: inline on this thread
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(ExecTest, EnvJobsParsing) {
+  ::unsetenv("RBVC_JOBS");
+  EXPECT_EQ(env_jobs(), 0u);
+  ::setenv("RBVC_JOBS", "6", 1);
+  EXPECT_EQ(env_jobs(), 6u);
+  EXPECT_EQ(default_jobs(), 6u);
+  ::setenv("RBVC_JOBS", "0", 1);
+  EXPECT_EQ(env_jobs(), 0u);
+  ::setenv("RBVC_JOBS", "garbage", 1);
+  EXPECT_EQ(env_jobs(), 0u);
+  ::unsetenv("RBVC_JOBS");
+  EXPECT_GE(default_jobs(), 1u);
+}
+
+TEST_F(ExecTest, ZeroWidthMeansDefaultJobs) {
+  ::setenv("RBVC_JOBS", "3", 1);
+  ParallelExecutor pool(0);
+  EXPECT_EQ(pool.jobs(), 3u);
+}
+
+TEST_F(ExecTest, ExecMetricsCountTasks) {
+  auto& tasks = obs::global().counter("exec.tasks");
+  const std::uint64_t before = tasks.value();
+  {
+    ParallelExecutor pool(4);
+    pool.parallel_for(128, [](std::size_t) {});
+  }
+  EXPECT_EQ(tasks.value() - before, 128u);
+  // Serial inline path counts too.
+  {
+    ParallelExecutor pool(1);
+    pool.parallel_for(16, [](std::size_t) {});
+  }
+  EXPECT_EQ(tasks.value() - before, 144u);
+}
+
+TEST_F(ExecTest, SkippedTasksAccountedOnEarlyExit) {
+  auto& tasks = obs::global().counter("exec.tasks");
+  auto& skipped = obs::global().counter("exec.tasks_skipped");
+  const std::uint64_t tasks_before = tasks.value();
+  const std::uint64_t skipped_before = skipped.value();
+  ParallelExecutor pool(4);
+  const std::size_t hit =
+      pool.find_first(1000, [](std::size_t i) { return i >= 3; });
+  EXPECT_EQ(hit, 3u);
+  // Every index is accounted exactly once, as a run or as a skip.
+  EXPECT_EQ((tasks.value() - tasks_before) +
+                (skipped.value() - skipped_before),
+            1000u);
+  EXPECT_GE(tasks.value() - tasks_before, 4u);  // 0..3 provably ran
+}
+
+}  // namespace
+}  // namespace rbvc::exec

@@ -1,0 +1,164 @@
+// The RBVC_JOBS determinism contract, end to end (ctest labels: fuzz,
+// tsan): a property checked at 1 job and at 8 jobs must report the same
+// verdict, the same lowest failing episode, and write a BYTE-identical
+// repro file -- the parallel detection phase may reorder work, but never
+// results. See docs/HARNESS.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "harness/property.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  // These tests pin RBVC_JOBS (and clear the other harness knobs) to get a
+  // controlled environment; snapshot and restore so nothing leaks.
+  void SetUp() override {
+    save("RBVC_JOBS", jobs_);
+    save("RBVC_REPLAY", replay_);
+    save("RBVC_FUZZ_EPISODES", episodes_);
+    ::unsetenv("RBVC_REPLAY");
+    ::unsetenv("RBVC_FUZZ_EPISODES");
+  }
+  void TearDown() override {
+    restore("RBVC_JOBS", jobs_);
+    restore("RBVC_REPLAY", replay_);
+    restore("RBVC_FUZZ_EPISODES", episodes_);
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+ private:
+  static void save(const char* name, std::pair<bool, std::string>& slot) {
+    const char* v = std::getenv(name);
+    slot = {v != nullptr, v ? v : ""};
+  }
+  static void restore(const char* name,
+                      const std::pair<bool, std::string>& slot) {
+    if (slot.first) {
+      ::setenv(name, slot.second.c_str(), 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  std::pair<bool, std::string> jobs_;
+  std::pair<bool, std::string> replay_;
+  std::pair<bool, std::string> episodes_;
+};
+
+/// Fails on several episodes (the sub-quorum override lets divergent views
+/// surface as disagreement); the harness must always report the LOWEST.
+harness::AsyncProperty planted_property(const std::string& repro_dir) {
+  harness::AsyncProperty prop;
+  prop.name = "parallel_determinism_planted";
+  prop.generate = [](Rng& rng) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4;
+    e.prm.f = 1;
+    e.prm.rounds = 2;
+    e.prm.use_witness = false;
+    e.prm.quorum_override = 2;  // test-only hook: quorum below n - f
+    e.d = 2;
+    e.honest_inputs = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+    e.scheduler = workload::SchedulerKind::kRandom;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.episodes = 24;
+  prop.shrink_budget = 120;
+  prop.repro_dir = repro_dir;
+  return prop;
+}
+
+harness::AsyncProperty healthy_property() {
+  harness::AsyncProperty prop;
+  prop.name = "parallel_determinism_healthy";
+  prop.generate = [](Rng& rng) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4;
+    e.prm.f = 1;
+    e.prm.rounds = 4;
+    e.d = 2;
+    e.honest_inputs = workload::gaussian_cloud(rng, 3, 2);
+    e.byzantine_ids = {rng.below(4)};
+    e.strategy = workload::AsyncStrategy::kOutlierInput;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.episodes = 16;
+  prop.repro_dir = ::testing::TempDir();
+  return prop;
+}
+
+TEST_F(ParallelDeterminismTest, SameFailureAndByteIdenticalReproAcrossJobs) {
+  // Serial reference run (jobs = 1), repro written into its own dir so the
+  // parallel run cannot just overwrite-and-match trivially.
+  const std::string dir1 = ::testing::TempDir() + "/jobs1";
+  const std::string dir8 = ::testing::TempDir() + "/jobs8";
+  std::filesystem::create_directories(dir1);
+  std::filesystem::create_directories(dir8);
+
+  ::setenv("RBVC_JOBS", "1", 1);
+  const auto serial = harness::check_async_property(planted_property(dir1));
+  ASSERT_FALSE(serial.passed) << harness::describe(serial);
+  ASSERT_FALSE(serial.repro_path.empty());
+
+  ::setenv("RBVC_JOBS", "8", 1);
+  const auto parallel =
+      harness::check_async_property(planted_property(dir8));
+  ASSERT_FALSE(parallel.passed) << harness::describe(parallel);
+  ASSERT_FALSE(parallel.repro_path.empty());
+
+  // Identical verdict: episode index, oracle message, schedule lengths.
+  EXPECT_EQ(parallel.failing_episode, serial.failing_episode);
+  EXPECT_EQ(parallel.episodes, serial.episodes);
+  EXPECT_EQ(parallel.failure, serial.failure);
+  EXPECT_EQ(parallel.original_len, serial.original_len);
+  EXPECT_EQ(parallel.shrunk_len, serial.shrunk_len);
+
+  // Byte-identical repro files (schedule, trace dump, metrics snapshot).
+  EXPECT_NE(parallel.repro_path, serial.repro_path);
+  EXPECT_EQ(slurp(parallel.repro_path), slurp(serial.repro_path));
+}
+
+TEST_F(ParallelDeterminismTest, HealthyPropertyPassesAtAnyWidth) {
+  for (const char* jobs : {"1", "3", "8"}) {
+    ::setenv("RBVC_JOBS", jobs, 1);
+    const auto res = harness::check_async_property(healthy_property());
+    EXPECT_TRUE(res.passed)
+        << "jobs=" << jobs << ": " << harness::describe(res);
+    EXPECT_EQ(res.episodes, 16u) << "jobs=" << jobs;
+    EXPECT_TRUE(res.repro_path.empty()) << "jobs=" << jobs;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, SeedSequenceMatchesHistoricalDerivation) {
+  // The parallel engine is only byte-compatible with pre-pool runs because
+  // seed_sequence reproduces the exact golden-ratio stride check_property
+  // always used. Pin it.
+  constexpr std::uint64_t base = 20260806;
+  for (std::uint64_t ep : {0ull, 1ull, 7ull, 1000ull}) {
+    EXPECT_EQ(seed_sequence(base, ep),
+              base + 0x9E3779B97F4A7C15ULL * (ep + 1));
+  }
+}
+
+}  // namespace
+}  // namespace rbvc
