@@ -5,17 +5,52 @@
 // agreement is printed first; timings follow.
 #include "bench_util.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "geometry/simplex_geometry.h"
 #include "hull/delta_star.h"
+#include "hull/gamma.h"
 #include "geometry/hull.h"
 #include "hull/psi.h"
+#include "obs/metrics.h"
 #include "workload/generators.h"
 
 namespace {
 
 using namespace rbvc;
+
+// The pre-warm-start delta* algorithm: gamma precheck, then a fresh
+// Gamma_delta LP built and cold-solved per bisection probe, with the
+// initial upper bound also computed via per-subset cold LPs (no shared
+// solver). Kept here as the baseline the warm-started delta_star_linear
+// is measured against; it must not touch the lp.warm.* counters.
+double gamma_excess_cold(const Vec& u, const std::vector<Vec>& y,
+                         std::size_t f, double p) {
+  double worst = 0.0;
+  for (const auto& t : drop_f_subsets(y, f)) {
+    worst = std::max(worst,
+                     detail::lp_projection_via_lp(u, t, p, kTol).distance);
+  }
+  return worst;
+}
+
+double delta_star_linear_cold(const std::vector<Vec>& s, std::size_t f,
+                              double p) {
+  if (gamma_point(s, f)) return 0.0;
+  double lo = 0.0;
+  double hi = gamma_excess_cold(mean(s), s, f, p);
+  const double scale = std::max(1.0, hi);
+  while (hi - lo > kTol * scale) {
+    const double mid = 0.5 * (lo + hi);
+    if (gamma_delta_point_linear(s, f, mid, p)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
 
 void report() {
   std::printf("E14: geometry-engine ablation (accuracy cross-checks)\n");
@@ -59,6 +94,66 @@ void report() {
                      std::abs(mm.value - g->inradius()) / g->inradius())});
     }
     t.print("delta* closed form vs numerical minimax");
+  }
+
+  {
+    // Warm-started bisection vs the cold baseline, sequential episodes
+    // (the --jobs 1 configuration of the episode sweeps). This runs in the
+    // report phase so lp.warm.* counters land in the metrics JSON even
+    // when the timed iterations are filtered out.
+    constexpr std::size_t kEpisodes = 32;
+    Rng rng(77);
+    std::vector<std::vector<Vec>> episodes;
+    episodes.reserve(kEpisodes);
+    for (std::size_t i = 0; i < kEpisodes; ++i) {
+      episodes.push_back(workload::random_simplex(rng, 4));
+    }
+
+    using clock = std::chrono::steady_clock;
+    auto seconds = [](clock::duration dur) {
+      return std::chrono::duration<double>(dur).count();
+    };
+
+    const auto cold_t0 = clock::now();
+    double cold_acc = 0.0;
+    for (const auto& s : episodes) {
+      cold_acc += delta_star_linear_cold(s, 1, kInfNorm);
+    }
+    const double cold_s = seconds(clock::now() - cold_t0);
+
+    obs::Registry& reg = obs::global();
+    const std::uint64_t attempts0 = reg.counter("lp.warm.attempts").value();
+    const std::uint64_t hits0 = reg.counter("lp.warm.hits").value();
+    const auto warm_t0 = clock::now();
+    double warm_acc = 0.0;
+    for (const auto& s : episodes) {
+      warm_acc += delta_star_linear(s, 1, kInfNorm).value;
+    }
+    const double warm_s = seconds(clock::now() - warm_t0);
+    const std::uint64_t attempts =
+        reg.counter("lp.warm.attempts").value() - attempts0;
+    const std::uint64_t hits = reg.counter("lp.warm.hits").value() - hits0;
+    const double hit_rate =
+        attempts ? static_cast<double>(hits) / static_cast<double>(attempts)
+                 : 0.0;
+    // Workload-scoped copies of the counters, so the metrics JSON reports
+    // the delta*-bisection hit rate separately from whatever else in the
+    // process touched the warm solver.
+    reg.counter("bench.delta_star_bisection.warm.attempts").inc(attempts);
+    reg.counter("bench.delta_star_bisection.warm.hits").inc(hits);
+
+    rbvc::bench::Table t(
+        {"path", "episodes", "time (s)", "episodes/s", "warm hit rate"});
+    t.add_row({"cold per-probe LP", std::to_string(kEpisodes),
+               rbvc::bench::Table::num(cold_s),
+               rbvc::bench::Table::num(kEpisodes / cold_s), "-"});
+    t.add_row({"warm bisection", std::to_string(kEpisodes),
+               rbvc::bench::Table::num(warm_s),
+               rbvc::bench::Table::num(kEpisodes / warm_s),
+               rbvc::bench::Table::num(hit_rate)});
+    t.print("delta* Linf bisection episodes, --jobs 1");
+    std::printf("warm-vs-cold speedup: %.2fx   |sum diff|: %.3g\n",
+                cold_s / warm_s, std::abs(cold_acc - warm_acc));
   }
 }
 
@@ -128,6 +223,26 @@ void BM_PsiLambdaPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PsiLambdaPath)->Arg(3)->Arg(5);
+
+void BM_DeltaStarBisectionWarm(benchmark::State& state) {
+  Rng rng(8);
+  const auto s = workload::random_simplex(
+      rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta_star_linear(s, 1, kInfNorm).value);
+  }
+}
+BENCHMARK(BM_DeltaStarBisectionWarm)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_DeltaStarBisectionCold(benchmark::State& state) {
+  Rng rng(8);
+  const auto s = workload::random_simplex(
+      rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta_star_linear_cold(s, 1, kInfNorm));
+  }
+}
+BENCHMARK(BM_DeltaStarBisectionCold)->Arg(3)->Arg(5)->Arg(7);
 
 void BM_SimplexInradius(benchmark::State& state) {
   Rng rng(7);

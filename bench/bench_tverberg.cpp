@@ -119,7 +119,7 @@ void BM_HullsIntersect(benchmark::State& state) {
   const auto a = workload::gaussian_cloud(rng, 4, 3);
   const auto b = workload::gaussian_cloud(rng, 4, 3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(hulls_intersect({a, b}));
+    benchmark::DoNotOptimize(hulls_intersect(std::vector<PointView>{a, b}));
   }
 }
 BENCHMARK(BM_HullsIntersect);

@@ -10,9 +10,8 @@ namespace rbvc {
 namespace detail {
 
 namespace {
-HullProjection projection_from_coeffs(const Vec& u,
-                                      const std::vector<Vec>& pts,
-                                      Vec coeffs, double p) {
+HullProjection projection_from_coeffs(const Vec& u, PointView pts, Vec coeffs,
+                                      double p) {
   HullProjection out;
   out.point = zeros(u.size());
   for (std::size_t j = 0; j < pts.size(); ++j) {
@@ -24,8 +23,8 @@ HullProjection projection_from_coeffs(const Vec& u,
 }
 }  // namespace
 
-HullProjection lp_projection_via_lp(const Vec& u, const std::vector<Vec>& pts,
-                                    double p, double tol) {
+HullProjection lp_projection_via_lp(const Vec& u, PointView pts, double p,
+                                    double tol, lp::IncrementalSolver* warm) {
   RBVC_REQUIRE(p == 1.0 || p >= kInfNorm,
                "lp_projection_via_lp: only L1 and Linf are linear");
   RBVC_REQUIRE(!pts.empty(), "lp_projection_via_lp: empty point set");
@@ -54,15 +53,20 @@ HullProjection lp_projection_via_lp(const Vec& u, const std::vector<Vec>& pts,
 
   lp::SimplexOptions opts;
   opts.tol = std::min(tol, 1e-8);
-  const lp::Solution sol = m.solve(opts);
+  lp::Solution sol;
+  if (warm) {
+    warm->set_options(opts);
+    sol = m.solve_incremental(*warm);
+  } else {
+    sol = m.solve(opts);
+  }
   RBVC_REQUIRE(sol.status == lp::Status::kOptimal,
                "lp_projection_via_lp: solver failed");
   Vec coeffs(sol.x.begin(), sol.x.begin() + static_cast<std::ptrdiff_t>(pts.size()));
   return projection_from_coeffs(u, pts, std::move(coeffs), p);
 }
 
-HullProjection lp_projection_frank_wolfe(const Vec& u,
-                                         const std::vector<Vec>& pts, double p,
+HullProjection lp_projection_frank_wolfe(const Vec& u, PointView pts, double p,
                                          std::size_t max_iters) {
   RBVC_REQUIRE(p >= 1.0 && p < kInfNorm,
                "frank_wolfe: requires finite p >= 1");
@@ -111,13 +115,12 @@ HullProjection lp_projection_frank_wolfe(const Vec& u,
 
 }  // namespace detail
 
-HullProjection project_to_hull(const Vec& u, const std::vector<Vec>& pts,
-                               double tol) {
+HullProjection project_to_hull(const Vec& u, PointView pts, double tol) {
   return detail::wolfe_min_norm(u, pts, tol);
 }
 
-HullProjection project_to_hull_p(const Vec& u, const std::vector<Vec>& pts,
-                                 double p, double tol) {
+HullProjection project_to_hull_p(const Vec& u, PointView pts, double p,
+                                 double tol) {
   RBVC_REQUIRE(p >= 1.0, "project_to_hull_p: p must be >= 1");
   if (p == 2.0) return detail::wolfe_min_norm(u, pts, tol);
   if (p == 1.0 || p >= kInfNorm) {
@@ -126,8 +129,7 @@ HullProjection project_to_hull_p(const Vec& u, const std::vector<Vec>& pts,
   return detail::lp_projection_frank_wolfe(u, pts, p);
 }
 
-double distance_to_hull(const Vec& u, const std::vector<Vec>& pts, double p,
-                        double tol) {
+double distance_to_hull(const Vec& u, PointView pts, double p, double tol) {
   return project_to_hull_p(u, pts, p, tol).distance;
 }
 

@@ -5,14 +5,20 @@
 //   other p >= 1 -> Frank-Wolfe over the barycentric simplex (iterative)
 //
 // These back the (delta,p)-relaxed hull membership tests of paper Sec. 5.2
-// and the delta* computations of Sec. 9.
+// and the delta* computations of Sec. 9. Point sets are taken by PointView
+// (plain vector<Vec> converts implicitly), so drop-f subset queries avoid
+// materializing each subset.
 #pragma once
 
 #include <vector>
 
-#include "linalg/vec.h"
+#include "geometry/point_view.h"
 
 namespace rbvc {
+
+namespace lp {
+class IncrementalSolver;
+}  // namespace lp
 
 /// Result of projecting a point onto a convex hull.
 struct HullProjection {
@@ -22,26 +28,27 @@ struct HullProjection {
 };
 
 /// Euclidean projection of u onto H(pts) via Wolfe's algorithm.
-HullProjection project_to_hull(const Vec& u, const std::vector<Vec>& pts,
-                               double tol = kTol);
+HullProjection project_to_hull(const Vec& u, PointView pts, double tol = kTol);
 
 /// Lp projection of u onto H(pts): exact for p in {1, 2, inf} (LP / Wolfe),
 /// iterative (Frank-Wolfe, accuracy ~ kLooseTol) for other p >= 1.
-HullProjection project_to_hull_p(const Vec& u, const std::vector<Vec>& pts,
-                                 double p, double tol = kTol);
+HullProjection project_to_hull_p(const Vec& u, PointView pts, double p,
+                                 double tol = kTol);
 
 /// Lp distance from u to H(pts) (see project_to_hull_p for exactness).
-double distance_to_hull(const Vec& u, const std::vector<Vec>& pts, double p,
+double distance_to_hull(const Vec& u, PointView pts, double p,
                         double tol = kTol);
 
 /// Internal entry points, exposed for tests and the ablation bench (E14).
 namespace detail {
-HullProjection wolfe_min_norm(const Vec& u, const std::vector<Vec>& pts,
-                              double tol);
-HullProjection lp_projection_via_lp(const Vec& u, const std::vector<Vec>& pts,
-                                    double p, double tol);  // p in {1, inf}
-HullProjection lp_projection_frank_wolfe(const Vec& u,
-                                         const std::vector<Vec>& pts, double p,
+HullProjection wolfe_min_norm(const Vec& u, PointView pts, double tol);
+/// p in {1, inf}. When `warm` is non-null the LP is solved through it
+/// (IncrementalSolver::resolve): cold on the first use after a reset, then
+/// reusing the retained basis across same-shape subset swaps.
+HullProjection lp_projection_via_lp(const Vec& u, PointView pts, double p,
+                                    double tol,
+                                    lp::IncrementalSolver* warm = nullptr);
+HullProjection lp_projection_frank_wolfe(const Vec& u, PointView pts, double p,
                                          std::size_t max_iters = 2'000);
 }  // namespace detail
 

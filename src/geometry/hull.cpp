@@ -16,8 +16,7 @@ lp::SimplexOptions options_for(double tol) {
 
 }  // namespace
 
-std::optional<Vec> hull_coefficients(const Vec& u, const std::vector<Vec>& pts,
-                                     double tol) {
+std::optional<Vec> hull_coefficients(const Vec& u, PointView pts, double tol) {
   RBVC_REQUIRE(!pts.empty(), "hull_coefficients: empty point set");
   obs::global().counter("geom.hull.membership_lps").inc();
   obs::ScopedTimer timer(obs::global(), "geom.hull.seconds");
@@ -44,19 +43,19 @@ std::optional<Vec> hull_coefficients(const Vec& u, const std::vector<Vec>& pts,
   return sol.x;
 }
 
-bool in_hull(const Vec& u, const std::vector<Vec>& pts, double tol) {
+bool in_hull(const Vec& u, PointView pts, double tol) {
   return hull_coefficients(u, pts, tol).has_value();
 }
 
-std::optional<Vec> hull_intersection_point(
-    const std::vector<std::vector<Vec>>& sets, double tol) {
+std::optional<Vec> hull_intersection_point(const std::vector<PointView>& sets,
+                                           double tol) {
   RBVC_REQUIRE(!sets.empty(), "hull_intersection_point: no sets");
   obs::global().counter("geom.hull.intersection_lps").inc();
   obs::ScopedTimer timer(obs::global(), "geom.hull.seconds");
   const std::size_t d = sets.front().front().size();
   lp::Model m;
   const auto u0 = m.add_vars(d, 0.0, /*free=*/true);
-  for (const std::vector<Vec>& pts : sets) {
+  for (const PointView& pts : sets) {
     RBVC_REQUIRE(!pts.empty(), "hull_intersection_point: empty set");
     const auto lambda0 = m.add_vars(pts.size());
     for (std::size_t r = 0; r < d; ++r) {
@@ -80,11 +79,21 @@ std::optional<Vec> hull_intersection_point(
   return Vec(sol.x.begin(), sol.x.begin() + static_cast<std::ptrdiff_t>(d));
 }
 
+std::optional<Vec> hull_intersection_point(
+    const std::vector<std::vector<Vec>>& sets, double tol) {
+  return hull_intersection_point(std::vector<PointView>(sets.begin(), sets.end()),
+                                 tol);
+}
+
+bool hulls_intersect(const std::vector<PointView>& sets, double tol) {
+  return hull_intersection_point(sets, tol).has_value();
+}
+
 bool hulls_intersect(const std::vector<std::vector<Vec>>& sets, double tol) {
   return hull_intersection_point(sets, tol).has_value();
 }
 
-double support(const Vec& c, const std::vector<Vec>& pts) {
+double support(const Vec& c, PointView pts) {
   RBVC_REQUIRE(!pts.empty(), "support: empty point set");
   // The support function of a polytope is attained at a vertex: just scan.
   double best = dot(c, pts.front());

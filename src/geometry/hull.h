@@ -3,36 +3,45 @@
 // A point u is in H(S) iff there exist lambda >= 0, sum lambda = 1, with
 // V lambda = u (V = matrix of points). Everything here is exact up to LP
 // tolerances; no explicit facet enumeration is ever needed.
+//
+// Point sets are taken by PointView, so the drop-f subset enumeration of the
+// Gamma/Psi operators can pass index views into a shared point list without
+// materializing each subset; plain `std::vector<Vec>` arguments convert
+// implicitly.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include "geometry/point_view.h"
 #include "lp/model.h"
 
 namespace rbvc {
 
 /// True iff u lies in the convex hull of `pts` (within tol).
-bool in_hull(const Vec& u, const std::vector<Vec>& pts, double tol = kTol);
+bool in_hull(const Vec& u, PointView pts, double tol = kTol);
 
 /// A point in the intersection of the convex hulls of the given point sets,
 /// or nullopt when the intersection is empty. All sets must be non-empty and
 /// share the ambient dimension d. The returned point is deterministic for a
 /// fixed input (simplex pivoting is deterministic).
+std::optional<Vec> hull_intersection_point(const std::vector<PointView>& sets,
+                                           double tol = kTol);
 std::optional<Vec> hull_intersection_point(
     const std::vector<std::vector<Vec>>& sets, double tol = kTol);
 
 /// Feasibility-only variant of hull_intersection_point.
+bool hulls_intersect(const std::vector<PointView>& sets, double tol = kTol);
 bool hulls_intersect(const std::vector<std::vector<Vec>>& sets,
                      double tol = kTol);
 
 /// Linear optimization over H(S): returns max of <c, x> for x in H(S)
 /// (the support function evaluated at c). S must be non-empty.
-double support(const Vec& c, const std::vector<Vec>& pts);
+double support(const Vec& c, PointView pts);
 
 /// Barycentric certificate: coefficients lambda (>= 0, summing to 1) with
 /// V lambda ~= u, or nullopt when u is outside H(S).
-std::optional<Vec> hull_coefficients(const Vec& u, const std::vector<Vec>& pts,
+std::optional<Vec> hull_coefficients(const Vec& u, PointView pts,
                                      double tol = kTol);
 
 }  // namespace rbvc

@@ -1,0 +1,78 @@
+// Non-owning views over point multisets.
+//
+// The geometry kernels operate on sub-multisets of a shared point list (the
+// drop-f subsets of the Gamma/Psi operators). Materializing each subset as a
+// `std::vector<Vec>` copies C(n, f) full point sets per query; a PointView
+// instead indexes the original storage through a combination index list, so
+// subset enumeration allocates nothing per subset.
+//
+// A PointView is valid only while the underlying vector<Vec> (and index
+// list, if any) outlive it; kernels must not retain views past the call.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace rbvc {
+
+class PointView {
+ public:
+  PointView() = default;
+
+  /// View over a whole point list (implicit: lets every vector<Vec> caller
+  /// use the view-based kernels unchanged).
+  PointView(const std::vector<Vec>& pts)  // NOLINT(runtime/explicit)
+      : base_(pts.data()), size_(pts.size()) {}
+
+  /// View over base[idx[0]], base[idx[1]], ... (a drop-f subset).
+  PointView(const std::vector<Vec>& base, const std::vector<std::size_t>& idx)
+      : base_(base.data()), idx_(idx.data()), size_(idx.size()) {}
+
+  const Vec& operator[](std::size_t i) const {
+    return idx_ ? base_[idx_[i]] : base_[i];
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Vec& front() const { return (*this)[0]; }
+  const Vec& back() const { return (*this)[size_ - 1]; }
+
+  /// Copies the viewed points into an owning vector.
+  std::vector<Vec> materialize() const {
+    std::vector<Vec> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  class iterator {
+   public:
+    using value_type = Vec;
+    using difference_type = std::ptrdiff_t;
+    using reference = const Vec&;
+
+    iterator(const PointView* v, std::size_t i) : v_(v), i_(i) {}
+    const Vec& operator*() const { return (*v_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const PointView* v_;
+    std::size_t i_;
+  };
+
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, size_); }
+
+ private:
+  const Vec* base_ = nullptr;
+  const std::size_t* idx_ = nullptr;  // null: identity indexing
+  std::size_t size_ = 0;
+};
+
+}  // namespace rbvc

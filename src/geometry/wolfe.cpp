@@ -39,8 +39,7 @@ std::optional<Vec> affine_minimizer(const std::vector<Vec>& corral,
 
 }  // namespace
 
-HullProjection wolfe_min_norm(const Vec& u, const std::vector<Vec>& pts,
-                              double tol) {
+HullProjection wolfe_min_norm(const Vec& u, PointView pts, double tol) {
   RBVC_REQUIRE(!pts.empty(), "wolfe: empty point set");
   const std::size_t n = pts.size();
 

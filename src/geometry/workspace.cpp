@@ -1,0 +1,37 @@
+#include "geometry/workspace.h"
+
+#include "geometry/projection.h"
+#include "obs/metrics.h"
+
+namespace rbvc {
+
+GeometryWorkspace::GeometryWorkspace() = default;
+
+const std::vector<std::vector<std::size_t>>& GeometryWorkspace::drop_f_indices(
+    std::size_t n, std::size_t f) {
+  RBVC_REQUIRE(f < n, "drop_f_indices: need f < n");
+  const auto key = std::make_pair(n, f);
+  auto it = subsets_.find(key);
+  if (it != subsets_.end()) {
+    obs::global().counter("geom.workspace.subset_cache.hits").inc();
+    return it->second;
+  }
+  obs::global().counter("geom.workspace.subset_cache.misses").inc();
+  return subsets_.emplace(key, k_subsets(n, n - f)).first->second;
+}
+
+std::vector<PointView> GeometryWorkspace::drop_f_views(
+    const std::vector<Vec>& s, std::size_t f) {
+  const auto& idx = drop_f_indices(s.size(), f);
+  std::vector<PointView> views;
+  views.reserve(idx.size());
+  for (const auto& combo : idx) views.emplace_back(s, combo);
+  return views;
+}
+
+GeometryWorkspace& GeometryWorkspace::local() {
+  static thread_local GeometryWorkspace ws;
+  return ws;
+}
+
+}  // namespace rbvc

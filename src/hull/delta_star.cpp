@@ -31,34 +31,25 @@ void record_call(const DeltaStarResult& out) {
       .inc();
 }
 
-// Isometric coordinates of the points within their own affine span
-// (translate by the last point, express in an orthonormal basis). Valid for
-// the L2 paths only: orthogonal projection preserves Euclidean distances
-// inside the span but not other Lp norms.
-struct SpanFrame {
-  Vec origin;
-  std::vector<Vec> basis;   // orthonormal
-  std::vector<Vec> coords;  // projected points, dimension basis.size()
-
-  Vec lift(const Vec& c) const {
-    Vec x = origin;
-    for (std::size_t j = 0; j < basis.size(); ++j) axpy(c[j], basis[j], x);
-    return x;
-  }
-};
-
-SpanFrame make_frame(const std::vector<Vec>& s, double tol) {
-  SpanFrame fr;
+// Builds the span projection into the workspace's reusable SpanFrame slot
+// (see workspace.h for the frame's semantics).
+SpanFrame& make_frame(const std::vector<Vec>& s, double tol,
+                      GeometryWorkspace& ws) {
+  SpanFrame& fr = ws.span_frame();
   fr.origin = s.back();
+  Vec& tmp = ws.scratch_vec();
   std::vector<Vec> diffs;
   diffs.reserve(s.size() - 1);
   for (std::size_t i = 0; i + 1 < s.size(); ++i) {
-    diffs.push_back(sub(s[i], s.back()));
+    sub_into(s[i], s.back(), tmp);
+    diffs.push_back(tmp);
   }
   fr.basis = orthonormal_basis(diffs, tol);
+  fr.coords.clear();
   fr.coords.reserve(s.size());
   for (const Vec& v : s) {
-    fr.coords.push_back(coords_in_basis(fr.basis, sub(v, fr.origin)));
+    sub_into(v, fr.origin, tmp);
+    fr.coords.push_back(coords_in_basis(fr.basis, tmp));
   }
   return fr;
 }
@@ -66,12 +57,13 @@ SpanFrame make_frame(const std::vector<Vec>& s, double tol) {
 }  // namespace
 
 DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
-                             double tol, const MinimaxOptions& opts) {
+                             double tol, const MinimaxOptions& opts,
+                             GeometryWorkspace& ws) {
   RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_2: need 1 <= f < |S|");
   obs::ScopedTimer timer(obs::global(), "geom.delta_star.seconds");
   DeltaStarResult out;
 
-  const SpanFrame fr = make_frame(s, tol);
+  const SpanFrame& fr = make_frame(s, tol, ws);
   const std::size_t dprime = fr.basis.size();
   if (dprime == 0) {  // all inputs identical
     out.value = 0.0;
@@ -83,7 +75,7 @@ DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
   }
 
   // Case 1: the classic safe area Gamma(S) is already non-empty.
-  if (auto g = hull_intersection_point(drop_f_subsets(fr.coords, f), tol)) {
+  if (auto g = hull_intersection_point(ws.drop_f_views(fr.coords, f), tol)) {
     out.value = 0.0;
     out.point = fr.lift(*g);
     out.exact = true;
@@ -106,8 +98,8 @@ DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
   }
 
   // Case 3: numerical min-max over the drop-f hulls, inside the span.
-  const auto sets = drop_f_subsets(fr.coords, f);
-  MinimaxResult mm = min_max_hull_distance(sets, mean(fr.coords), opts);
+  MinimaxResult mm = min_max_hull_distance(ws.drop_f_views(fr.coords, f),
+                                           mean(fr.coords), opts);
   out.value = mm.value;
   out.point = fr.lift(mm.point);
   out.exact = false;
@@ -117,13 +109,13 @@ DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
 }
 
 DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
-                                  double p, double tol) {
+                                  double p, double tol, GeometryWorkspace& ws) {
   RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_linear: need 1 <= f < |S|");
   RBVC_REQUIRE(p == 1.0 || p >= kInfNorm,
                "delta_star_linear: p must be 1 or inf");
   obs::ScopedTimer timer(obs::global(), "geom.delta_star.seconds");
   DeltaStarResult out;
-  if (auto g = gamma_point(s, f, tol)) {
+  if (auto g = gamma_point(s, f, tol, ws)) {
     out.value = 0.0;
     out.point = *g;
     out.exact = true;
@@ -132,13 +124,20 @@ DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
     return out;
   }
   double lo = 0.0;
-  double hi = gamma_excess(mean(s), s, f, p, tol);
+  double hi = gamma_excess(mean(s), s, f, p, tol, ws);
   Vec witness = mean(s);
   const double scale = std::max(1.0, hi);
+
+  // One feasibility LP, many right-hand sides: build the probe once, prime
+  // its basis at a comfortably feasible delta (the mean witnesses
+  // delta = hi), then every bisection iteration re-solves warm -- dual
+  // simplex from the retained basis instead of Phase-1-from-scratch.
+  GammaDeltaProbe probe(s, f, p, tol, ws);
+  probe.probe(hi + scale);
   while (hi - lo > tol * scale) {
     obs::global().counter("geom.delta_star.bisect_iters").inc();
     const double mid = 0.5 * (lo + hi);
-    if (auto w = gamma_delta_point_linear(s, f, mid, p, tol)) {
+    if (auto w = probe.probe(mid)) {
       hi = mid;
       witness = *w;
     } else {
@@ -154,13 +153,14 @@ DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
 }
 
 DeltaStarResult delta_star_p(const std::vector<Vec>& s, std::size_t f,
-                             double p, double tol, MinimaxOptions opts) {
+                             double p, double tol, MinimaxOptions opts,
+                             GeometryWorkspace& ws) {
   RBVC_REQUIRE(f >= 1 && f < s.size(), "delta_star_p: need 1 <= f < |S|");
-  if (p == 2.0) return delta_star_2(s, f, tol, opts);
-  if (p == 1.0 || p >= kInfNorm) return delta_star_linear(s, f, p, tol);
+  if (p == 2.0) return delta_star_2(s, f, tol, opts, ws);
+  if (p == 1.0 || p >= kInfNorm) return delta_star_linear(s, f, p, tol, ws);
   obs::ScopedTimer timer(obs::global(), "geom.delta_star.seconds");
   DeltaStarResult out;
-  if (auto g = gamma_point(s, f, tol)) {
+  if (auto g = gamma_point(s, f, tol, ws)) {
     out.value = 0.0;
     out.point = *g;
     out.exact = true;
@@ -171,7 +171,7 @@ DeltaStarResult delta_star_p(const std::vector<Vec>& s, std::size_t f,
   opts.p = p;
   // Lp norms are not preserved by orthogonal projection, so run the minimax
   // in the ambient space.
-  MinimaxResult mm = min_max_hull_distance(drop_f_subsets(s, f), mean(s), opts);
+  MinimaxResult mm = min_max_hull_distance(ws.drop_f_views(s, f), mean(s), opts);
   out.value = mm.value;
   out.point = mm.point;
   out.exact = false;

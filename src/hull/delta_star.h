@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "geometry/simplex_geometry.h"
+#include "geometry/workspace.h"
 #include "hull/gamma.h"
 #include "opt/minimax.h"
 
@@ -31,18 +32,25 @@ struct DeltaStarResult {
   } method = Method::kNumerical;
 };
 
-/// delta*_2(S) for f faults. Requires 1 <= f < |S|.
+/// delta*_2(S) for f faults. Requires 1 <= f < |S|. All entry points thread
+/// a GeometryWorkspace (subset index views, reusable SpanFrame storage,
+/// warm-started LP solvers); results do not depend on workspace history.
 DeltaStarResult delta_star_2(const std::vector<Vec>& s, std::size_t f,
                              double tol = kTol,
-                             const MinimaxOptions& opts = {});
+                             const MinimaxOptions& opts = {},
+                             GeometryWorkspace& ws = GeometryWorkspace::local());
 
-/// delta*_p(S) for p = 1 or inf: exact bisection on LP feasibility.
-DeltaStarResult delta_star_linear(const std::vector<Vec>& s, std::size_t f,
-                                  double p, double tol = kTol);
+/// delta*_p(S) for p = 1 or inf: exact bisection on LP feasibility. The
+/// bisection re-solves one LP warm across iterations (only the delta
+/// right-hand sides move between probes).
+DeltaStarResult delta_star_linear(
+    const std::vector<Vec>& s, std::size_t f, double p, double tol = kTol,
+    GeometryWorkspace& ws = GeometryWorkspace::local());
 
 /// delta*_p(S) for general finite p >= 1: numerical minimax upper bound.
 DeltaStarResult delta_star_p(const std::vector<Vec>& s, std::size_t f,
                              double p, double tol = kTol,
-                             MinimaxOptions opts = {});
+                             MinimaxOptions opts = {},
+                             GeometryWorkspace& ws = GeometryWorkspace::local());
 
 }  // namespace rbvc

@@ -21,8 +21,7 @@ bool in_delta_p_hull(const Vec& u, const std::vector<Vec>& s, double delta,
   return hull_distance(u, s, p, tol) <= delta + tol;
 }
 
-double hull_distance(const Vec& u, const std::vector<Vec>& s, double p,
-                     double tol) {
+double hull_distance(const Vec& u, PointView s, double p, double tol) {
   return distance_to_hull(u, s, p, tol);
 }
 
@@ -30,6 +29,11 @@ std::vector<std::vector<std::size_t>> subsets_minus_f(std::size_t n,
                                                       std::size_t f) {
   RBVC_REQUIRE(f < n, "subsets_minus_f: need f < n");
   return k_subsets(n, n - f);
+}
+
+std::vector<PointView> drop_f_views(const std::vector<Vec>& s, std::size_t f,
+                                    GeometryWorkspace& ws) {
+  return ws.drop_f_views(s, f);
 }
 
 std::vector<std::vector<Vec>> drop_f_subsets(const std::vector<Vec>& s,

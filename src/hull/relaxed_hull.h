@@ -10,6 +10,7 @@
 
 #include "geometry/distance.h"
 #include "geometry/projection.h"
+#include "geometry/workspace.h"
 
 namespace rbvc {
 
@@ -25,15 +26,21 @@ bool in_delta_p_hull(const Vec& u, const std::vector<Vec>& s, double delta,
 
 /// dist_p(u, H(S)) -- convenience re-export used throughout the consensus
 /// layer (0 when u is inside the hull).
-double hull_distance(const Vec& u, const std::vector<Vec>& s, double p,
-                     double tol = kTol);
+double hull_distance(const Vec& u, PointView s, double p, double tol = kTol);
 
 /// All sub-multisets of `s` of size |s| - f, as index combinations into `s`
 /// (the T's of the paper's Gamma and Psi operators). Requires f < |s|.
 std::vector<std::vector<std::size_t>> subsets_minus_f(std::size_t n,
                                                       std::size_t f);
 
-/// Materializes the point sets for subsets_minus_f.
+/// Index views over the subsets_minus_f point sets -- no point copies. The
+/// views borrow `s` and the workspace's memoized index lists.
+std::vector<PointView> drop_f_views(
+    const std::vector<Vec>& s, std::size_t f,
+    GeometryWorkspace& ws = GeometryWorkspace::local());
+
+/// Materializes the point sets for subsets_minus_f (copying; prefer
+/// drop_f_views on hot paths).
 std::vector<std::vector<Vec>> drop_f_subsets(const std::vector<Vec>& s,
                                              std::size_t f);
 

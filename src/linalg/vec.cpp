@@ -16,34 +16,66 @@ void check_same_dim(const Vec& x, const Vec& y, const char* op) {
 }  // namespace
 
 Vec add(const Vec& x, const Vec& y) {
-  check_same_dim(x, y, "add");
-  Vec r(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) r[i] = x[i] + y[i];
+  Vec r;
+  add_into(x, y, r);
   return r;
 }
 
 Vec sub(const Vec& x, const Vec& y) {
-  check_same_dim(x, y, "sub");
-  Vec r(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) r[i] = x[i] - y[i];
+  Vec r;
+  sub_into(x, y, r);
   return r;
 }
 
 Vec scale(double a, const Vec& x) {
-  Vec r(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) r[i] = a * x[i];
+  Vec r;
+  scale_into(a, x, r);
   return r;
+}
+
+void add_into(const Vec& x, const Vec& y, Vec& out) {
+  check_same_dim(x, y, "add");
+  const std::size_t n = x.size();
+  out.resize(n);
+  const double* px = x.data();
+  const double* py = y.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = px[i] + py[i];
+}
+
+void sub_into(const Vec& x, const Vec& y, Vec& out) {
+  check_same_dim(x, y, "sub");
+  const std::size_t n = x.size();
+  out.resize(n);
+  const double* px = x.data();
+  const double* py = y.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = px[i] - py[i];
+}
+
+void scale_into(double a, const Vec& x, Vec& out) {
+  const std::size_t n = x.size();
+  out.resize(n);
+  const double* px = x.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = a * px[i];
 }
 
 void axpy(double a, const Vec& x, Vec& y) {
   check_same_dim(x, y, "axpy");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  double* py = y.data();
+  for (std::size_t i = 0; i < n; ++i) py[i] += a * px[i];
 }
 
 double dot(const Vec& x, const Vec& y) {
   check_same_dim(x, y, "dot");
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  const double* py = y.data();
   double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  for (std::size_t i = 0; i < n; ++i) s += px[i] * py[i];
   return s;
 }
 
@@ -71,17 +103,56 @@ double norm2(const Vec& x) {
   return std::sqrt(s);
 }
 
+// The distance functions fuse the subtraction into the norm loop instead of
+// materializing a temporary difference vector; the arithmetic (operations
+// and order) matches lp_norm(sub(x, y), p) exactly.
 double lp_dist(const Vec& x, const Vec& y, double p) {
-  return lp_norm(sub(x, y), p);
+  check_same_dim(x, y, "sub");
+  RBVC_REQUIRE(p >= 1.0, "lp_norm: p must be >= 1");
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  const double* py = y.data();
+  if (p >= kInfNorm) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(px[i] - py[i]));
+    return m;
+  }
+  if (p == 1.0) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += std::abs(px[i] - py[i]);
+    return s;
+  }
+  if (p == 2.0) return dist2(x, y);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::pow(std::abs(px[i] - py[i]), p);
+  return std::pow(s, 1.0 / p);
 }
 
-double dist2(const Vec& x, const Vec& y) { return norm2(sub(x, y)); }
+double dist2(const Vec& x, const Vec& y) {
+  check_same_dim(x, y, "sub");
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  const double* py = y.data();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = px[i] - py[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
 
 Vec mean(const std::vector<Vec>& xs) {
+  Vec r;
+  mean_into(xs, r);
+  return r;
+}
+
+void mean_into(const std::vector<Vec>& xs, Vec& out) {
   RBVC_REQUIRE(!xs.empty(), "mean: empty list");
-  Vec r = zeros(xs.front().size());
-  for (const Vec& x : xs) axpy(1.0, x, r);
-  return scale(1.0 / static_cast<double>(xs.size()), r);
+  const std::size_t d = xs.front().size();
+  out.assign(d, 0.0);
+  for (const Vec& x : xs) axpy(1.0, x, out);
+  scale_into(1.0 / static_cast<double>(xs.size()), out, out);
 }
 
 bool approx_equal(const Vec& x, const Vec& y, double tol) {

@@ -22,6 +22,17 @@ Vec sub(const Vec& x, const Vec& y);
 /// Returns a * x.
 Vec scale(double a, const Vec& x);
 
+/// out = x + y, reusing out's storage. Dimensions must match; out may alias
+/// x or y.
+void add_into(const Vec& x, const Vec& y, Vec& out);
+
+/// out = x - y, reusing out's storage. Dimensions must match; out may alias
+/// x or y.
+void sub_into(const Vec& x, const Vec& y, Vec& out);
+
+/// out = a * x, reusing out's storage. out may alias x.
+void scale_into(double a, const Vec& x, Vec& out);
+
 /// In-place y += a * x. Dimensions must match.
 void axpy(double a, const Vec& x, Vec& y);
 
@@ -43,6 +54,10 @@ double dist2(const Vec& x, const Vec& y);
 
 /// Component-wise mean of a non-empty list of equal-dimension vectors.
 Vec mean(const std::vector<Vec>& xs);
+
+/// Component-wise mean into out, reusing its storage. Produces bit-identical
+/// results to mean() (same summation order).
+void mean_into(const std::vector<Vec>& xs, Vec& out);
 
 /// True if ||x - y||_inf <= tol.
 bool approx_equal(const Vec& x, const Vec& y, double tol = kTol);

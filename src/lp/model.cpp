@@ -5,6 +5,7 @@ namespace rbvc::lp {
 Model::VarId Model::add_var(double objective_coeff, bool free) {
   obj_.push_back(objective_coeff);
   free_.push_back(free);
+  lowered_.valid = false;
   return obj_.size() - 1;
 }
 
@@ -16,31 +17,43 @@ Model::VarId Model::add_vars(std::size_t count, double objective_coeff,
   return first;
 }
 
-void Model::add_constraint(const std::vector<Term>& terms, Rel rel,
-                           double rhs) {
+Model::RowId Model::add_constraint(const std::vector<Term>& terms, Rel rel,
+                                   double rhs) {
   for (const Term& t : terms) {
     RBVC_REQUIRE(t.var < obj_.size(), "add_constraint: unknown variable");
   }
   rows_.push_back(terms);
   rels_.push_back(rel);
   rhs_.push_back(rhs);
+  lowered_.valid = false;
+  return rows_.size() - 1;
+}
+
+void Model::set_rhs(RowId row, double rhs) {
+  RBVC_REQUIRE(row < rhs_.size(), "set_rhs: unknown row");
+  rhs_[row] = rhs;
+  // Standard-form rows are 1:1 with model rows, so the cached lowering only
+  // needs the matching b entry patched.
+  if (lowered_.valid) lowered_.b[row] = rhs;
 }
 
 void Model::set_objective_coeff(VarId v, double c) {
   RBVC_REQUIRE(v < obj_.size(), "set_objective_coeff: unknown variable");
   obj_[v] = c;
+  lowered_.valid = false;
 }
 
-Solution Model::solve(const SimplexOptions& opts) const {
+const Model::Lowered& Model::lower() const {
+  if (lowered_.valid) return lowered_;
   // Column layout: for each model variable, one standard column (x >= 0) or
   // two (x+ and x-) when free; then one slack/surplus column per inequality.
   const std::size_t nv = obj_.size();
-  std::vector<std::size_t> col_of(nv);        // positive-part column
-  std::vector<std::size_t> neg_col_of(nv, 0); // negative-part column (free)
+  lowered_.col_of.assign(nv, 0);
+  lowered_.neg_col_of.assign(nv, 0);
   std::size_t ncols = 0;
   for (std::size_t v = 0; v < nv; ++v) {
-    col_of[v] = ncols++;
-    if (free_[v]) neg_col_of[v] = ncols++;
+    lowered_.col_of[v] = ncols++;
+    if (free_[v]) lowered_.neg_col_of[v] = ncols++;
   }
   std::size_t n_slack = 0;
   for (Rel r : rels_) {
@@ -49,39 +62,63 @@ Solution Model::solve(const SimplexOptions& opts) const {
   const std::size_t total = ncols + n_slack;
   const std::size_t m = rows_.size();
 
-  Matrix a(m, total);
-  Vec b = rhs_;
-  Vec c(total, 0.0);
+  lowered_.a = Matrix(m, total);
+  lowered_.b = rhs_;
+  lowered_.c.assign(total, 0.0);
   const double obj_sign = (sense_ == Sense::kMinimize) ? 1.0 : -1.0;
   for (std::size_t v = 0; v < nv; ++v) {
-    c[col_of[v]] = obj_sign * obj_[v];
-    if (free_[v]) c[neg_col_of[v]] = -obj_sign * obj_[v];
+    lowered_.c[lowered_.col_of[v]] = obj_sign * obj_[v];
+    if (free_[v]) lowered_.c[lowered_.neg_col_of[v]] = -obj_sign * obj_[v];
   }
   std::size_t slack = ncols;
   for (std::size_t i = 0; i < m; ++i) {
     for (const Term& t : rows_[i]) {
-      a(i, col_of[t.var]) += t.coeff;
-      if (free_[t.var]) a(i, neg_col_of[t.var]) -= t.coeff;
+      lowered_.a(i, lowered_.col_of[t.var]) += t.coeff;
+      if (free_[t.var]) lowered_.a(i, lowered_.neg_col_of[t.var]) -= t.coeff;
     }
     if (rels_[i] == Rel::kLe) {
-      a(i, slack++) = 1.0;
+      lowered_.a(i, slack++) = 1.0;
     } else if (rels_[i] == Rel::kGe) {
-      a(i, slack++) = -1.0;
+      lowered_.a(i, slack++) = -1.0;
     }
   }
+  lowered_.valid = true;
+  return lowered_;
+}
 
-  Solution raw = solve_standard(a, b, c, opts);
+Solution Model::translate_back(const Solution& raw) const {
   if (raw.status != Status::kOptimal) return raw;
-
+  const double obj_sign = (sense_ == Sense::kMinimize) ? 1.0 : -1.0;
+  const std::size_t nv = obj_.size();
   Solution out;
   out.status = Status::kOptimal;
   out.objective = obj_sign * raw.objective;
   out.x.resize(nv);
   for (std::size_t v = 0; v < nv; ++v) {
-    out.x[v] = raw.x[col_of[v]];
-    if (free_[v]) out.x[v] -= raw.x[neg_col_of[v]];
+    out.x[v] = raw.x[lowered_.col_of[v]];
+    if (free_[v]) out.x[v] -= raw.x[lowered_.neg_col_of[v]];
   }
   return out;
+}
+
+Solution Model::solve(const SimplexOptions& opts) const {
+  const Lowered& lo = lower();
+  return translate_back(solve_standard(lo.a, lo.b, lo.c, opts));
+}
+
+Solution Model::solve_with(IncrementalSolver& solver) const {
+  const Lowered& lo = lower();
+  return translate_back(solver.solve(lo.a, lo.b, lo.c));
+}
+
+Solution Model::resolve_rhs_with(IncrementalSolver& solver) const {
+  const Lowered& lo = lower();
+  return translate_back(solver.resolve_rhs(lo.b));
+}
+
+Solution Model::solve_incremental(IncrementalSolver& solver) const {
+  const Lowered& lo = lower();
+  return translate_back(solver.resolve(lo.a, lo.b, lo.c));
 }
 
 }  // namespace rbvc::lp

@@ -14,11 +14,11 @@ struct Farthest {
   Vec proj;  // projection of p onto the farthest hull
 };
 
-Farthest farthest_hull(const Vec& p, const std::vector<std::vector<Vec>>& sets,
+Farthest farthest_hull(const Vec& p, const std::vector<PointView>& sets,
                        double tol, double norm_p, std::size_t& evals) {
   Farthest far;
   far.proj = p;
-  for (const auto& s : sets) {
+  for (const PointView& s : sets) {
     const HullProjection pr = project_to_hull_p(p, s, norm_p, tol);
     ++evals;
     if (pr.distance > far.dist) {
@@ -32,6 +32,12 @@ Farthest farthest_hull(const Vec& p, const std::vector<std::vector<Vec>>& sets,
 }  // namespace
 
 MinimaxResult min_max_hull_distance(const std::vector<std::vector<Vec>>& sets,
+                                    Vec init, const MinimaxOptions& opts) {
+  return min_max_hull_distance(std::vector<PointView>(sets.begin(), sets.end()),
+                               std::move(init), opts);
+}
+
+MinimaxResult min_max_hull_distance(const std::vector<PointView>& sets,
                                     Vec init, const MinimaxOptions& opts) {
   RBVC_REQUIRE(!sets.empty(), "min_max_hull_distance: no sets");
   obs::global().counter("opt.minimax.calls").inc();

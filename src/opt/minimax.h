@@ -28,7 +28,11 @@ struct MinimaxResult {
   std::size_t evals = 0;  // hull-projection evaluations performed
 };
 
-/// Minimizes max_i dist_2(p, H(sets[i])) starting from `init`.
+/// Minimizes max_i dist_2(p, H(sets[i])) starting from `init`. The PointView
+/// overload lets the delta* path pass drop-f index views without
+/// materializing each subset.
+MinimaxResult min_max_hull_distance(const std::vector<PointView>& sets,
+                                    Vec init, const MinimaxOptions& opts = {});
 MinimaxResult min_max_hull_distance(const std::vector<std::vector<Vec>>& sets,
                                     Vec init, const MinimaxOptions& opts = {});
 

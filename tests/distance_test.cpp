@@ -76,10 +76,11 @@ TEST(DistanceTest, LpProjectionReturnsHullPoint) {
 }
 
 TEST(DistanceTest, InvalidPThrows) {
-  EXPECT_THROW(distance_to_hull({0.0}, {{1.0}}, 0.5), invalid_argument);
-  EXPECT_THROW(detail::lp_projection_via_lp({0.0}, {{1.0}}, 2.0, kTol),
+  const std::vector<Vec> single = {{1.0}};
+  EXPECT_THROW(distance_to_hull({0.0}, single, 0.5), invalid_argument);
+  EXPECT_THROW(detail::lp_projection_via_lp({0.0}, single, 2.0, kTol),
                invalid_argument);
-  EXPECT_THROW(detail::lp_projection_frank_wolfe({0.0}, {{1.0}}, kInfNorm),
+  EXPECT_THROW(detail::lp_projection_frank_wolfe({0.0}, single, kInfNorm),
                invalid_argument);
 }
 

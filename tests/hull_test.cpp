@@ -19,8 +19,9 @@ TEST(HullTest, MembershipBasics) {
 }
 
 TEST(HullTest, SinglePointHull) {
-  EXPECT_TRUE(in_hull({2.0, 3.0}, {{2.0, 3.0}}));
-  EXPECT_FALSE(in_hull({2.0, 3.1}, {{2.0, 3.0}}));
+  const std::vector<Vec> single = {{2.0, 3.0}};
+  EXPECT_TRUE(in_hull({2.0, 3.0}, single));
+  EXPECT_FALSE(in_hull({2.0, 3.1}, single));
 }
 
 TEST(HullTest, CoefficientsReconstructPoint) {
@@ -45,7 +46,7 @@ TEST(HullTest, DimensionMismatchThrows) {
 TEST(HullTest, IntersectionOfOverlappingTriangles) {
   const std::vector<Vec> t1 = {{0, 0}, {2, 0}, {0, 2}};
   const std::vector<Vec> t2 = {{1, 1}, {3, 1}, {1, 3}};
-  const auto p = hull_intersection_point({t1, t2});
+  const auto p = hull_intersection_point(std::vector<PointView>{t1, t2});
   ASSERT_TRUE(p.has_value());
   EXPECT_TRUE(in_hull(*p, t1, 1e-7));
   EXPECT_TRUE(in_hull(*p, t2, 1e-7));
@@ -54,14 +55,14 @@ TEST(HullTest, IntersectionOfOverlappingTriangles) {
 TEST(HullTest, IntersectionEmptyWhenDisjoint) {
   const std::vector<Vec> t1 = {{0, 0}, {1, 0}, {0, 1}};
   const std::vector<Vec> t2 = {{5, 5}, {6, 5}, {5, 6}};
-  EXPECT_FALSE(hulls_intersect({t1, t2}));
+  EXPECT_FALSE(hulls_intersect(std::vector<PointView>{t1, t2}));
 }
 
 TEST(HullTest, IntersectionAtSinglePoint) {
   // Two segments crossing at exactly (1, 1).
   const std::vector<Vec> s1 = {{0, 0}, {2, 2}};
   const std::vector<Vec> s2 = {{0, 2}, {2, 0}};
-  const auto p = hull_intersection_point({s1, s2});
+  const auto p = hull_intersection_point(std::vector<PointView>{s1, s2});
   ASSERT_TRUE(p.has_value());
   EXPECT_TRUE(approx_equal(*p, {1.0, 1.0}, 1e-7));
 }
@@ -69,8 +70,8 @@ TEST(HullTest, IntersectionAtSinglePoint) {
 TEST(HullTest, IntersectionDeterministic) {
   const std::vector<Vec> t1 = {{0, 0}, {2, 0}, {0, 2}};
   const std::vector<Vec> t2 = {{1, 0}, {3, 0}, {1, 2}};
-  const auto p1 = hull_intersection_point({t1, t2});
-  const auto p2 = hull_intersection_point({t1, t2});
+  const auto p1 = hull_intersection_point(std::vector<PointView>{t1, t2});
+  const auto p2 = hull_intersection_point(std::vector<PointView>{t1, t2});
   ASSERT_TRUE(p1 && p2);
   EXPECT_EQ(*p1, *p2);  // bitwise identical: agreement depends on this
 }

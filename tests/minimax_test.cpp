@@ -79,7 +79,8 @@ TEST(MinimaxTest, RespectsIterationBudget) {
 }
 
 TEST(MinimaxTest, EmptySetListThrows) {
-  EXPECT_THROW(min_max_hull_distance({}, {0.0}), invalid_argument);
+  EXPECT_THROW(min_max_hull_distance(std::vector<PointView>{}, {0.0}),
+               invalid_argument);
 }
 
 }  // namespace

@@ -30,7 +30,8 @@ TEST(WolfeTest, ProjectionOntoVertex) {
 }
 
 TEST(WolfeTest, SinglePointSet) {
-  const auto pr = project_to_hull({3.0, 4.0}, {{0.0, 0.0}});
+  const std::vector<Vec> origin_only = {{0.0, 0.0}};
+  const auto pr = project_to_hull({3.0, 4.0}, origin_only);
   EXPECT_NEAR(pr.distance, 5.0, 1e-12);
 }
 
