@@ -1,0 +1,142 @@
+// E16 -- Bounded model checking costs: states and runs explored by the
+// exhaustive explorer (src/mc) on small RBC and sync instances, the
+// sleep-set reduction ratio as the event bound deepens, and raw
+// states-per-second throughput at several frontier widths.
+#include "bench_util.h"
+
+#include "harness/exhaustive.h"
+#include "harness/property.h"
+#include "workload/runner.h"
+
+namespace {
+
+using namespace rbvc;
+
+/// Commuting-heavy Bracha instance (one broadcaster, one silent fault):
+/// the depth knob is the event bound, so the tree grows geometrically and
+/// sleep-set reduction compounds with depth.
+workload::RbcExperiment rbc_instance(std::size_t max_events) {
+  workload::RbcExperiment e;
+  e.n = 4;
+  e.f = 1;
+  e.byzantine_ids = {3};
+  e.strategy = workload::AsyncStrategy::kSilent;
+  e.honest_inputs = {Vec{1.0}, Vec{2.0}, Vec{3.0}};
+  e.broadcasters = {0};
+  e.max_events = max_events;
+  e.seed = 11;
+  return e;
+}
+
+harness::ExhaustiveProperty<harness::RbcRunner> rbc_property(
+    std::size_t max_events, bool por, std::size_t jobs) {
+  harness::ExhaustiveProperty<harness::RbcRunner> prop;
+  prop.name = "bench_mc_rbc";
+  prop.experiment = rbc_instance(max_events);
+  prop.oracle = harness::rbc_safety_oracle();
+  prop.judge_truncated = true;  // safety clauses are prefix-sound
+  prop.options.por = por;
+  prop.options.jobs = jobs;
+  return prop;
+}
+
+void report() {
+  std::printf("E16: bounded model checking (src/mc) costs\n");
+
+  {
+    // The reduction ratio vs depth: naive enumeration against sleep sets
+    // on the same instance. This is the ISSUE's >= 5x claim, measured.
+    rbvc::bench::Table t({"max_events", "naive states", "naive runs",
+                          "POR states", "POR runs", "state ratio"});
+    for (std::size_t depth : {3u, 4u, 5u}) {
+      const auto naive =
+          harness::check_property_exhaustive(rbc_property(depth, false, 1));
+      const auto por =
+          harness::check_property_exhaustive(rbc_property(depth, true, 1));
+      t.add_row({std::to_string(depth), std::to_string(naive.stats.states),
+                 std::to_string(naive.stats.runs),
+                 std::to_string(por.stats.states),
+                 std::to_string(por.stats.runs),
+                 rbvc::bench::Table::num(double(naive.stats.states) /
+                                         double(por.stats.states))});
+    }
+    t.print("sleep-set reduction vs event bound (Bracha RBC, n=4 f=1)");
+  }
+
+  {
+    // The sync boundary proof from the mc test suite: the whole adversary
+    // space of a choice-driven equivocator is 2^(n-1) leaves, so states
+    // count the decision-tree edges, not schedulings.
+    rbvc::bench::Table t({"n", "runs", "states", "verdict"});
+    for (std::size_t n : {4u, 5u, 6u}) {
+      workload::SyncExperiment e;
+      e.n = n;
+      e.f = 1;
+      e.backend = workload::SyncBackend::kDolevStrong;
+      e.strategy = workload::SyncStrategy::kChoiceEquivocate;
+      e.rule = workload::SyncRule::kKRelaxed;
+      e.k = 2;
+      e.byzantine_ids = {n - 1};
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        e.honest_inputs.push_back(Vec{double(10 * (i == 0)),
+                                      double(10 * (i == 1))});
+      }
+      e.seed = 7;
+      harness::ExhaustiveProperty<harness::SyncRunner> prop;
+      prop.name = "bench_mc_sync";
+      prop.experiment = e;
+      prop.oracle = harness::sync_decide_agree_valid_oracle(1e-9, 1.0);
+      const auto res = harness::check_property_exhaustive(prop);
+      t.add_row({std::to_string(n), std::to_string(res.stats.runs),
+                 std::to_string(res.stats.states),
+                 res.passed ? "proved" : "violated"});
+    }
+    t.print("sync equivocator enumeration at the (d+1)f+1 boundary");
+  }
+}
+
+/// Raw explorer throughput: full exhaustive sweeps of the RBC instance,
+/// counting every explored state (tree edge) against real time.
+void BM_McStatesPerSecond(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  const bool por = state.range(1) != 0;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto res =
+        harness::check_property_exhaustive(rbc_property(depth, por, 1));
+    states += res.stats.states;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["states"] = static_cast<double>(states) /
+                             static_cast<double>(state.iterations());
+  state.counters["states_per_s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McStatesPerSecond)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->UseRealTime();
+
+/// Frontier parallelism: the same exhaustive sweep with the DFS frontier
+/// fanned across the worker pool (subtree-per-worker, pinned roots).
+void BM_McFrontierSweep(benchmark::State& state) {
+  const std::size_t depth = 5;
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto res =
+        harness::check_property_exhaustive(rbc_property(depth, false, jobs));
+    states += res.stats.states;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["states_per_s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McFrontierSweep)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

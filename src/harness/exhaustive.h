@@ -1,0 +1,158 @@
+// Exhaustive exploration mode for the property harness: instead of fuzzing
+// N seeded episodes, enumerate EVERY schedule and adversary decision of one
+// fixed experiment through the bounded model checker (mc/explorer.h).
+//
+// A passing result with `complete == true` and `stats.truncated_runs == 0`
+// is a proof that the oracle holds on that instance over the whole bounded
+// decision tree -- which for sync-model experiments (no event bound) means
+// every behavior the choice-driven adversary spans. Async instances are cut
+// at max_events; pair them with a prefix-sound oracle (rbc_safety_oracle)
+// and judge_truncated = true, or accept that the proof covers only the
+// bounded prefix space (see docs/MODELCHECK.md).
+//
+// Violations flow into the exact same counterexample pipeline as fuzzed
+// properties: the witness schedule is re-verified outside the explorer,
+// minimized by the mode's shrinker, and written as a standard schema-v3
+// repro file that RBVC_REPLAY re-executes.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "harness/property.h"
+#include "mc/explorer.h"
+
+namespace rbvc::harness {
+
+/// One fixed experiment to explore exhaustively. The experiment's
+/// record/replay/choices hooks are ignored (the explorer owns them); for
+/// sync modes the decision rule must be a serializable SyncRule so the
+/// repro can round-trip, exactly as for fuzzed properties.
+template <class Runner>
+struct ExhaustiveProperty {
+  std::string name;  // identifies repro files; [a-zA-Z0-9_-] recommended
+  typename Runner::Experiment experiment;
+  Oracle<typename Runner::Experiment, typename Runner::Outcome> oracle;
+  mc::ExploreOptions options;
+  // Judge runs that hit their event bound. Off by default: a truncated run
+  // never quiesced, so completion-shaped clauses (totality, liveness) would
+  // fire spuriously. Turn on only with a prefix-sound oracle.
+  bool judge_truncated = false;
+  bool shrink = true;
+  std::size_t shrink_budget = 400;  // max candidate re-runs while shrinking
+  std::string repro_dir = ".";      // where the repro file is written
+};
+
+struct ExhaustiveResult {
+  bool passed = true;
+  bool complete = false;     // the bounded tree was exhausted (no caps hit)
+  mc::ExploreStats stats;
+  std::string failure;       // oracle message (empty when passed)
+  std::string repro_path;    // written on failure ("" otherwise)
+  std::size_t original_len = 0;  // witness schedule entries
+  std::size_t shrunk_len = 0;    // after shrinking
+};
+
+namespace detail {
+
+/// Whether the outcome hit the experiment's event bound. Async-model
+/// experiments expose (max_events, stats.deliveries); sync-model runs are
+/// round-bounded by construction and never truncate.
+template <class Runner>
+bool outcome_truncated(const typename Runner::Experiment& e,
+                       const typename Runner::Outcome& out) {
+  if constexpr (requires {
+                  e.max_events;
+                  out.stats.deliveries;
+                }) {
+    return out.stats.deliveries >= e.max_events;
+  } else {
+    (void)e;
+    (void)out;
+    return false;
+  }
+}
+
+}  // namespace detail
+
+/// Explores every decision path of `prop.experiment` and judges each
+/// complete run with the oracle. On a violation, re-verifies the witness
+/// through the ordinary replay path, minimizes it, and writes a standard
+/// repro file. The reported counterexample is byte-identical at any
+/// RBVC_JOBS (the explorer's determinism contract plus the single-threaded
+/// minimize tail).
+template <class Runner>
+ExhaustiveResult check_property_exhaustive(
+    const ExhaustiveProperty<Runner>& prop) {
+  RBVC_REQUIRE(prop.oracle, "check_property_exhaustive: oracle is required");
+
+  auto run_one = [&prop](mc::ChoiceSource& src) -> mc::RunVerdict {
+    typename Runner::Experiment e = prop.experiment;
+    e.record = nullptr;
+    e.replay = nullptr;
+    e.capture_trace = false;
+    e.choices = &src;
+    const typename Runner::Outcome out = Runner::run(e);
+    mc::RunVerdict v;
+    v.truncated = detail::outcome_truncated<Runner>(e, out);
+    if (!v.truncated || prop.judge_truncated) v.failure = prop.oracle(e, out);
+    return v;
+  };
+  const mc::ExploreResult er = mc::explore(run_one, prop.options);
+
+  ExhaustiveResult r;
+  r.stats = er.stats;
+  r.complete = er.stats.complete;
+  if (!er.found) return r;
+
+  r.passed = false;
+  r.failure = er.failure;
+  r.original_len = er.witness.size();
+
+  // The witness must reproduce through the ordinary replay machinery (the
+  // same path RBVC_REPLAY takes), or the repro we are about to write would
+  // be dead on arrival.
+  typename Runner::Experiment exp = prop.experiment;
+  exp.record = nullptr;
+  exp.capture_trace = false;
+  exp.choices = nullptr;
+  exp.replay = &er.witness;
+  {
+    const typename Runner::Outcome out = Runner::run(exp);
+    std::string refail;
+    if (!detail::outcome_truncated<Runner>(exp, out) || prop.judge_truncated) {
+      refail = prop.oracle(exp, out);
+    }
+    RBVC_REQUIRE(!refail.empty(),
+                 "check_property_exhaustive: the witness schedule did not "
+                 "reproduce the violation outside the explorer");
+  }
+
+  // Reuse the fuzz pipeline's minimizer + repro writer. The sync-model
+  // minimizer carries exp.replay through its candidates (choice-dependent
+  // violations stay reproducible); the async one replays each candidate
+  // log directly.
+  std::string trace_dump;
+  std::string metrics_json;
+  const sim::ScheduleLog best = Runner::minimize(
+      exp, er.witness, prop.oracle, prop.shrink ? prop.shrink_budget : 0,
+      &trace_dump, &metrics_json);
+  exp.replay = nullptr;  // serialization-clean again
+  r.shrunk_len = best.size();
+
+  Repro<typename Runner::Experiment> rep;
+  rep.property = prop.name;
+  rep.failure = er.failure;
+  rep.experiment = exp;
+  rep.schedule = best;
+  rep.trace_dump = trace_dump;
+  rep.metrics_json = metrics_json;
+  const auto path = std::filesystem::absolute(
+      std::filesystem::path(prop.repro_dir) /
+      ("rbvc_repro_" + prop.name + ".txt"));
+  write_repro(path.string(), rep);
+  r.repro_path = path.string();
+  return r;
+}
+
+}  // namespace rbvc::harness

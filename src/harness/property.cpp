@@ -134,6 +134,35 @@ Oracle<workload::RbcExperiment, workload::RbcOutcome> rbc_contract_oracle() {
   };
 }
 
+Oracle<workload::RbcExperiment, workload::RbcOutcome> rbc_safety_oracle() {
+  return [](const workload::RbcExperiment&,
+            const workload::RbcOutcome& out) -> std::string {
+    using Key = std::pair<std::size_t, int>;  // (source, instance)
+    std::map<Key, std::pair<Vec, std::vector<int>>> content;
+    for (std::size_t i = 0; i < out.deliveries.size(); ++i) {
+      const std::size_t pid = out.correct_ids.at(i);
+      std::set<Key> mine;
+      for (const auto& d : out.deliveries[i]) {
+        const Key key{d.source, d.instance};
+        if (!mine.insert(key).second) {
+          return "duplicate delivery: process " + std::to_string(pid) +
+                 " delivered instance (" + std::to_string(d.source) + "," +
+                 std::to_string(d.instance) + ") twice";
+        }
+        const auto [it, fresh] = content.try_emplace(key, d.value, d.extra);
+        if (!fresh &&
+            (it->second.first != d.value || it->second.second != d.extra)) {
+          return "equivocation delivered: correct processes delivered "
+                 "different content for instance (" +
+                 std::to_string(d.source) + "," + std::to_string(d.instance) +
+                 ")";
+        }
+      }
+    }
+    return "";
+  };
+}
+
 Oracle<workload::BroadcastExperiment, workload::BroadcastOutcome>
 broadcast_agreement_oracle() {
   return [](const workload::BroadcastExperiment& e,
@@ -198,9 +227,13 @@ struct PickModel {
     Exp base = e;
     base.record = nullptr;
     base.replay = nullptr;
+    base.choices = nullptr;  // candidates re-run choices from the log itself
     base.capture_trace = false;
     auto still_fails = [&](const sim::ScheduleLog& cand) {
       Exp rexp = base;
+      // The candidate log replays both decision kinds: the scheduler pops
+      // its kPick entries and the choice-driven adversary (if any) pops the
+      // kChoice entries.
       rexp.replay = &cand;
       return !oracle(rexp, run(rexp)).empty();
     };
@@ -233,6 +266,7 @@ struct PickModel {
     Exp rexp = rep.experiment;
     rexp.record = nullptr;
     rexp.replay = &rep.schedule;
+    rexp.choices = nullptr;
     rexp.capture_trace = true;
     return oracle(rep.experiment, run(rexp));
   }
@@ -264,6 +298,12 @@ struct CheckpointModel {
                                    const Run& run) {
     Exp base = e;
     base.record = nullptr;
+    // A caller-set replay log carries through: sync runs are deterministic
+    // given (config, adversary choices), so candidates and the final
+    // re-record must keep replaying the witness's kChoice entries or a
+    // choice-dependent violation would vanish mid-shrink. A live `choices`
+    // source must not leak into candidates, though.
+    base.choices = nullptr;
     base.capture_trace = false;
     std::size_t attempts_left = budget;
     auto fails = [&](const Exp& cand) {
@@ -332,6 +372,11 @@ struct CheckpointModel {
     sim::ScheduleLog rerun;
     Exp rexp = rep.experiment;
     rexp.record = &rerun;
+    // Replay the recorded adversary choices (no-op for logs without kChoice
+    // entries); the re-recorded log must then match the stored one exactly,
+    // checkpoints and choices both.
+    rexp.replay = &rep.schedule;
+    rexp.choices = nullptr;
     rexp.capture_trace = true;
     const Out out = run(rexp);
     const std::string divergence =
@@ -369,6 +414,9 @@ using DsModel = CheckpointModel<workload::BroadcastExperiment,
 
 }  // namespace
 
+workload::AsyncOutcome AsyncRunner::run(const Experiment& e) {
+  return kRunAsync(e);
+}
 workload::AsyncOutcome AsyncRunner::run_recorded(Experiment& e,
                                                  sim::ScheduleLog& log) {
   return AsyncModel::run_recorded(e, log, kRunAsync);
@@ -388,6 +436,7 @@ std::string AsyncRunner::replay(const Repro<Experiment>& rep,
   return AsyncModel::replay(rep, o, kRunAsync);
 }
 
+workload::RbcOutcome RbcRunner::run(const Experiment& e) { return kRunRbc(e); }
 workload::RbcOutcome RbcRunner::run_recorded(Experiment& e,
                                              sim::ScheduleLog& log) {
   return RbcModel::run_recorded(e, log, kRunRbc);
@@ -407,6 +456,9 @@ std::string RbcRunner::replay(const Repro<Experiment>& rep,
   return RbcModel::replay(rep, o, kRunRbc);
 }
 
+workload::SyncOutcome SyncRunner::run(const Experiment& e) {
+  return kRunSync(e);
+}
 workload::SyncOutcome SyncRunner::run_recorded(Experiment& e,
                                                sim::ScheduleLog& log) {
   return SyncModel::run_recorded(e, log, kRunSync);
@@ -426,6 +478,9 @@ std::string SyncRunner::replay(const Repro<Experiment>& rep,
   return SyncModel::replay(rep, o, kRunSync);
 }
 
+workload::BroadcastOutcome DsRunner::run(const Experiment& e) {
+  return kRunDs(e);
+}
 workload::BroadcastOutcome DsRunner::run_recorded(Experiment& e,
                                                   sim::ScheduleLog& log) {
   return DsModel::run_recorded(e, log, kRunDs);

@@ -104,6 +104,7 @@ struct AsyncRunner {
   using Experiment = workload::AsyncExperiment;
   using Outcome = workload::AsyncOutcome;
   static constexpr ReproMode kMode = ReproMode::kAsync;
+  static Outcome run(const Experiment& e);  // one plain episode, as given
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
@@ -118,6 +119,7 @@ struct SyncRunner {
   using Experiment = workload::SyncExperiment;
   using Outcome = workload::SyncOutcome;
   static constexpr ReproMode kMode = ReproMode::kSync;
+  static Outcome run(const Experiment& e);  // one plain episode, as given
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
@@ -132,6 +134,7 @@ struct RbcRunner {
   using Experiment = workload::RbcExperiment;
   using Outcome = workload::RbcOutcome;
   static constexpr ReproMode kMode = ReproMode::kRbc;
+  static Outcome run(const Experiment& e);  // one plain episode, as given
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
@@ -146,6 +149,7 @@ struct DsRunner {
   using Experiment = workload::BroadcastExperiment;
   using Outcome = workload::BroadcastOutcome;
   static constexpr ReproMode kMode = ReproMode::kDs;
+  static Outcome run(const Experiment& e);  // one plain episode, as given
   static Outcome run_recorded(Experiment& e, sim::ScheduleLog& log);
   static sim::ScheduleLog minimize(Experiment& e, const sim::ScheduleLog& log,
                                    const Oracle<Experiment, Outcome>& oracle,
@@ -186,6 +190,14 @@ sync_decide_agree_valid_oracle(double eps, double kappa, double p = 2.0);
 /// anywhere is delivered everywhere (totality); and a correct source's
 /// broadcast delivers exactly its input at every correct process.
 Oracle<workload::RbcExperiment, workload::RbcOutcome> rbc_contract_oracle();
+
+/// Safety-only slice of the RBC contract: no duplicate deliveries, no
+/// delivered equivocation. Unlike totality/validity these clauses are
+/// prefix-sound -- true of a complete run iff true of every prefix -- so an
+/// event-bounded (truncated) execution can be judged without false alarms.
+/// This is the oracle exhaustive exploration should use on async instances,
+/// where runs are cut at max_events (see harness/exhaustive.h).
+Oracle<workload::RbcExperiment, workload::RbcOutcome> rbc_safety_oracle();
 
 /// Dolev-Strong broadcast contract: every correct process resolves the full
 /// multiset, the extracted multisets are identical across correct processes

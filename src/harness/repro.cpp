@@ -7,6 +7,7 @@
 #include <functional>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "sim/trace.h"
 
 namespace rbvc::harness {
@@ -102,6 +103,16 @@ Repro<ExperimentT> parse_envelope(const std::string& text, ReproMode want,
       r.trace_dump = sim::unescape_detail(val);
     } else if (key == "metrics") {
       r.metrics_json = sim::unescape_detail(val);
+      // Validate eagerly: a corrupt metrics snapshot should fail the load
+      // with a line-level message, not blow up whoever dumps it later.
+      // Unknown metric *names* are fine (forward compatibility); malformed
+      // JSON or an unknown schema version is not.
+      try {
+        (void)obs::Registry::parse(r.metrics_json);
+      } catch (const std::exception& ex) {
+        throw invalid_argument(std::string("repro: bad metrics line: ") +
+                               ex.what());
+      }
     } else {
       field(r.experiment, key, val);  // unknown keys: skipped
     }
@@ -278,6 +289,17 @@ std::string rbc_fields(const workload::RbcExperiment& e) {
   out += "quorum_echo " + std::to_string(e.quorums.echo) + "\n";
   out += "quorum_amplify " + std::to_string(e.quorums.ready_amplify) + "\n";
   out += "quorum_deliver " + std::to_string(e.quorums.ready_deliver) + "\n";
+  // Omitted for the default "everyone broadcasts" sentinel so pre-existing
+  // repro files (and their byte-exact round-trips) are unchanged. An
+  // explicit empty list serializes as a bare `broadcasters` line.
+  const bool all_broadcast =
+      e.broadcasters.size() == 1 &&
+      e.broadcasters.front() == workload::RbcExperiment::kBroadcastAll;
+  if (!all_broadcast) {
+    out += "broadcasters";
+    for (std::size_t id : e.broadcasters) out += " " + std::to_string(id);
+    out += '\n';
+  }
   out += "seed " + std::to_string(e.seed) + "\n";
   out += "max_events " + std::to_string(e.max_events) + "\n";
   out += common_tail(e.byzantine_ids, e.honest_inputs);
@@ -300,6 +322,8 @@ bool rbc_field(workload::RbcExperiment& e, const std::string& key,
     e.quorums.ready_amplify = static_cast<std::size_t>(parse_u64(val));
   } else if (key == "quorum_deliver") {
     e.quorums.ready_deliver = static_cast<std::size_t>(parse_u64(val));
+  } else if (key == "broadcasters") {
+    e.broadcasters = parse_sizes(val);  // bare line -> explicit empty list
   } else if (key == "seed") {
     e.seed = parse_u64(val);
   } else if (key == "max_events") {

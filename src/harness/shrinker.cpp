@@ -24,18 +24,29 @@ sim::ScheduleLog shrink_schedule(const sim::ScheduleLog& failing,
   };
 
   // A trailing pick of 0 behaves exactly like the exhausted-log FIFO
-  // fallback, so trimming such a suffix preserves the replayed execution
-  // verbatim -- no oracle run needed.
+  // fallback, and a trailing choice of 0 like the exhausted-log first-option
+  // fallback (mc::ChoiceReplayer), so trimming such a suffix preserves the
+  // replayed execution verbatim -- no oracle run needed.
   auto trim_trailing_fifo = [&] {
     std::size_t keep = cur.size();
-    while (keep > 0 &&
-           cur.entries()[keep - 1].kind == sim::ScheduleEntryKind::kPick &&
-           cur.entries()[keep - 1].value == 0) {
+    while (keep > 0) {
+      const sim::ScheduleEntry& e = cur.entries()[keep - 1];
+      const bool free_tail = (e.kind == sim::ScheduleEntryKind::kPick ||
+                              e.kind == sim::ScheduleEntryKind::kChoice) &&
+                             e.value == 0;
+      if (!free_tail) break;
       --keep;
     }
     cur.erase_range(keep, cur.size() - keep);
   };
   trim_trailing_fifo();
+
+  // Nothing left to edit (empty input, or a pure fallback-equivalent tail):
+  // the log is already minimal and the predicate never needs to run.
+  if (cur.empty()) {
+    st.final_size = 0;
+    return cur;
+  }
 
   bool changed = true;
   while (changed && st.attempts < max_attempts) {
@@ -77,13 +88,14 @@ sim::ScheduleLog shrink_schedule(const sim::ScheduleLog& failing,
       if (chunk == 1) break;
     }
 
-    // Canonicalization: rewrite surviving picks toward FIFO (index 0), back
-    // to front so zeros accumulate at the tail, where trimming deletes them
-    // for free; the remaining nonzero picks are the adversarial choices.
+    // Canonicalization: rewrite surviving picks toward FIFO (index 0) and
+    // surviving choices toward the first option, back to front so zeros
+    // accumulate at the tail, where trimming deletes them for free; the
+    // remaining nonzero entries are the adversarial decisions.
     for (std::size_t i = cur.size(); i > 0 && st.attempts < max_attempts;
          --i) {
       const sim::ScheduleEntry& e = cur.entries()[i - 1];
-      if (e.kind != sim::ScheduleEntryKind::kPick || e.value == 0) continue;
+      if (e.kind == sim::ScheduleEntryKind::kRound || e.value == 0) continue;
       sim::ScheduleLog cand = cur;
       cand.set_value(i - 1, 0);
       if (attempt(cand)) changed = true;

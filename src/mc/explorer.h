@@ -1,0 +1,83 @@
+// Bounded exhaustive model checking: stateless DFS over the decision tree
+// of a run function. Every nondeterministic decision a run makes -- the
+// async engine's scheduler picks and the adversary's explicit choices --
+// flows through one mc::ChoiceSource, so a run is a pure function of the
+// decision sequence and the explorer can enumerate the whole tree by
+// re-executing runs along each path (DFS-with-replay, no engine snapshots).
+//
+// Partial-order reduction (sleep sets, Godefroid-style) prunes commuting
+// delivery interleavings: two pending deliveries commute when their
+// recipients differ, because a delivery mutates only the recipient's state
+// and appends that recipient's sends to the pool. When option j has been
+// fully explored at a node, the child reached by an independent option i
+// puts j to sleep -- any execution taking j there is a transposition of one
+// already explored. Choices are never reduced (they select adversary
+// behavior, not commuting events). docs/MODELCHECK.md has the full design
+// and soundness argument.
+//
+// The DFS frontier fans out across exec::ParallelExecutor at the root
+// decision point under the repo's determinism contract: the reported
+// counterexample (witness schedule + failure) is byte-identical at any
+// RBVC_JOBS, because each root subtree is explored exactly as the serial
+// DFS would and find_first returns the lowest violating subtree. Stats are
+// exact and job-count-independent for exhaustive (no-violation) runs, and
+// advisory when a violation short-circuits the sweep.
+//
+// Progress lands in mc.* metrics (states explored, POR skips, runs,
+// violations) in the global registry; see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "mc/choices.h"
+
+namespace rbvc::mc {
+
+/// Verdict of one run along one decision path.
+struct RunVerdict {
+  std::string failure;     // "" = invariant held (or the run was not judged)
+  bool truncated = false;  // the run hit its event bound before quiescing
+};
+
+/// Executes one run, drawing every nondeterministic decision from the
+/// source. Must be a deterministic function of the decisions taken (same
+/// decisions -> same subsequent decision points and same verdict), must be
+/// thread-safe (subtrees explore in parallel), and must let exceptions
+/// propagate (the explorer aborts redundant runs by throwing through it).
+using RunFn = std::function<RunVerdict(ChoiceSource&)>;
+
+struct ExploreOptions {
+  bool por = true;             // sleep-set partial-order reduction
+  std::size_t max_runs = 0;    // per root subtree; 0 = unlimited
+  std::size_t max_states = 0;  // per root subtree; 0 = unlimited
+  std::size_t jobs = 0;        // frontier width; 0 = exec::default_jobs()
+};
+
+struct ExploreStats {
+  std::size_t runs = 0;            // complete executions
+  std::size_t states = 0;          // decision-tree edges executed
+  std::size_t sleep_skips = 0;     // options put to sleep (subtrees pruned)
+  std::size_t sleep_blocked = 0;   // runs aborted: every fresh option asleep
+  std::size_t truncated_runs = 0;  // runs that hit their event bound
+  std::size_t max_depth = 0;       // deepest decision stack seen
+  // True when the bounded tree was exhausted: no cap was hit and no
+  // violation stopped the sweep early. A complete sweep with
+  // truncated_runs == 0 is an exhaustive proof of the oracle over the
+  // instance; with truncation the proof covers only the bounded prefixes.
+  bool complete = true;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  bool found = false;
+  std::string failure;       // first violation in DFS order
+  sim::ScheduleLog witness;  // its decision path: kPick + kChoice entries
+};
+
+/// Explores the decision tree of `run`, depth-first, until exhaustion, a
+/// violation, or the configured caps. Deterministic counterexample at any
+/// job count (see header comment).
+ExploreResult explore(const RunFn& run, const ExploreOptions& opts = {});
+
+}  // namespace rbvc::mc

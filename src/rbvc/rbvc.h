@@ -45,6 +45,9 @@
 #include "sim/sync_engine.h"
 #include "sim/trace.h"
 
+#include "mc/choices.h"
+#include "mc/explorer.h"
+
 #include "protocols/bracha_rbc.h"
 #include "protocols/dolev_strong.h"
 #include "protocols/om_broadcast.h"
@@ -64,6 +67,7 @@
 #include "workload/generators.h"
 #include "workload/runner.h"
 
+#include "harness/exhaustive.h"
 #include "harness/property.h"
 #include "harness/repro.h"
 #include "harness/shrinker.h"

@@ -12,10 +12,22 @@ void ScheduleLog::add_round(std::size_t messages) {
   entries_.push_back({ScheduleEntryKind::kRound, messages});
 }
 
+void ScheduleLog::add_choice(std::size_t option) {
+  entries_.push_back({ScheduleEntryKind::kChoice, option});
+}
+
 std::size_t ScheduleLog::pick_count() const {
   std::size_t n = 0;
   for (const ScheduleEntry& e : entries_) {
     if (e.kind == ScheduleEntryKind::kPick) ++n;
+  }
+  return n;
+}
+
+std::size_t ScheduleLog::choice_count() const {
+  std::size_t n = 0;
+  for (const ScheduleEntry& e : entries_) {
+    if (e.kind == ScheduleEntryKind::kChoice) ++n;
   }
   return n;
 }
@@ -32,11 +44,25 @@ void ScheduleLog::set_value(std::size_t i, std::uint64_t value) {
   entries_[i].value = value;
 }
 
+namespace {
+char entry_tag(ScheduleEntryKind kind) {
+  switch (kind) {
+    case ScheduleEntryKind::kPick:
+      return 'p';
+    case ScheduleEntryKind::kRound:
+      return 'r';
+    case ScheduleEntryKind::kChoice:
+      return 'c';
+  }
+  return '?';
+}
+}  // namespace
+
 std::string ScheduleLog::serialize() const {
   std::string out;
   for (const ScheduleEntry& e : entries_) {
     if (!out.empty()) out += ' ';
-    out += (e.kind == ScheduleEntryKind::kPick) ? 'p' : 'r';
+    out += entry_tag(e.kind);
     out += std::to_string(e.value);
   }
   return out;
@@ -51,7 +77,7 @@ ScheduleLog ScheduleLog::parse(const std::string& text) {
       continue;
     }
     const char tag = text[i++];
-    RBVC_REQUIRE(tag == 'p' || tag == 'r',
+    RBVC_REQUIRE(tag == 'p' || tag == 'r' || tag == 'c',
                  "ScheduleLog::parse: unknown entry tag");
     std::uint64_t value = 0;
     bool any = false;
@@ -61,9 +87,10 @@ ScheduleLog ScheduleLog::parse(const std::string& text) {
       ++i;
     }
     RBVC_REQUIRE(any, "ScheduleLog::parse: entry tag without a value");
-    log.entries_.push_back(
-        {tag == 'p' ? ScheduleEntryKind::kPick : ScheduleEntryKind::kRound,
-         value});
+    const ScheduleEntryKind kind = tag == 'p'   ? ScheduleEntryKind::kPick
+                                   : tag == 'c' ? ScheduleEntryKind::kChoice
+                                                : ScheduleEntryKind::kRound;
+    log.entries_.push_back({kind, value});
   }
   return log;
 }
@@ -71,8 +98,7 @@ ScheduleLog ScheduleLog::parse(const std::string& text) {
 std::string describe_divergence(const ScheduleLog& expected,
                                 const ScheduleLog& actual) {
   auto token = [](const ScheduleEntry& e) {
-    return std::string(e.kind == ScheduleEntryKind::kPick ? "p" : "r") +
-           std::to_string(e.value);
+    return std::string(1, entry_tag(e.kind)) + std::to_string(e.value);
   };
   const std::size_t common = std::min(expected.size(), actual.size());
   for (std::size_t i = 0; i < common; ++i) {

@@ -51,6 +51,19 @@ std::optional<Vec> LyingRelaySyncProcess::relay_value_for(
   return honest;
 }
 
+ChoiceEquivocatingEigProcess::ChoiceEquivocatingEigProcess(
+    std::size_t n, std::size_t f, protocols::ProcessId self, Vec value_a,
+    Vec value_b, Vec default_value, mc::ChoiceSource* choices)
+    : EigConsensusProcess(n, f, self, std::move(value_a),
+                          std::move(default_value), dummy_decision()),
+      value_b_(std::move(value_b)),
+      choices_(choices) {}
+
+Vec ChoiceEquivocatingEigProcess::initial_value_for(protocols::ProcessId) {
+  const std::size_t pick = choices_ != nullptr ? choices_->choose(2) : 0;
+  return pick == 0 ? input() : value_b_;
+}
+
 const char* to_string(SyncStrategy s) {
   switch (s) {
     case SyncStrategy::kSilent:
@@ -65,13 +78,16 @@ const char* to_string(SyncStrategy s) {
       return "crash-midway";
     case SyncStrategy::kBadChainRelay:
       return "bad-chain-relay";
+    case SyncStrategy::kChoiceEquivocate:
+      return "choice-equivocate";
   }
   return "?";
 }
 
 std::unique_ptr<sim::SyncProcess> make_sync_byzantine(
     SyncStrategy strategy, std::size_t n, std::size_t f,
-    protocols::ProcessId self, std::size_t d, std::uint64_t seed) {
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed,
+    mc::ChoiceSource* choices) {
   Rng rng(seed);
   switch (strategy) {
     case SyncStrategy::kSilent:
@@ -98,6 +114,10 @@ std::unique_ptr<sim::SyncProcess> make_sync_byzantine(
       // EIG model the closest behavior is lying while relaying.
       return std::make_unique<LyingRelaySyncProcess>(
           n, f, self, rng.normal_vec(d), zeros(d), rng.next_u64());
+    case SyncStrategy::kChoiceEquivocate:
+      return std::make_unique<ChoiceEquivocatingEigProcess>(
+          n, f, self, rng.normal_vec(d), scale(8.0, rng.normal_vec(d)),
+          zeros(d), choices);
   }
   throw invalid_argument("unknown sync strategy");
 }
@@ -177,10 +197,41 @@ void DsBadChainRelayProcess::round(std::size_t round_no,
   }
 }
 
+DsChoiceEquivocatingProcess::DsChoiceEquivocatingProcess(
+    std::size_t n, std::size_t f, protocols::ProcessId self, Vec value_a,
+    Vec value_b, Vec default_value, sim::Signer signer,
+    const sim::SignatureAuthority* authority, mc::ChoiceSource* choices)
+    : DolevStrongProcess(n, f, self, std::move(value_a),
+                         std::move(default_value), dummy_decision(), signer,
+                         authority),
+      value_b_(std::move(value_b)),
+      choices_(choices) {}
+
+std::vector<std::pair<protocols::ProcessId, sim::Message>>
+DsChoiceEquivocatingProcess::initial_messages() {
+  namespace wire = protocols::ds_wire;
+  const Vec& a = input();
+  protocols::SigChain chain_a, chain_b;
+  chain_a.emplace_back(self_,
+                       signer_.sign(wire::chain_digest(self_, a, {})));
+  chain_b.emplace_back(
+      self_, signer_.sign(wire::chain_digest(self_, value_b_, {})));
+  const sim::Message ma = wire::encode(self_, a, chain_a);
+  const sim::Message mb = wire::encode(self_, value_b_, chain_b);
+  std::vector<std::pair<protocols::ProcessId, sim::Message>> out;
+  for (protocols::ProcessId r = 0; r < n_; ++r) {
+    if (r == self_) continue;
+    const std::size_t pick = choices_ != nullptr ? choices_->choose(2) : 0;
+    out.emplace_back(r, pick == 0 ? ma : mb);
+  }
+  return out;
+}
+
 std::unique_ptr<sim::SyncProcess> make_ds_byzantine(
     SyncStrategy strategy, std::size_t n, std::size_t f,
     protocols::ProcessId self, std::size_t d, std::uint64_t seed,
-    sim::Signer signer, const sim::SignatureAuthority* authority) {
+    sim::Signer signer, const sim::SignatureAuthority* authority,
+    mc::ChoiceSource* choices) {
   Rng rng(seed);
   switch (strategy) {
     case SyncStrategy::kSilent:
@@ -207,6 +258,10 @@ std::unique_ptr<sim::SyncProcess> make_ds_byzantine(
       return std::make_unique<DsBadChainRelayProcess>(
           n, f, self, rng.normal_vec(d), scale(50.0, rng.normal_vec(d)),
           signer);
+    case SyncStrategy::kChoiceEquivocate:
+      return std::make_unique<DsChoiceEquivocatingProcess>(
+          n, f, self, rng.normal_vec(d), scale(8.0, rng.normal_vec(d)),
+          zeros(d), signer, authority, choices);
   }
   throw invalid_argument("unknown sync strategy");
 }
@@ -230,6 +285,27 @@ void EquivocatingAsyncProcess::init(sim::Outbox& out) {
   }
 }
 
+ChoiceEquivocatingAsyncProcess::ChoiceEquivocatingAsyncProcess(
+    std::size_t n, protocols::ProcessId self, Vec value_a, Vec value_b,
+    mc::ChoiceSource* choices)
+    : n_(n),
+      self_(self),
+      a_(std::move(value_a)),
+      b_(std::move(value_b)),
+      choices_(choices) {}
+
+void ChoiceEquivocatingAsyncProcess::init(sim::Outbox& out) {
+  for (sim::ProcessId p = 0; p < n_; ++p) {
+    sim::Message m;
+    m.kind = "rbc";
+    // meta = [source, instance 0, INIT]; see EquivocatingAsyncProcess.
+    m.meta = {static_cast<int>(self_), 0, 0};
+    const std::size_t pick = choices_ != nullptr ? choices_->choose(2) : 0;
+    m.payload = pick == 0 ? a_ : b_;
+    out.send(p, std::move(m));
+  }
+}
+
 const char* to_string(AsyncStrategy s) {
   switch (s) {
     case AsyncStrategy::kSilent:
@@ -240,6 +316,8 @@ const char* to_string(AsyncStrategy s) {
       return "outlier-input";
     case AsyncStrategy::kCrashMidway:
       return "crash-midway";
+    case AsyncStrategy::kChoiceEquivocate:
+      return "choice-equivocate";
   }
   return "?";
 }
@@ -255,7 +333,8 @@ std::unique_ptr<sim::AsyncProcess> make_async_outlier(
 
 std::unique_ptr<sim::AsyncProcess> make_async_byzantine(
     AsyncStrategy strategy, consensus::AsyncAveragingProcess::Params prm,
-    protocols::ProcessId self, std::size_t d, std::uint64_t seed) {
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed,
+    mc::ChoiceSource* choices) {
   Rng rng(seed);
   switch (strategy) {
     case AsyncStrategy::kSilent:
@@ -271,6 +350,10 @@ std::unique_ptr<sim::AsyncProcess> make_async_byzantine(
           std::make_unique<consensus::AsyncAveragingProcess>(
               prm, self, rng.normal_vec(d)),
           /*max_deliveries=*/40);
+    case AsyncStrategy::kChoiceEquivocate:
+      return std::make_unique<ChoiceEquivocatingAsyncProcess>(
+          prm.n, self, scale(10.0, rng.normal_vec(d)),
+          scale(-10.0, rng.normal_vec(d)), choices);
   }
   throw invalid_argument("unknown async strategy");
 }

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "consensus/async_averaging.h"
+#include "mc/choices.h"
 #include "protocols/dolev_strong.h"
 #include "protocols/om_broadcast.h"
 #include "sim/rng.h"
@@ -81,6 +82,27 @@ class CrashingSyncProcess final : public sim::SyncProcess {
   std::size_t crash_round_;
 };
 
+/// Equivocates under explicit adversary control: every per-recipient "send
+/// value A or value B?" branch is a choose(2) on a mc::ChoiceSource, so the
+/// model checker enumerates all 2^(n-1) initial-value assignments and a
+/// recorded run replays the exact one taken. With no source attached the
+/// behavior degenerates to FirstChoice (always A) -- an honest-looking run.
+class ChoiceEquivocatingEigProcess final
+    : public protocols::EigConsensusProcess {
+ public:
+  ChoiceEquivocatingEigProcess(std::size_t n, std::size_t f,
+                               protocols::ProcessId self, Vec value_a,
+                               Vec value_b, Vec default_value,
+                               mc::ChoiceSource* choices);
+
+ protected:
+  Vec initial_value_for(protocols::ProcessId recipient) override;
+
+ private:
+  Vec value_b_;
+  mc::ChoiceSource* choices_;  // may be null: always value A
+};
+
 /// Named synchronous strategies, for sweeps.
 enum class SyncStrategy {
   kSilent,
@@ -89,14 +111,18 @@ enum class SyncStrategy {
   kOutlierInput,   // honest protocol, adversarially distant input
   kCrashMidway,    // honest until round 1, then permanently silent
   kBadChainRelay,  // DS: relays a forged signature chain to half the network
+  kChoiceEquivocate,  // per-recipient A/B equivocation driven by choose()
 };
 
 const char* to_string(SyncStrategy s);
 
 /// Builds a Byzantine synchronous process implementing `strategy`.
+/// `choices` drives the choice-based strategies (kChoiceEquivocate) and is
+/// ignored by the seeded ones; null means "always the first option".
 std::unique_ptr<sim::SyncProcess> make_sync_byzantine(
     SyncStrategy strategy, std::size_t n, std::size_t f,
-    protocols::ProcessId self, std::size_t d, std::uint64_t seed);
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed,
+    mc::ChoiceSource* choices = nullptr);
 
 // ---------------------------------------------------------------------------
 // Authenticated (Dolev-Strong) adversaries. Signatures make forging other
@@ -165,12 +191,40 @@ class DsBadChainRelayProcess final : public sim::SyncProcess {
   sim::Signer signer_;
 };
 
+/// Double-signs value A or B per recipient, each branch a choose(2) on a
+/// mc::ChoiceSource (the authenticated counterpart of
+/// ChoiceEquivocatingEigProcess); never relays. The model checker sweeps
+/// all 2^(n-1) signed-value assignments.
+class DsChoiceEquivocatingProcess final
+    : public protocols::DolevStrongProcess {
+ public:
+  DsChoiceEquivocatingProcess(std::size_t n, std::size_t f,
+                              protocols::ProcessId self, Vec value_a,
+                              Vec value_b, Vec default_value,
+                              sim::Signer signer,
+                              const sim::SignatureAuthority* authority,
+                              mc::ChoiceSource* choices);
+
+ protected:
+  std::vector<std::pair<protocols::ProcessId, sim::Message>>
+  initial_messages() override;
+  bool should_relay(protocols::ProcessId, const Vec&) override {
+    return false;
+  }
+
+ private:
+  Vec value_b_;
+  mc::ChoiceSource* choices_;  // may be null: always value A
+};
+
 /// Builds a Byzantine Dolev-Strong participant for `strategy` (kLyingRelay
-/// maps to withholding: lying about others is unforgeable).
+/// maps to withholding: lying about others is unforgeable). `choices`
+/// drives kChoiceEquivocate; null means "always the first option".
 std::unique_ptr<sim::SyncProcess> make_ds_byzantine(
     SyncStrategy strategy, std::size_t n, std::size_t f,
     protocols::ProcessId self, std::size_t d, std::uint64_t seed,
-    sim::Signer signer, const sim::SignatureAuthority* authority);
+    sim::Signer signer, const sim::SignatureAuthority* authority,
+    mc::ChoiceSource* choices = nullptr);
 
 // ---------------------------------------------------------------------------
 // Asynchronous adversaries.
@@ -231,12 +285,41 @@ class CrashingAsyncProcess final : public sim::AsyncProcess {
   std::size_t handled_ = 0;
 };
 
-enum class AsyncStrategy { kSilent, kEquivocate, kOutlierInput, kCrashMidway };
+/// Sends conflicting RBC INITs like EquivocatingAsyncProcess, but each
+/// per-recipient A-or-B branch is a choose(2) on a mc::ChoiceSource, so
+/// the model checker enumerates every split (not just the fixed low/high
+/// halves) and replay reproduces the one recorded.
+class ChoiceEquivocatingAsyncProcess final : public sim::AsyncProcess {
+ public:
+  ChoiceEquivocatingAsyncProcess(std::size_t n, protocols::ProcessId self,
+                                 Vec value_a, Vec value_b,
+                                 mc::ChoiceSource* choices);
+  void init(sim::Outbox& out) override;
+  void on_message(const sim::Message&, sim::Outbox&) override {}
+  bool decided() const override { return true; }
+
+ private:
+  std::size_t n_;
+  protocols::ProcessId self_;
+  Vec a_, b_;
+  mc::ChoiceSource* choices_;  // may be null: always value A
+};
+
+enum class AsyncStrategy {
+  kSilent,
+  kEquivocate,
+  kOutlierInput,
+  kCrashMidway,
+  kChoiceEquivocate,  // per-recipient A/B equivocation driven by choose()
+};
 
 const char* to_string(AsyncStrategy s);
 
+/// `choices` drives kChoiceEquivocate and is ignored by the seeded
+/// strategies; null means "always the first option".
 std::unique_ptr<sim::AsyncProcess> make_async_byzantine(
     AsyncStrategy strategy, consensus::AsyncAveragingProcess::Params prm,
-    protocols::ProcessId self, std::size_t d, std::uint64_t seed);
+    protocols::ProcessId self, std::size_t d, std::uint64_t seed,
+    mc::ChoiceSource* choices = nullptr);
 
 }  // namespace rbvc::workload

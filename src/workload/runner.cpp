@@ -17,6 +17,26 @@ bool is_byzantine(const std::vector<std::size_t>& ids, std::size_t id) {
   return std::find(ids.begin(), ids.end(), id) != ids.end();
 }
 
+// The effective adversary-decision source of a run: a live source wins,
+// else a recorded log's kChoice subsequence replays, else every branch
+// takes its first option. Holds the fallback objects so callers get one
+// reference with the right lifetime (the run's scope).
+struct ChoiceStack {
+  ChoiceStack(mc::ChoiceSource* live, const sim::ScheduleLog* replay,
+              sim::ScheduleLog* record)
+      : replayer(replay),
+        base(live != nullptr
+                 ? *live
+                 : (replay != nullptr ? static_cast<mc::ChoiceSource&>(replayer)
+                                      : static_cast<mc::ChoiceSource&>(first))),
+        recorder(base, record) {}
+
+  mc::FirstChoice first;
+  mc::ChoiceReplayer replayer;
+  mc::ChoiceSource& base;
+  mc::RecordingChoices recorder;  // the source handed to strategies
+};
+
 // Expensive derived metrics, gated on Registry::enabled(): how far the
 // correct decisions actually sit outside the drop-f hulls of the honest
 // inputs (the achieved delta), against delta*(honest inputs) -- the paper's
@@ -82,6 +102,7 @@ SyncOutcome run_sync_experiment(const SyncExperiment& e) {
     engine.set_schedule_log(e.record);
   }
   Rng seeds(e.seed);
+  ChoiceStack choices(e.choices, e.replay, e.record);
   // The authority outlives the engine run; only used for kDolevStrong.
   sim::SignatureAuthority authority(seeds.next_u64());
   std::vector<std::size_t> correct_ids;
@@ -90,11 +111,12 @@ SyncOutcome run_sync_experiment(const SyncExperiment& e) {
     if (is_byzantine(e.byzantine_ids, id)) {
       if (e.backend == SyncBackend::kEig) {
         engine.add(make_sync_byzantine(e.strategy, e.n, e.f, id, d,
-                                       seeds.next_u64()));
+                                       seeds.next_u64(), &choices.recorder));
       } else {
         engine.add(make_ds_byzantine(e.strategy, e.n, e.f, id, d,
                                      seeds.next_u64(),
-                                     authority.signer_for(id), &authority));
+                                     authority.signer_for(id), &authority,
+                                     &choices.recorder));
       }
     } else {
       if (e.backend == SyncBackend::kEig) {
@@ -152,11 +174,17 @@ AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
                "run_async_experiment: more faulty ids than the fault budget");
 
   Rng seeds(e.seed);
+  ChoiceStack choices(e.choices, e.replay, e.record);
   // Always burn one seed draw for the scheduler so process seeds line up
   // between recorded runs and replays (which ignore the scheduler seed).
   const std::uint64_t sched_seed = seeds.next_u64();
   std::unique_ptr<sim::Scheduler> sched;
-  if (e.replay) {
+  if (e.choices != nullptr) {
+    // A live source owns the scheduler decisions too (model checking);
+    // picks route through the recorder, which forwards them unrecorded
+    // because the engine logs its own picks.
+    sched = std::make_unique<mc::SourceScheduler>(choices.recorder);
+  } else if (e.replay) {
     sched = std::make_unique<sim::ReplayScheduler>(*e.replay);
   } else if (e.scheduler == SchedulerKind::kRandom) {
     sched = std::make_unique<sim::RandomScheduler>(sched_seed);
@@ -181,7 +209,7 @@ AsyncOutcome run_async_experiment(const AsyncExperiment& e) {
   for (std::size_t id = 0; id < e.prm.n; ++id) {
     if (is_byzantine(e.byzantine_ids, id)) {
       engine.add(make_async_byzantine(e.strategy, e.prm, id, e.d,
-                                      seeds.next_u64()));
+                                      seeds.next_u64(), &choices.recorder));
     } else {
       engine.add(std::make_unique<consensus::AsyncAveragingProcess>(
           e.prm, id, e.honest_inputs.at(next_input++)));
@@ -221,12 +249,15 @@ namespace {
 class RbcPeerProcess final : public sim::AsyncProcess {
  public:
   RbcPeerProcess(std::size_t n, std::size_t f, sim::ProcessId self, Vec input,
-                 const protocols::BrachaRbc::Quorums& quorums)
-      : rbc_(n, f, self), input_(std::move(input)) {
+                 const protocols::BrachaRbc::Quorums& quorums,
+                 bool broadcast = true)
+      : rbc_(n, f, self), input_(std::move(input)), broadcast_(broadcast) {
     rbc_.override_quorums(quorums);
   }
 
-  void init(sim::Outbox& out) override { rbc_.broadcast(0, input_, out); }
+  void init(sim::Outbox& out) override {
+    if (broadcast_) rbc_.broadcast(0, input_, out);
+  }
   void on_message(const sim::Message& m, sim::Outbox& out) override {
     for (auto& d : rbc_.on_message(m, out)) {
       deliveries_.push_back(std::move(d));
@@ -241,6 +272,7 @@ class RbcPeerProcess final : public sim::AsyncProcess {
  private:
   protocols::BrachaRbc rbc_;
   Vec input_;
+  bool broadcast_;
   std::vector<protocols::BrachaRbc::Delivery> deliveries_;
 };
 
@@ -259,11 +291,14 @@ RbcOutcome run_rbc_experiment(const RbcExperiment& e) {
   const std::size_t d = e.honest_inputs.front().size();
 
   Rng seeds(e.seed);
+  ChoiceStack choices(e.choices, e.replay, e.record);
   // Same seed-derivation order as run_async_experiment, so schedules and
   // Byzantine randomness replay identically.
   const std::uint64_t sched_seed = seeds.next_u64();
   std::unique_ptr<sim::Scheduler> sched;
-  if (e.replay) {
+  if (e.choices != nullptr) {
+    sched = std::make_unique<mc::SourceScheduler>(choices.recorder);
+  } else if (e.replay) {
     sched = std::make_unique<sim::ReplayScheduler>(*e.replay);
   } else if (e.scheduler == SchedulerKind::kRandom) {
     sched = std::make_unique<sim::RandomScheduler>(sched_seed);
@@ -307,10 +342,23 @@ RbcOutcome run_rbc_experiment(const RbcExperiment& e) {
                   protocols::BrachaRbc::Quorums{}),
               /*max_deliveries=*/10));
           break;
+        case AsyncStrategy::kChoiceEquivocate:
+          engine.add(std::make_unique<ChoiceEquivocatingAsyncProcess>(
+              e.n, id, scale(10.0, rng.normal_vec(d)),
+              scale(-10.0, rng.normal_vec(d)), &choices.recorder));
+          break;
       }
     } else {
+      const bool broadcast_all =
+          e.broadcasters.size() == 1 &&
+          e.broadcasters.front() == RbcExperiment::kBroadcastAll;
+      const bool broadcasts =
+          broadcast_all || std::find(e.broadcasters.begin(),
+                                     e.broadcasters.end(),
+                                     id) != e.broadcasters.end();
       engine.add(std::make_unique<RbcPeerProcess>(
-          e.n, e.f, id, e.honest_inputs.at(next_input++), e.quorums));
+          e.n, e.f, id, e.honest_inputs.at(next_input++), e.quorums,
+          broadcasts));
       correct_ids.push_back(id);
     }
   }
@@ -348,6 +396,7 @@ BroadcastOutcome run_broadcast_experiment(const BroadcastExperiment& e) {
     engine.set_schedule_log(e.record);
   }
   Rng seeds(e.seed);
+  ChoiceStack choices(e.choices, e.replay, e.record);
   sim::SignatureAuthority authority(seeds.next_u64());
   const protocols::DecisionFn resolve_only =
       make_decision(SyncRule::kFirstResolved, e.f);
@@ -357,7 +406,7 @@ BroadcastOutcome run_broadcast_experiment(const BroadcastExperiment& e) {
     if (is_byzantine(e.byzantine_ids, id)) {
       engine.add(make_ds_byzantine(e.strategy, e.n, e.f, id, d,
                                    seeds.next_u64(), authority.signer_for(id),
-                                   &authority));
+                                   &authority, &choices.recorder));
     } else {
       auto p = std::make_unique<protocols::DolevStrongProcess>(
           e.n, e.f, id, e.honest_inputs.at(next_input++), zeros(d),

@@ -55,10 +55,18 @@ struct SyncExperiment {
   // the correct processes, exposing them to forged-chain relays.
   bool validate_chains = true;
   std::uint64_t seed = 1;
-  // Record/replay hooks (sync runs are deterministic given the config, so
-  // the recorded log doubles as a divergence checkpoint for re-runs).
-  sim::ScheduleLog* record = nullptr;  // when set, round checkpoints land here
-  bool capture_trace = false;          // when set, the outcome carries a Trace
+  // Record/replay hooks (sync runs are deterministic given the config and
+  // the adversary's choices, so the recorded log doubles as a divergence
+  // checkpoint for re-runs). `record` captures round checkpoints (kRound)
+  // and adversary choices (kChoice); `replay` re-executes the kChoice
+  // subsequence of a recorded log through a mc::ChoiceReplayer.
+  sim::ScheduleLog* record = nullptr;
+  const sim::ScheduleLog* replay = nullptr;
+  // Live decision source for choice-driven strategies (model checking).
+  // Takes precedence over `replay`; null falls back to replay, then to
+  // "always the first option".
+  mc::ChoiceSource* choices = nullptr;
+  bool capture_trace = false;  // when set, the outcome carries a Trace
 };
 
 struct SyncOutcome {
@@ -94,6 +102,11 @@ struct AsyncExperiment {
   // e.g. to re-record the effective schedule of a shrunk replay.
   sim::ScheduleLog* record = nullptr;
   const sim::ScheduleLog* replay = nullptr;
+  // Live decision source: when set it drives BOTH scheduler picks and the
+  // adversary's choices (model checking); it takes precedence over
+  // `replay` and the `scheduler` kind. Null falls back to replay for
+  // choices, then to "always the first option".
+  mc::ChoiceSource* choices = nullptr;
   bool capture_trace = false;  // when set, the outcome carries a Trace
 };
 
@@ -116,20 +129,31 @@ AsyncOutcome run_async_experiment(const AsyncExperiment& e);
 // ---------------------------------------------------------------------------
 
 struct RbcExperiment {
+  /// Sentinel for `broadcasters`: every correct process broadcasts.
+  static constexpr std::size_t kBroadcastAll = static_cast<std::size_t>(-1);
+
   std::size_t n = 0;
   std::size_t f = 0;
   std::vector<Vec> honest_inputs;          // broadcast value per correct id
   std::vector<std::size_t> byzantine_ids;  // actual faulty ids (size <= f)
   AsyncStrategy strategy = AsyncStrategy::kSilent;
   SchedulerKind scheduler = SchedulerKind::kRandom;
+  // Which correct ids broadcast their input as instance 0. The default
+  // ({kBroadcastAll}) keeps the historical "everyone broadcasts" behavior;
+  // an explicit list (possibly empty) restricts the senders, which bounds
+  // the state space for exhaustive exploration. Non-broadcasting correct
+  // processes still participate in every RBC instance (echo/ready relay).
+  std::vector<std::size_t> broadcasters{kBroadcastAll};
   // Fault injection (test-only): vote-threshold overrides for the correct
   // processes' RBC instances (0 = protocol value).
   protocols::BrachaRbc::Quorums quorums;
   std::uint64_t seed = 1;
   std::size_t max_events = 500'000;
-  // Record/replay hooks, as for AsyncExperiment.
+  // Record/replay hooks, as for AsyncExperiment; `choices` likewise drives
+  // both scheduler picks and adversary choices when set.
   sim::ScheduleLog* record = nullptr;
   const sim::ScheduleLog* replay = nullptr;
+  mc::ChoiceSource* choices = nullptr;
   bool capture_trace = false;
 };
 
@@ -162,8 +186,12 @@ struct BroadcastExperiment {
   // processes (see protocols::DolevStrongProcess::set_validate_chains).
   bool validate_chains = true;
   std::uint64_t seed = 1;
-  // Record/replay hooks (deterministic run; round checkpoints).
+  // Record/replay hooks, as for SyncExperiment: kRound checkpoints plus
+  // kChoice adversary decisions in `record`; `replay`/`choices` drive the
+  // choice-based strategies.
   sim::ScheduleLog* record = nullptr;
+  const sim::ScheduleLog* replay = nullptr;
+  mc::ChoiceSource* choices = nullptr;
   bool capture_trace = false;
 };
 

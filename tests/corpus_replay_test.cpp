@@ -1,0 +1,117 @@
+// Replays every checked-in repro under tests/corpus/ (ctest label: mc) and
+// asserts the recorded verdict reproduces byte-for-byte. The corpus is the
+// regression net for the whole record/shrink/replay pipeline: each file is
+// a minimized counterexample some earlier planted-bug suite produced, and
+// a parser or engine change that silently alters replay semantics fails
+// here even if the unit tests still pass. Files are plain schema-v3 text;
+// add new ones by copying a harness-written rbvc_repro_*.txt into the
+// directory (the recorded `failure` line is the expected verdict).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/exhaustive.h"
+#include "harness/property.h"
+#include "harness/repro.h"
+
+#ifndef RBVC_CORPUS_DIR
+#error "RBVC_CORPUS_DIR must point at tests/corpus (set in CMakeLists.txt)"
+#endif
+
+namespace rbvc {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RBVC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".txt") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The corpus stores experiments and schedules but not oracles (closures do
+// not serialize), so the property name recorded in each file selects the
+// oracle its suite used when the counterexample was found.
+std::string replay_verdict(const std::string& path) {
+  const auto info = harness::peek_repro_file(path);
+  switch (info.mode) {
+    case harness::ReproMode::kSync: {
+      const auto rep = harness::SyncRunner::load(path);
+      return harness::SyncRunner::replay(
+          rep, harness::sync_decide_agree_valid_oracle(1e-9, 1.0));
+    }
+    case harness::ReproMode::kRbc: {
+      const auto rep = harness::RbcRunner::load(path);
+      return harness::RbcRunner::replay(rep, harness::rbc_safety_oracle());
+    }
+    case harness::ReproMode::kDs: {
+      const auto rep = harness::DsRunner::load(path);
+      return harness::DsRunner::replay(
+          rep, harness::broadcast_agreement_oracle());
+    }
+    case harness::ReproMode::kAsync: {
+      const auto rep = harness::load_async_repro(path);
+      const auto out = harness::replay_async_repro(rep);
+      return harness::decide_agree_valid_oracle(0.5, 1.0)(rep.experiment,
+                                                          out);
+    }
+  }
+  ADD_FAILURE() << "unhandled repro mode in " << path;
+  return {};
+}
+
+TEST(CorpusReplayTest, CorpusIsPresent) {
+  // At least the three seeded counterexamples (sync infeasibility, rbc
+  // equivocation, async quorum bug); growing the corpus is encouraged.
+  EXPECT_GE(corpus_files().size(), 3u);
+}
+
+TEST(CorpusReplayTest, EveryCorpusFileReproducesItsRecordedVerdict) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const auto info = harness::peek_repro_file(path);
+    EXPECT_EQ(info.version, harness::kReproVersion);
+
+    // The recorded verdict: the `failure` line the harness wrote when it
+    // minimized this schedule.
+    std::string recorded;
+    switch (info.mode) {
+      case harness::ReproMode::kSync:
+        recorded = harness::SyncRunner::load(path).failure;
+        break;
+      case harness::ReproMode::kRbc:
+        recorded = harness::RbcRunner::load(path).failure;
+        break;
+      case harness::ReproMode::kDs:
+        recorded = harness::DsRunner::load(path).failure;
+        break;
+      case harness::ReproMode::kAsync:
+        recorded = harness::load_async_repro(path).failure;
+        break;
+    }
+    ASSERT_FALSE(recorded.empty());
+
+    // Replay must fail, with exactly the recorded message: replays are
+    // deterministic, so any drift is a semantic change, not noise.
+    EXPECT_EQ(replay_verdict(path), recorded);
+  }
+}
+
+TEST(CorpusReplayTest, ReplayIsStableAcrossRepeats) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    EXPECT_EQ(replay_verdict(path), replay_verdict(path));
+  }
+}
+
+}  // namespace
+}  // namespace rbvc

@@ -5,13 +5,16 @@
 // results. See docs/HARNESS.md.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "harness/exhaustive.h"
 #include "harness/property.h"
 #include "workload/generators.h"
 
@@ -136,6 +139,81 @@ TEST_F(ParallelDeterminismTest, SameFailureAndByteIdenticalReproAcrossJobs) {
   // Byte-identical repro files (schedule, trace dump, metrics snapshot).
   EXPECT_NE(parallel.repro_path, serial.repro_path);
   EXPECT_EQ(slurp(parallel.repro_path), slurp(serial.repro_path));
+}
+
+TEST_F(ParallelDeterminismTest, JobsBeyondHardwareConcurrencyStayExact) {
+  // Oversubscription must not bend the contract: a width far above
+  // hardware_concurrency still reports the same lowest episode and writes
+  // the same bytes as the serial run.
+  const std::string dir1 = ::testing::TempDir() + "/jobs1_over";
+  const std::string dir64 = ::testing::TempDir() + "/jobs64_over";
+  std::filesystem::create_directories(dir1);
+  std::filesystem::create_directories(dir64);
+
+  ::setenv("RBVC_JOBS", "1", 1);
+  const auto serial = harness::check_async_property(planted_property(dir1));
+  ASSERT_FALSE(serial.passed) << harness::describe(serial);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::string wide = std::to_string(std::max(64u, 2 * hw));
+  ::setenv("RBVC_JOBS", wide.c_str(), 1);
+  const auto over = harness::check_async_property(planted_property(dir64));
+  ASSERT_FALSE(over.passed) << harness::describe(over);
+
+  EXPECT_EQ(over.failing_episode, serial.failing_episode);
+  EXPECT_EQ(over.failure, serial.failure);
+  EXPECT_EQ(slurp(over.repro_path), slurp(serial.repro_path));
+}
+
+/// The exhaustive-exploration counterexample path (PR 7): the planted RBC
+/// equivocation from the mc boundary suite, checked at frontier width 1
+/// and 16. The witness DFS finds, the minimized schedule, and the repro
+/// file bytes must all be identical.
+harness::ExhaustiveProperty<harness::RbcRunner> planted_mc_property(
+    const std::string& repro_dir, std::size_t jobs) {
+  harness::ExhaustiveProperty<harness::RbcRunner> prop;
+  prop.name = "parallel_determinism_mc_planted";
+  workload::RbcExperiment e;
+  e.n = 4;
+  e.f = 1;
+  e.byzantine_ids = {3};
+  e.strategy = workload::AsyncStrategy::kEquivocate;
+  e.honest_inputs = {Vec{1.0}, Vec{2.0}, Vec{3.0}};
+  e.broadcasters = {};
+  e.quorums = {1, 1, 1};
+  e.max_events = 6;
+  e.seed = 5;
+  prop.experiment = e;
+  prop.oracle = harness::rbc_safety_oracle();
+  prop.judge_truncated = true;  // safety clauses are prefix-sound
+  prop.options.jobs = jobs;
+  prop.repro_dir = repro_dir;
+  return prop;
+}
+
+TEST_F(ParallelDeterminismTest, McCounterexampleIsByteIdenticalAcrossJobs) {
+  const std::string dir1 = ::testing::TempDir() + "/mc_jobs1";
+  const std::string dir16 = ::testing::TempDir() + "/mc_jobs16";
+  std::filesystem::create_directories(dir1);
+  std::filesystem::create_directories(dir16);
+
+  const auto serial =
+      harness::check_property_exhaustive(planted_mc_property(dir1, 1));
+  ASSERT_FALSE(serial.passed);
+  ASSERT_FALSE(serial.repro_path.empty());
+
+  const auto wide =
+      harness::check_property_exhaustive(planted_mc_property(dir16, 16));
+  ASSERT_FALSE(wide.passed);
+  ASSERT_FALSE(wide.repro_path.empty());
+
+  // Same violation, same witness length, same minimized schedule.
+  EXPECT_EQ(wide.failure, serial.failure);
+  EXPECT_EQ(wide.original_len, serial.original_len);
+  EXPECT_EQ(wide.shrunk_len, serial.shrunk_len);
+  // And the files agree byte for byte (schedule, trace, metrics snapshot).
+  EXPECT_NE(wide.repro_path, serial.repro_path);
+  EXPECT_EQ(slurp(wide.repro_path), slurp(serial.repro_path));
 }
 
 TEST_F(ParallelDeterminismTest, HealthyPropertyPassesAtAnyWidth) {

@@ -216,6 +216,142 @@ TEST(ReproRoundtripTest, ModeMismatchIsRejected) {
   EXPECT_THROW(harness::parse_async_repro(text), invalid_argument);
 }
 
+// Captures the message of whatever `fn` throws ("" if it does not throw),
+// so the negative-path tests can assert the error is actionable, not just
+// that *something* went wrong.
+template <class Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& ex) {
+    return ex.what();
+  }
+  return {};
+}
+
+TEST(ReproRoundtripTest, TruncatedFilesFailWithLineLevelErrors) {
+  // Cut before the header: empty input.
+  EXPECT_NE(thrown_message([] { harness::parse_sync_repro(""); })
+                .find("empty input"),
+            std::string::npos);
+  // Cut after the header: the mode tag is gone.
+  EXPECT_NE(thrown_message([] {
+              harness::parse_sync_repro("rbvc-repro v3\n");
+            }).find("missing its `mode` line"),
+            std::string::npos);
+  // Cut after the envelope prologue: the experiment block (n first) is
+  // gone, and the parser must say which field, not replay a zero-process
+  // experiment.
+  for (const char* text : {"rbvc-repro v3\nmode sync\n",
+                           "rbvc-repro v3\nmode sync\nproperty cut\n"}) {
+    EXPECT_NE(thrown_message([text] { harness::parse_sync_repro(text); })
+                  .find("missing n"),
+              std::string::npos)
+        << text;
+  }
+  // Same contract on the other mode-specific parsers.
+  EXPECT_NE(thrown_message([] {
+              harness::parse_rbc_repro("rbvc-repro v3\nmode rbc\n");
+            }).find("missing n"),
+            std::string::npos);
+  EXPECT_NE(thrown_message([] {
+              harness::parse_ds_repro("rbvc-repro v3\nmode ds\n");
+            }).find("missing n"),
+            std::string::npos);
+}
+
+TEST(ReproRoundtripTest, CorruptMetricsSnapshotsAreRejectedAtLoad) {
+  harness::SyncRepro rep;
+  rep.property = "bad_metrics";
+  rep.experiment.n = 4;
+  rep.experiment.rule = workload::SyncRule::kAlgoRelaxed;
+
+  // Not JSON at all.
+  rep.metrics_json = "definitely not json";
+  const std::string garbled = harness::serialize_repro(rep);
+  EXPECT_THROW(harness::parse_sync_repro(garbled), invalid_argument);
+  EXPECT_NE(thrown_message([&] { harness::parse_sync_repro(garbled); })
+                .find("bad metrics line"),
+            std::string::npos);
+
+  // Well-formed JSON, unknown structural key: the registry schema is
+  // strict, so a snapshot this build cannot interpret is an error, not a
+  // silent drop.
+  rep.metrics_json =
+      R"({"version": 1, "tallies": {}, "gauges": {}, "histograms": {}})";
+  EXPECT_NE(thrown_message([&] {
+              harness::parse_sync_repro(harness::serialize_repro(rep));
+            }).find("bad metrics line"),
+            std::string::npos);
+
+  // Unknown snapshot *version*: same.
+  rep.metrics_json =
+      R"({"version": 99, "counters": {}, "gauges": {}, "histograms": {}})";
+  EXPECT_NE(thrown_message([&] {
+              harness::parse_sync_repro(harness::serialize_repro(rep));
+            }).find("bad metrics line"),
+            std::string::npos);
+}
+
+TEST(ReproRoundtripTest, UnknownMetricNamesAreForwardCompatible) {
+  // Metric *names* are open-ended (a newer build may export counters this
+  // one has never heard of); only the structural schema is strict.
+  obs::Registry reg;
+  reg.counter("mc.shiny.future_counter").inc(3);
+  reg.gauge("exotic.subsystem.level").set(-1.5);
+
+  harness::SyncRepro rep;
+  rep.property = "future_metrics";
+  rep.experiment.n = 4;
+  rep.experiment.rule = workload::SyncRule::kAlgoRelaxed;
+  rep.metrics_json = reg.dump_json();
+  const auto parsed = harness::parse_sync_repro(harness::serialize_repro(rep));
+  EXPECT_EQ(parsed.metrics_json, rep.metrics_json);
+}
+
+TEST(ReproRoundtripTest, ModeMismatchErrorNamesBothModes) {
+  harness::RbcRepro rbc;
+  rbc.property = "x";
+  rbc.experiment.n = 4;
+  const std::string text = harness::serialize_repro(rbc);
+  const std::string msg =
+      thrown_message([&] { harness::parse_sync_repro(text); });
+  EXPECT_NE(msg.find("file mode is `rbc`"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expects `sync`"), std::string::npos) << msg;
+}
+
+TEST(ReproRoundtripTest, RbcBroadcastersRoundTrip) {
+  harness::RbcRepro rep;
+  rep.property = "bcast";
+  rep.experiment.n = 4;
+  rep.experiment.f = 1;
+  rep.experiment.honest_inputs = {{1.0}, {2.0}, {3.0}};
+  rep.experiment.byzantine_ids = {3};
+
+  // Default "everyone broadcasts" sentinel: omitted from the file (so
+  // pre-existing repro files round-trip byte-for-byte), restored on load.
+  std::string text = harness::serialize_repro(rep);
+  EXPECT_EQ(text.find("broadcasters"), std::string::npos);
+  EXPECT_EQ(harness::parse_rbc_repro(text).experiment.broadcasters,
+            rep.experiment.broadcasters);
+
+  // An explicit subset is written and read back verbatim.
+  rep.experiment.broadcasters = {0, 2};
+  text = harness::serialize_repro(rep);
+  EXPECT_NE(text.find("broadcasters 0 2"), std::string::npos);
+  EXPECT_EQ(harness::parse_rbc_repro(text).experiment.broadcasters,
+            (std::vector<std::size_t>{0, 2}));
+
+  // The explicit empty set ("only the adversary broadcasts", the planted
+  // mc instance) serializes as a bare line and parses back to empty --
+  // it must NOT collapse into the everyone-broadcasts sentinel.
+  rep.experiment.broadcasters = {};
+  text = harness::serialize_repro(rep);
+  EXPECT_NE(text.find("\nbroadcasters\n"), std::string::npos);
+  EXPECT_EQ(harness::parse_rbc_repro(text).experiment.broadcasters,
+            (std::vector<std::size_t>{}));
+}
+
 TEST(ReproRoundtripTest, CustomDecisionClosuresCannotSerialize) {
   harness::SyncRepro rep;
   rep.experiment.n = 4;

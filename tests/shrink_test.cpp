@@ -35,6 +35,91 @@ TEST(ShrinkTest, SyntheticPredicateShrinksToTheFailingCore) {
   EXPECT_GT(stats.accepted, 0u);
 }
 
+TEST(ShrinkTest, EmptyScheduleReturnsWithoutRunningThePredicate) {
+  sim::ScheduleLog empty;
+  std::size_t calls = 0;
+  harness::ShrinkStats stats;
+  const auto out = harness::shrink_schedule(
+      empty,
+      [&calls](const sim::ScheduleLog&) {
+        ++calls;
+        return true;
+      },
+      5000, &stats);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(calls, 0u);  // nothing to edit, so nothing to verify
+  EXPECT_EQ(stats.attempts, 0u);
+  EXPECT_EQ(stats.original_size, 0u);
+  EXPECT_EQ(stats.final_size, 0u);
+}
+
+TEST(ShrinkTest, FallbackEquivalentTailIsTrimmedForFree) {
+  // A log of nothing but value-0 picks and choices replays exactly like an
+  // empty log (FIFO / first-option fallbacks), so the shrinker must trim
+  // it without invoking the predicate at all.
+  sim::ScheduleLog log;
+  for (std::size_t i = 0; i < 6; ++i) {
+    log.add_pick(0);
+    log.add_choice(0);
+  }
+  std::size_t calls = 0;
+  const auto out = harness::shrink_schedule(
+      log,
+      [&calls](const sim::ScheduleLog&) {
+        ++calls;
+        return true;
+      },
+      5000, nullptr);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(ShrinkTest, AlreadyMinimalInputComesBackUnchanged) {
+  // One nonzero pick is the smallest schedule this predicate accepts: the
+  // shrinker must hand it back intact, spending only the unavoidable
+  // probes (each of which the predicate rejects).
+  sim::ScheduleLog minimal;
+  minimal.add_pick(5);
+  const auto has_five = [](const sim::ScheduleLog& l) {
+    for (const sim::ScheduleEntry& e : l.entries()) {
+      if (e.kind == sim::ScheduleEntryKind::kPick && e.value == 5) {
+        return true;
+      }
+    }
+    return false;
+  };
+  harness::ShrinkStats stats;
+  const auto out = harness::shrink_schedule(minimal, has_five, 5000, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.entries()[0].value, 5u);
+  EXPECT_EQ(stats.accepted, 0u);  // no candidate ever improved on it
+  EXPECT_EQ(stats.final_size, 1u);
+  // One deletion probe and one canonicalization probe per pass; the pass
+  // loop ends after the first unchanged pass.
+  EXPECT_LE(stats.attempts, 4u);
+}
+
+TEST(ShrinkTest, ChoiceEntriesShrinkLikePicks) {
+  // kChoice entries participate in deletion, canonicalization (toward the
+  // first option), and free trailing trims, exactly like picks.
+  sim::ScheduleLog log;
+  for (std::size_t i = 0; i < 20; ++i) log.add_choice(1 + i % 3);
+  const auto has_two = [](const sim::ScheduleLog& l) {
+    for (const sim::ScheduleEntry& e : l.entries()) {
+      if (e.kind == sim::ScheduleEntryKind::kChoice && e.value == 2) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_two(log));
+  harness::ShrinkStats stats;
+  const auto small = harness::shrink_schedule(log, has_two, 5000, &stats);
+  EXPECT_TRUE(has_two(small));
+  EXPECT_EQ(small.size(), 1u);
+  EXPECT_EQ(small.entries()[0].kind, sim::ScheduleEntryKind::kChoice);
+}
+
 TEST(ShrinkTest, ShrinkRespectsTheAttemptBudget) {
   sim::ScheduleLog log;
   for (std::size_t i = 0; i < 40; ++i) log.add_pick(i);
