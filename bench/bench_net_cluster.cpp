@@ -1,0 +1,156 @@
+// E17 -- Cluster throughput: decided-instances/s and decision latency
+// (p50/p99) for a 4-node consensus cluster under pipelined client load,
+// over loopback TCP (real sockets + wire codec) and over the in-process
+// LocalBus (upper bound: transport cost only). The table quantifies what
+// the network layer costs relative to the protocol itself; the metrics
+// gauges land in BENCH_e2e.json for trajectory diffing.
+#include "bench_util.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/load.h"
+#include "net/local_bus.h"
+#include "net/node.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+using namespace rbvc;
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kFaults = 1;
+
+net::ConsensusNode::Params node_params() {
+  net::ConsensusNode::Params p;
+  p.prm.n = kNodes;
+  p.prm.f = kFaults;
+  p.prm.rounds = 2;
+  return p;
+}
+
+/// Runs the node fleet on real threads while `body(client)` drives load.
+template <class Body>
+void with_fleet(std::vector<net::Transport*> endpoints, Body body) {
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<net::ConsensusNode>> nodes;
+  std::vector<std::thread> threads;
+  for (std::size_t id = 0; id < kNodes; ++id) {
+    nodes.push_back(
+        std::make_unique<net::ConsensusNode>(node_params(), *endpoints[id]));
+    threads.emplace_back([node = nodes.back().get(), &stop] {
+      node->serve(stop);
+    });
+  }
+  net::ClusterClient client(*endpoints[kNodes], kNodes);
+  body(client);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+}
+
+net::LoadResult run_tcp_load(const net::LoadOptions& opt) {
+  auto cluster = net::TcpTransport::make_local_cluster(kNodes + 1);
+  for (std::size_t id = 0; id < kNodes; ++id) {
+    cluster[id]->wait_connected(kNodes - 1, 10000);
+  }
+  std::vector<net::Transport*> eps;
+  for (auto& t : cluster) eps.push_back(t.get());
+  net::LoadResult res;
+  with_fleet(eps, [&](net::ClusterClient& c) { res = run_pipelined_load(c, opt); });
+  for (auto& t : cluster) t->close();
+  return res;
+}
+
+net::LoadResult run_bus_load(const net::LoadOptions& opt) {
+  net::LocalBus bus(kNodes + 1);
+  std::vector<net::Transport*> eps;
+  for (std::size_t id = 0; id <= kNodes; ++id) eps.push_back(&bus.endpoint(id));
+  net::LoadResult res;
+  with_fleet(eps, [&](net::ClusterClient& c) { res = run_pipelined_load(c, opt); });
+  return res;
+}
+
+void report() {
+  std::printf("E17: 4-node cluster, pipelined consensus instance stream\n");
+
+  net::LoadOptions opt;
+  opt.nodes = kNodes;
+  opt.instances = 40;
+  opt.window = 8;
+  opt.quorum = kNodes - kFaults;
+  opt.dim = 2;
+  opt.seed = 17;
+  opt.decision_timeout_ms = 60000;
+
+  rbvc::bench::Table t({"transport", "instances", "window", "decided",
+                        "decided/s", "p50 ms", "p99 ms"});
+  obs::Registry& reg = obs::global();
+
+  const auto tcp = run_tcp_load(opt);
+  t.add_row({"tcp-loopback", std::to_string(opt.instances),
+             std::to_string(opt.window), std::to_string(tcp.decided),
+             rbvc::bench::Table::num(tcp.throughput_per_s()),
+             rbvc::bench::Table::num(tcp.latency_percentile(0.50)),
+             rbvc::bench::Table::num(tcp.latency_percentile(0.99))});
+  reg.counter("net.bench.tcp_instances_decided")
+      .inc(static_cast<std::uint64_t>(tcp.decided));
+  reg.gauge("net.bench.tcp_throughput_per_s").set(tcp.throughput_per_s());
+  reg.gauge("net.bench.tcp_p50_ms").set(tcp.latency_percentile(0.50));
+  reg.gauge("net.bench.tcp_p99_ms").set(tcp.latency_percentile(0.99));
+
+  const auto bus = run_bus_load(opt);
+  t.add_row({"localbus", std::to_string(opt.instances),
+             std::to_string(opt.window), std::to_string(bus.decided),
+             rbvc::bench::Table::num(bus.throughput_per_s()),
+             rbvc::bench::Table::num(bus.latency_percentile(0.50)),
+             rbvc::bench::Table::num(bus.latency_percentile(0.99))});
+  reg.counter("net.bench.localbus_instances_decided")
+      .inc(static_cast<std::uint64_t>(bus.decided));
+  reg.gauge("net.bench.localbus_throughput_per_s").set(bus.throughput_per_s());
+  reg.gauge("net.bench.localbus_p50_ms").set(bus.latency_percentile(0.50));
+  reg.gauge("net.bench.localbus_p99_ms").set(bus.latency_percentile(0.99));
+
+  t.print("pipelined decided-instance throughput and latency");
+}
+
+// Timed iterations: one full propose -> quorum-decided cycle per iteration
+// over the LocalBus (protocol + runtime cost, no sockets).
+void BM_LocalBusDecideInstance(benchmark::State& state) {
+  net::LocalBus busnet(kNodes + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<net::ConsensusNode>> nodes;
+  std::vector<std::thread> threads;
+  for (std::size_t id = 0; id < kNodes; ++id) {
+    nodes.push_back(std::make_unique<net::ConsensusNode>(
+        node_params(), busnet.endpoint(id)));
+    threads.emplace_back(
+        [node = nodes.back().get(), &stop] { node->serve(stop); });
+  }
+  net::ClusterClient client(busnet.endpoint(kNodes), kNodes);
+  const std::vector<Vec> inputs{
+      {0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  int instance = 0;
+  for (auto _ : state) {
+    client.propose(instance, inputs);
+    std::size_t ok = 0;
+    while (ok < kNodes - kFaults) {
+      auto ev = client.next_decision(60000);
+      if (!ev) {
+        state.SkipWithError("cluster stalled");
+        break;
+      }
+      if (ev->instance == instance && ev->ok) ++ok;
+    }
+    ++instance;
+  }
+  state.SetItemsProcessed(state.iterations());
+  stop.store(true);
+  for (auto& t : threads) t.join();
+}
+BENCHMARK(BM_LocalBusDecideInstance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

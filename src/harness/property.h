@@ -169,7 +169,7 @@ using DsProperty = Property<DsRunner>;
 // Stock oracles.
 // ---------------------------------------------------------------------------
 
-/// Deprecated PR-2 name for the async oracle signature.
+/// Shorthand for the async oracle signature.
 using AsyncOracle = Oracle<workload::AsyncExperiment, workload::AsyncOutcome>;
 
 /// The standard async oracle: every correct process decides, decisions are
@@ -312,11 +312,6 @@ PropertyResult check_property(const Property<Runner>& prop) {
   write_repro(path.string(), rep);
   r.repro_path = path.string();
   return r;
-}
-
-/// Deprecated PR-2 name, kept so existing call sites compile unchanged.
-inline PropertyResult check_async_property(const AsyncProperty& prop) {
-  return check_property<AsyncRunner>(prop);
 }
 
 }  // namespace rbvc::harness

@@ -1,0 +1,117 @@
+// Pipelined consensus load driver: the client-side loop shared by
+// rbvc-client and bench_net_cluster. Keeps `window` instances in flight,
+// proposing a fresh instance each time one resolves, and records per-instance
+// decision latency (propose -> quorum-th ok decision).
+//
+// An instance "resolves" when `quorum` ok decisions arrived (decided), when
+// every node reported but the quorum was missed (failed), or when the
+// client went `decision_timeout_ms` without hearing anything (stalled --
+// aborts the run, since a quiet cluster will not wake up on its own).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "net/node.h"
+
+namespace rbvc::net {
+
+struct LoadOptions {
+  std::size_t nodes = 4;
+  std::size_t instances = 100;   // total instances to decide
+  std::size_t window = 8;        // instances kept in flight
+  std::size_t quorum = 3;        // ok decisions that resolve an instance
+  std::size_t dim = 2;           // input vector dimension
+  std::uint64_t seed = 1;
+  int decision_timeout_ms = 30000;
+  double spread = 1.0;           // inputs drawn uniform from [-spread, spread]^d
+};
+
+struct LoadResult {
+  std::size_t decided = 0;       // instances that reached quorum
+  std::size_t failed = 0;        // instances that provably missed quorum
+  bool stalled = false;          // run aborted on a decision timeout
+  double elapsed_ms = 0.0;
+  std::vector<double> latencies_ms;  // one per decided instance
+
+  double throughput_per_s() const {
+    return elapsed_ms > 0 ? static_cast<double>(decided) * 1000.0 / elapsed_ms
+                          : 0.0;
+  }
+  /// q in [0,1]; nearest-rank percentile of the decided-instance latencies.
+  double latency_percentile(double q) const {
+    if (latencies_ms.empty()) return 0.0;
+    std::vector<double> s = latencies_ms;
+    std::sort(s.begin(), s.end());
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(s.size()) - 1,
+                         std::ceil(q * static_cast<double>(s.size())) - 1));
+    return s[std::max<std::size_t>(idx, 0)];
+  }
+};
+
+inline LoadResult run_pipelined_load(ClusterClient& client,
+                                     const LoadOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  struct InFlight {
+    Clock::time_point started;
+    std::size_t ok = 0;
+    std::size_t reports = 0;
+  };
+
+  std::mt19937_64 rng(opt.seed);
+  std::uniform_real_distribution<double> dist(-opt.spread, opt.spread);
+  auto launch = [&](int instance) {
+    std::vector<Vec> inputs(opt.nodes);
+    for (auto& v : inputs) {
+      v.resize(opt.dim);
+      for (auto& x : v) x = dist(rng);
+    }
+    client.propose(instance, inputs);
+    return InFlight{Clock::now(), 0, 0};
+  };
+
+  LoadResult res;
+  std::map<int, InFlight> flying;
+  int next_instance = 0;
+  const auto t0 = Clock::now();
+  const auto since_ms = [](Clock::time_point from) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - from)
+        .count();
+  };
+
+  while (res.decided + res.failed <
+         static_cast<std::size_t>(opt.instances)) {
+    while (flying.size() < opt.window &&
+           static_cast<std::size_t>(next_instance) < opt.instances) {
+      flying.emplace(next_instance, launch(next_instance));
+      ++next_instance;
+    }
+    auto ev = client.next_decision(opt.decision_timeout_ms);
+    if (!ev) {
+      res.stalled = true;
+      break;
+    }
+    auto it = flying.find(ev->instance);
+    if (it == flying.end()) continue;  // late report for a resolved instance
+    ++it->second.reports;
+    if (ev->ok) ++it->second.ok;
+    if (it->second.ok >= opt.quorum) {
+      ++res.decided;
+      res.latencies_ms.push_back(since_ms(it->second.started));
+      flying.erase(it);
+    } else if (it->second.reports >= opt.nodes) {
+      ++res.failed;
+      flying.erase(it);
+    }
+  }
+  res.elapsed_ms = since_ms(t0);
+  return res;
+}
+
+}  // namespace rbvc::net

@@ -1,0 +1,42 @@
+// In-process loopback transport: n endpoints over lock-free MPSC mailboxes
+// (net/mailbox.h), one per process. Sends are a single allocation plus an
+// atomic exchange -- no serialization, no sockets -- so protocol code can
+// be driven from real threads (exec-pool workers or std::thread) at memory
+// speed, sitting between the deterministic sim and the TCP transport.
+//
+// Delivery guarantees: reliable (nothing is dropped until close) and
+// per-sender FIFO; cross-sender order is whatever the consuming thread
+// observes, which makes the bus a genuinely asynchronous network in the
+// paper's sense.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/mailbox.h"
+#include "net/transport.h"
+
+namespace rbvc::net {
+
+class LocalBus {
+ public:
+  explicit LocalBus(std::size_t n);
+  ~LocalBus();
+  LocalBus(const LocalBus&) = delete;
+  LocalBus& operator=(const LocalBus&) = delete;
+
+  std::size_t size() const { return endpoints_.size(); }
+
+  /// Endpoint `id`'s transport. One consumer thread per endpoint; any
+  /// thread may send through any endpoint.
+  Transport& endpoint(ProcessId id);
+
+  /// Closes every mailbox, unblocking all receivers permanently.
+  void close();
+
+ private:
+  class Endpoint;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace rbvc::net

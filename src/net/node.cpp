@@ -1,0 +1,155 @@
+#include "net/node.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rbvc::net {
+
+ConsensusNode::ConsensusNode(Params params, Transport& t)
+    : params_(std::move(params)), t_(t) {
+  RBVC_REQUIRE(params_.prm.n > 0, "ConsensusNode: params.prm.n must be set");
+  RBVC_REQUIRE(t_.self() < params_.prm.n,
+               "ConsensusNode: transport id is not a node id");
+}
+
+bool ConsensusNode::step(int timeout_ms) {
+  if (crashed_) return false;
+  auto m = t_.receive(timeout_ms);
+  if (!m) return false;
+  handle(std::move(*m));
+  return true;
+}
+
+void ConsensusNode::serve(const std::atomic<bool>& stop, int poll_ms) {
+  while (!stop.load(std::memory_order_acquire) && !crashed_ && !t_.closed()) {
+    step(poll_ms);
+  }
+}
+
+void ConsensusNode::handle(Message m) {
+  if (m.kind == "propose") {
+    if (m.meta.size() != 1 || m.payload.empty()) {
+      ++stats_.dropped;
+      return;
+    }
+    start_instance(static_cast<int>(m.meta[0]), m);
+    return;
+  }
+  if (m.kind == "decided" || m.meta.empty()) {
+    ++stats_.dropped;  // not addressed to a node / missing instance tag
+    return;
+  }
+  const int instance = static_cast<int>(m.meta.front());
+  m.meta.erase(m.meta.begin());
+  deliver(instance, m);
+}
+
+void ConsensusNode::start_instance(int instance, const Message& propose) {
+  if (instance < gc_floor_) {
+    ++stats_.dropped;
+    return;
+  }
+  Instance& inst = instances_[instance];
+  inst.client = propose.from;
+  if (inst.proc) return;  // duplicate propose
+  ++stats_.proposed;
+  inst.proc = std::make_unique<consensus::AsyncAveragingProcess>(
+      params_.prm, t_.self(), propose.payload);
+  InstanceOutbox out(t_, instance);
+  inst.proc->init(out);
+  // Replay peers' protocol traffic that outran our propose.
+  std::vector<Message> backlog;
+  backlog.swap(inst.backlog);
+  for (auto& b : backlog) inst.proc->on_message(b, out);
+  report_if_decided(instance);
+}
+
+void ConsensusNode::deliver(int instance, const Message& m) {
+  if (instance < gc_floor_) {
+    ++stats_.dropped;  // straggler for an already-retired instance
+    return;
+  }
+  Instance& inst = instances_[instance];
+  if (!inst.proc) {
+    inst.backlog.push_back(m);
+    return;
+  }
+  if (inst.proc->decided()) return;
+  InstanceOutbox out(t_, instance);
+  inst.proc->on_message(m, out);
+  report_if_decided(instance);
+}
+
+void ConsensusNode::report_if_decided(int instance) {
+  Instance& inst = instances_.at(instance);
+  if (!inst.proc->decided() || inst.reported) return;
+  inst.reported = true;
+  const bool ok = !inst.proc->failed();
+  if (ok) {
+    ++stats_.decided;
+  } else {
+    ++stats_.failed;
+  }
+  obs::global().counter("net.instances_decided").inc();
+  Message reply("decided", {instance, ok ? 1 : 0},
+                ok ? inst.proc->decision() : Vec{});
+  t_.send(inst.client, std::move(reply));
+  if (params_.crash_after_decided != 0 &&
+      stats_.decided + stats_.failed >= params_.crash_after_decided) {
+    crashed_ = true;
+  }
+  gc();
+}
+
+void ConsensusNode::gc() {
+  if (params_.retain_instances == 0) return;
+  while (instances_.size() > params_.retain_instances &&
+         instances_.begin()->second.reported) {
+    gc_floor_ = instances_.begin()->first + 1;
+    instances_.erase(instances_.begin());
+  }
+}
+
+ClusterClient::ClusterClient(Transport& t, std::size_t n) : t_(t), n_(n) {
+  RBVC_REQUIRE(n_ > 0 && n_ < t_.size(),
+               "ClusterClient: cluster must have nodes plus a client slot");
+  RBVC_REQUIRE(t_.self() >= n_, "ClusterClient: client id collides with a node");
+}
+
+void ClusterClient::propose(int instance, const std::vector<Vec>& inputs) {
+  RBVC_REQUIRE(inputs.size() == n_,
+               "ClusterClient::propose: one input per node required");
+  for (ProcessId i = 0; i < n_; ++i) {
+    t_.send(i, Message("propose", {instance}, inputs[i]));
+  }
+}
+
+std::optional<DecisionEvent> ClusterClient::next_decision(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    const int left =
+        timeout_ms <= 0
+            ? 0
+            : static_cast<int>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count());
+    auto m = t_.receive(left > 0 ? left : 0);
+    if (!m) return std::nullopt;
+    if (m->kind == "decided" && m->meta.size() == 2) {
+      DecisionEvent ev;
+      ev.node = m->from;
+      ev.instance = static_cast<int>(m->meta[0]);
+      ev.ok = m->meta[1] != 0;
+      ev.value = std::move(m->payload);
+      return ev;
+    }
+    if (now >= deadline) return std::nullopt;
+  }
+}
+
+}  // namespace rbvc::net

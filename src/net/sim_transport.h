@@ -1,0 +1,39 @@
+// Sim adapter: presents one sim-engine process's per-delivery Outbox as a
+// net::Transport, so protocol code written against the transport boundary
+// runs inside AsyncProcess/SyncProcess callbacks unchanged.
+//
+// The sim engines invert control -- the scheduler picks a pending message
+// and calls the process back -- so this transport is push-only: sends pass
+// straight through to the engine's Outbox (same object, same order, which
+// keeps ScheduleLog record/replay byte-for-byte identical to the
+// pre-transport code path), and receive() always reports "nothing to pull"
+// (deliveries arrive via the engine's callback, the Listener variant of
+// the API).
+#pragma once
+
+#include "net/transport.h"
+
+namespace rbvc::net {
+
+class SimTransport final : public Transport {
+ public:
+  /// Binds the engine-provided outbox for process `self` of an n-process
+  /// simulation. The outbox must outlive this adapter (both normally live
+  /// only for one delivery callback).
+  SimTransport(Outbox& out, ProcessId self, std::size_t n)
+      : out_(&out), self_(self), n_(n) {}
+
+  void send(ProcessId to, Message m) override { out_->send(to, std::move(m)); }
+  std::optional<Message> receive(int /*timeout_ms*/) override {
+    return std::nullopt;  // push-only: the engine delivers via callbacks
+  }
+  ProcessId self() const override { return self_; }
+  std::size_t size() const override { return n_; }
+
+ private:
+  Outbox* out_;
+  ProcessId self_;
+  std::size_t n_;
+};
+
+}  // namespace rbvc::net

@@ -1,0 +1,94 @@
+#include "net/sync_driver.h"
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace rbvc::net {
+namespace {
+
+/// Buffers the round body's sends so they can be round-tagged and pushed
+/// through the transport after the body returns (matching the sync engines,
+/// which also deliver a round's sends only after the round completes).
+struct CollectingOutbox final : Outbox {
+  std::vector<std::pair<ProcessId, Message>> sent;
+  void send(ProcessId to, Message m) override {
+    sent.emplace_back(to, std::move(m));
+  }
+};
+
+}  // namespace
+
+SyncDriverResult run_sync_over_transport(sim::SyncProcess& p, Transport& t,
+                                         SyncDriverOptions opts) {
+  const std::size_t n = t.size();
+  // Protocol messages buffered by send-round tag; eor[r] = endpoints whose
+  // round-r marker arrived.
+  std::map<std::size_t, std::vector<Message>> pending;
+  std::map<std::size_t, std::set<ProcessId>> eor;
+
+  SyncDriverResult res;
+  for (std::size_t r = 0; r < opts.max_rounds && !p.decided(); ++r) {
+    std::vector<Message> inbox;
+    if (r > 0) {
+      auto it = pending.find(r - 1);
+      if (it != pending.end()) {
+        inbox = std::move(it->second);
+        pending.erase(it);
+      }
+    }
+    res.messages += inbox.size();
+
+    CollectingOutbox out;
+    p.round(r, inbox, out);
+    ++res.rounds;
+
+    for (auto& [to, m] : out.sent) {
+      m.meta.insert(m.meta.begin(), static_cast<int>(r));
+      t.send(to, std::move(m));
+    }
+    for (ProcessId q = 0; q < n; ++q) {
+      t.send(q, Message("__eor", {static_cast<int>(r)}));
+    }
+
+    // Barrier: collect EOR(r) from every endpoint (self included -- the
+    // marker loops back through the transport like any other message).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(opts.round_timeout_ms);
+    while (eor[r].size() < n) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        ++res.timeouts;
+        break;
+      }
+      const int left = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count());
+      auto m = t.receive(left > 0 ? left : 1);
+      if (!m) {
+        if (t.closed()) {
+          res.decided = p.decided();
+          return res;
+        }
+        continue;  // re-check the deadline
+      }
+      if (m->meta.empty()) continue;
+      const auto tag = static_cast<std::size_t>(m->meta.front());
+      if (m->kind == "__eor") {
+        if (tag >= r) eor[tag].insert(m->from);
+        continue;
+      }
+      // A message tagged q feeds round q+1; anything older already ran.
+      if (tag < r) continue;
+      m->meta.erase(m->meta.begin());
+      pending[tag].push_back(std::move(*m));
+    }
+    eor.erase(r);
+  }
+  res.decided = p.decided();
+  return res;
+}
+
+}  // namespace rbvc::net

@@ -1,0 +1,48 @@
+// Runs a sim::SyncProcess (DolevStrongProcess, EigConsensusProcess /
+// ALGO's interactive-consistency core) over a real Transport by rebuilding
+// the synchronous round structure with end-of-round barriers.
+//
+// The sync engines give every process lockstep rounds: messages sent in
+// round r are delivered at the start of round r+1. Over an asynchronous
+// transport the driver recovers this by (1) tagging every protocol message
+// with its send round (meta prefix, stripped on receipt), (2) broadcasting
+// an end-of-round marker ("__eor") after the local round body runs, and
+// (3) blocking round r+1 until an EOR(r) arrived from every endpoint or
+// `round_timeout_ms` elapsed -- the synchronizer alpha construction in its
+// simplest form. A crashed peer therefore costs one timeout per round and
+// contributes an empty inbox slot, which is exactly the omission-fault
+// behavior the round-based protocols already tolerate.
+//
+// Messages from peers that already advanced past our round are buffered by
+// their round tag, so fast peers cannot outrun correctness, only the
+// barrier wait.
+#pragma once
+
+#include <cstddef>
+
+#include "net/transport.h"
+#include "sim/sync_engine.h"
+
+namespace rbvc::net {
+
+struct SyncDriverOptions {
+  std::size_t max_rounds = 64;
+  /// How long a round barrier waits for missing end-of-round markers
+  /// before declaring the stragglers faulty for that round.
+  int round_timeout_ms = 2000;
+};
+
+struct SyncDriverResult {
+  std::size_t rounds = 0;      // rounds executed
+  bool decided = false;        // process reached decided()
+  std::size_t timeouts = 0;    // barriers that expired incomplete
+  std::size_t messages = 0;    // protocol messages delivered to the process
+};
+
+/// Drives `p` (bound to transport endpoint `t`, one of n lockstep
+/// participants) until it decides or max_rounds elapse. Every participant
+/// must run this driver concurrently on its own endpoint.
+SyncDriverResult run_sync_over_transport(sim::SyncProcess& p, Transport& t,
+                                         SyncDriverOptions opts = {});
+
+}  // namespace rbvc::net

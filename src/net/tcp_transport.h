@@ -1,0 +1,118 @@
+// TCP socket transport: the wire codec's length-prefixed frames over a
+// full mesh of point-to-point connections.
+//
+// Mesh establishment: every endpoint listens on cluster[self]; the
+// higher-numbered endpoint of each pair dials the lower one and introduces
+// itself with a kHello frame, so each pair has exactly one connection and
+// a restarted dialer re-establishes it (counted as net.reconnects). One
+// reader thread per connection decodes frames into the endpoint's lock-free
+// mailbox; send() writes frames under a per-connection mutex.
+//
+// Failure model: a peer that is down gets its sends dropped (counted as
+// net.send_drops) -- exactly the crash-fault behavior the protocols
+// tolerate for up to f peers. A connection that delivers undecodable bytes
+// (bad magic, unknown version, oversized frame) is dropped, never trusted.
+//
+// Observability (docs/OBSERVABILITY.md): net.frames_sent/_received,
+// net.bytes_sent/_received, net.connects, net.reconnects, net.send_drops,
+// net.wire_errors, net.queue_depth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/mailbox.h"
+#include "net/transport.h"
+
+namespace rbvc::net {
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port[,host:port...]" (the rbvc-node --cluster flag).
+std::vector<HostPort> parse_cluster(const std::string& csv);
+
+struct TcpOptions {
+  int dial_retry_ms = 50;    // sleep between dial sweeps over missing peers
+  int io_buffer_bytes = 64 * 1024;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds and listens on cluster[self], then starts dialing every peer
+  /// with a lower id. Throws on bind failure. Peers with higher ids are
+  /// expected to dial us; use wait_connected() to gate protocol start on
+  /// mesh completion.
+  TcpTransport(ProcessId self, std::vector<HostPort> cluster,
+               TcpOptions opts = {});
+
+  /// Same, but adopts an already-bound-and-listening socket (used by
+  /// make_local_cluster to get kernel-assigned ports race-free).
+  TcpTransport(ProcessId self, std::vector<HostPort> cluster, int listen_fd,
+               TcpOptions opts);
+
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void send(ProcessId to, Message m) override;
+  std::optional<Message> receive(int timeout_ms) override;
+  ProcessId self() const override { return self_; }
+  std::size_t size() const override { return cluster_.size(); }
+  bool closed() const override { return !open_.load(std::memory_order_acquire); }
+
+  /// Blocks until at least `min_peers` connections are live (or timeout /
+  /// close). Returns the live count.
+  std::size_t wait_connected(std::size_t min_peers, int timeout_ms);
+  std::size_t connected() const;
+
+  /// Stops all threads and closes every socket; receive() drains what was
+  /// already delivered, then reports closed.
+  void close();
+
+  /// Builds an n-endpoint loopback cluster on 127.0.0.1 with
+  /// kernel-assigned ports: binds all n listeners first, reads the ports
+  /// back, then starts the transports so no endpoint can miss another.
+  static std::vector<std::unique_ptr<TcpTransport>> make_local_cluster(
+      std::size_t n, TcpOptions opts = {});
+
+ private:
+  struct Conn {
+    std::mutex mu;        // guards fd and writes
+    int fd = -1;
+    std::uint64_t generation = 0;  // bumped per (re)connect
+  };
+
+  void start();
+  void accept_loop();
+  void dial_loop();
+  void reader_loop(int fd, ProcessId peer);
+  /// Registers `fd` as the live connection to `peer` (closing any old one)
+  /// and spawns its reader. `dialed` distinguishes connects from accepts
+  /// for the net.connects/net.reconnects counters.
+  void adopt_connection(ProcessId peer, int fd, bool dialed);
+  void drop_connection(ProcessId peer, int fd);
+  bool write_frame(Conn& c, const std::string& bytes);
+
+  ProcessId self_;
+  std::vector<HostPort> cluster_;
+  TcpOptions opts_;
+  int listen_fd_ = -1;
+  std::atomic<bool> open_{true};
+  Mailbox mailbox_;
+  std::vector<std::unique_ptr<Conn>> conns_;  // index = peer id
+  std::vector<bool> ever_connected_;          // guarded by threads_mu_
+  std::thread acceptor_;
+  std::thread dialer_;
+  std::mutex threads_mu_;  // guards readers_ and ever_connected_
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace rbvc::net

@@ -1,0 +1,183 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rbvc::net::wire {
+
+namespace {
+
+// Little-endian primitive writers/readers. The readers consume from a
+// string_view cursor and throw WireError("wire: truncated body") past the
+// end, so every composite decoder inherits bounds checking.
+
+template <class T>
+void put_uint(std::string& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_bytes(std::string& out, std::string_view s) {
+  put_uint<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Cursor {
+  std::string_view rest;
+
+  template <class T>
+  T take_uint() {
+    if (rest.size() < sizeof(T)) throw WireError("wire: truncated body");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(rest[i])) << (8 * i);
+    }
+    rest.remove_prefix(sizeof(T));
+    return v;
+  }
+
+  std::string take_bytes() {
+    const std::uint32_t len = take_uint<std::uint32_t>();
+    if (len > kMaxBody || rest.size() < len) {
+      throw WireError("wire: truncated body");
+    }
+    std::string s(rest.substr(0, len));
+    rest.remove_prefix(len);
+    return s;
+  }
+
+  /// Element-count field for a sequence whose elements occupy at least
+  /// `elem_size` bytes each; bounded by the remaining bytes so a forged
+  /// count cannot trigger a huge allocation.
+  std::uint32_t take_count(std::size_t elem_size) {
+    const std::uint32_t n = take_uint<std::uint32_t>();
+    if (static_cast<std::size_t>(n) * elem_size > rest.size()) {
+      throw WireError("wire: truncated body");
+    }
+    return n;
+  }
+
+  void expect_done() const {
+    if (!rest.empty()) throw WireError("wire: trailing garbage");
+  }
+};
+
+}  // namespace
+
+std::string encode_message(const sim::Message& m) {
+  std::string out;
+  put_uint<std::uint64_t>(out, m.from);
+  put_uint<std::uint64_t>(out, m.to);
+  put_bytes(out, m.kind);
+  put_uint<std::uint32_t>(out, static_cast<std::uint32_t>(m.meta.size()));
+  for (int v : m.meta) {
+    put_uint<std::uint64_t>(out,
+                            static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  put_uint<std::uint32_t>(out, static_cast<std::uint32_t>(m.payload.size()));
+  for (double v : m.payload) {
+    put_uint<std::uint64_t>(out, std::bit_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+sim::Message decode_message(std::string_view body) {
+  Cursor c{body};
+  sim::Message m;
+  m.from = static_cast<sim::ProcessId>(c.take_uint<std::uint64_t>());
+  m.to = static_cast<sim::ProcessId>(c.take_uint<std::uint64_t>());
+  m.kind = c.take_bytes();
+  const std::uint32_t nmeta = c.take_count(sizeof(std::uint64_t));
+  m.meta.reserve(nmeta);
+  for (std::uint32_t i = 0; i < nmeta; ++i) {
+    const auto raw = static_cast<std::int64_t>(c.take_uint<std::uint64_t>());
+    m.meta.push_back(static_cast<int>(raw));
+  }
+  const std::uint32_t dim = c.take_count(sizeof(std::uint64_t));
+  m.payload.reserve(dim);
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    m.payload.push_back(std::bit_cast<double>(c.take_uint<std::uint64_t>()));
+  }
+  c.expect_done();
+  return m;
+}
+
+std::string encode_trace(const sim::Trace& t) {
+  std::string out;
+  put_uint<std::uint32_t>(out, static_cast<std::uint32_t>(t.events().size()));
+  for (const sim::TraceEvent& e : t.events()) {
+    out.push_back(static_cast<char>(e.type));
+    put_uint<std::uint64_t>(out, e.time);
+    put_uint<std::uint64_t>(out, e.process);
+    put_bytes(out, e.detail);
+  }
+  return out;
+}
+
+sim::Trace decode_trace(std::string_view body) {
+  Cursor c{body};
+  const std::uint32_t n = c.take_count(1 + 2 * sizeof(std::uint64_t) + 4);
+  sim::Trace t;
+  t.set_enabled(true);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto type_raw = c.take_uint<std::uint8_t>();
+    if (type_raw > static_cast<std::uint8_t>(sim::EventType::kNote)) {
+      throw WireError("wire: unknown trace event type");
+    }
+    const auto time = static_cast<std::size_t>(c.take_uint<std::uint64_t>());
+    const auto proc = static_cast<sim::ProcessId>(c.take_uint<std::uint64_t>());
+    t.record(static_cast<sim::EventType>(type_raw), time, proc,
+             c.take_bytes());
+  }
+  c.expect_done();
+  t.set_enabled(false);
+  return t;
+}
+
+std::string frame(FrameType type, std::string_view body) {
+  if (body.size() > kMaxBody) throw WireError("wire: oversized frame");
+  std::string out;
+  out.reserve(kHeaderSize + body.size());
+  put_uint<std::uint32_t>(out, kMagic);
+  put_uint<std::uint16_t>(out, kVersion);
+  put_uint<std::uint16_t>(out, static_cast<std::uint16_t>(type));
+  put_uint<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+  out.append(body);
+  return out;
+}
+
+std::string frame_message(const sim::Message& m) {
+  return frame(FrameType::kMessage, encode_message(m));
+}
+
+std::optional<Frame> try_unframe(std::string& buffer) {
+  if (buffer.size() < kHeaderSize) return std::nullopt;
+  Cursor c{std::string_view(buffer).substr(0, kHeaderSize)};
+  if (c.take_uint<std::uint32_t>() != kMagic) {
+    throw WireError("wire: bad magic");
+  }
+  const std::uint16_t version = c.take_uint<std::uint16_t>();
+  if (version != kVersion) {
+    throw WireError("wire: unknown version " + std::to_string(version));
+  }
+  const std::uint16_t type = c.take_uint<std::uint16_t>();
+  const std::uint32_t len = c.take_uint<std::uint32_t>();
+  if (len > kMaxBody) throw WireError("wire: oversized frame");
+  if (buffer.size() < kHeaderSize + len) return std::nullopt;
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.body = buffer.substr(kHeaderSize, len);
+  buffer.erase(0, kHeaderSize + len);
+  return f;
+}
+
+Frame unframe(std::string_view buffer) {
+  std::string own(buffer);
+  auto f = try_unframe(own);
+  if (!f) throw WireError("wire: truncated frame");
+  if (!own.empty()) throw WireError("wire: trailing garbage");
+  return *f;
+}
+
+}  // namespace rbvc::net::wire

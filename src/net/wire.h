@@ -1,0 +1,92 @@
+// Versioned binary wire codec for Message and Trace, plus the
+// length-prefixed frame format the TCP transport speaks.
+//
+// Frame layout (all integers little-endian):
+//   u32 magic   -- kMagic ("RBVC")
+//   u16 version -- kVersion; decoders reject unknown versions by name
+//   u16 type    -- FrameType discriminator
+//   u32 length  -- body byte count, <= kMaxBody
+//   u8[length]  -- body
+//
+// Message body (canonical field order -- routing then content, content in
+// exactly the order MessageContentLess compares: kind, meta, payload):
+//   u64 from, u64 to,
+//   u32 |kind| + bytes,
+//   u32 |meta| + i64 each,
+//   u32 |payload| + f64 (raw IEEE bits) each.
+//
+// Trace body: u32 event count, then per event u8 type, u64 time,
+// u64 process, u32 |detail| + bytes.
+//
+// encode/decode are an exact fixpoint both ways: decode(encode(x)) == x and
+// encode(decode(b)) == b (decoders reject trailing garbage rather than
+// ignore it, mirroring Trace::parse's hardening), so recorded frames can be
+// diffed byte-for-byte. Malformed input throws WireError whose what() names
+// the defect ("wire: unknown version ...", "wire: truncated frame", ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/message.h"
+#include "sim/trace.h"
+
+namespace rbvc::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x43564252;  // "RBVC" little-endian
+inline constexpr std::uint16_t kVersion = 1;
+/// Frame body ceiling: a forged length field must not make a reader buffer
+/// gigabytes. 16 MiB >> any protocol message (payload dims are small).
+inline constexpr std::uint32_t kMaxBody = 16u << 20;
+inline constexpr std::size_t kHeaderSize = 12;
+
+enum class FrameType : std::uint16_t {
+  kMessage = 1,  // body = encoded Message
+  kTrace = 2,    // body = encoded Trace
+  kHello = 3,    // body = u64 sender id (TCP connection handshake)
+};
+
+/// Decoder/framer error; what() starts with "wire: " and names the defect.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// --- body codecs -----------------------------------------------------------
+
+std::string encode_message(const sim::Message& m);
+/// Inverse of encode_message. Throws WireError on truncated bodies,
+/// oversized counts, or trailing garbage.
+sim::Message decode_message(std::string_view body);
+
+std::string encode_trace(const sim::Trace& t);
+sim::Trace decode_trace(std::string_view body);
+
+// --- framing ---------------------------------------------------------------
+
+/// Wraps a body in a header: magic, version, type, length.
+std::string frame(FrameType type, std::string_view body);
+
+/// Convenience: frame(kMessage, encode_message(m)).
+std::string frame_message(const sim::Message& m);
+
+struct Frame {
+  FrameType type = FrameType::kMessage;
+  std::string body;
+};
+
+/// Incremental deframer for stream transports: if `buffer` starts with a
+/// complete frame, removes and returns it; returns nullopt when more bytes
+/// are needed. Throws WireError on bad magic, unknown version, or an
+/// oversized length field (the connection is then poisoned and must be
+/// dropped).
+std::optional<Frame> try_unframe(std::string& buffer);
+
+/// One-shot exact deframe: the buffer must hold exactly one frame (trailing
+/// garbage throws).
+Frame unframe(std::string_view buffer);
+
+}  // namespace rbvc::net::wire

@@ -45,6 +45,15 @@
 #include "sim/sync_engine.h"
 #include "sim/trace.h"
 
+#include "net/local_bus.h"
+#include "net/mailbox.h"
+#include "net/node.h"
+#include "net/sim_transport.h"
+#include "net/sync_driver.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
 #include "mc/choices.h"
 #include "mc/explorer.h"
 

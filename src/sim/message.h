@@ -1,4 +1,5 @@
-// Message fabric shared by the synchronous and asynchronous engines.
+// Message fabric shared by the simulation engines and the networked
+// transports (net/transport.h).
 //
 // Payloads are deliberately schema-light: a protocol tag, a small vector of
 // integers (instance ids, EIG paths, round numbers, ...) and a numeric
@@ -8,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "linalg/vec.h"
@@ -16,22 +18,52 @@ namespace rbvc::sim {
 
 using ProcessId = std::size_t;
 
+/// One point-to-point message. Field semantics (and the canonical
+/// serialization order of the wire codec, net/wire.h) are:
+///   from    -- sender id, stamped by the channel (never by the sender:
+///              channels are authenticated point-to-point).
+///   to      -- recipient id, stamped by the channel from the send() call.
+///   kind    -- protocol-defined discriminator ("rbc", "witness", "ds",
+///              ...); routing keys on it, protocols ignore foreign kinds.
+///   meta    -- protocol-defined integer metadata (source ids, instance
+///              numbers, phases, EIG paths, signature chains, ...).
+///   payload -- the numeric payload, usually a d-dimensional input vector.
+/// `kind`, `meta`, `payload` together are the message *content*; `from` and
+/// `to` are routing. MessageContentLess and same_content() compare content
+/// only, in exactly the codec's canonical field order.
 struct Message {
   ProcessId from = 0;
   ProcessId to = 0;
-  std::string kind;        // protocol-defined discriminator
-  std::vector<int> meta;   // protocol-defined metadata
-  Vec payload;             // numeric payload (often a d-dimensional input)
+  std::string kind;
+  std::vector<int> meta;
+  Vec payload;
+
+  Message() = default;
+
+  /// Content constructor: routing fields are stamped by the channel on
+  /// send, so callers build messages from content alone. Explicit because
+  /// a bare string is not a message.
+  explicit Message(std::string kind_, std::vector<int> meta_ = {},
+                   Vec payload_ = {})
+      : kind(std::move(kind_)),
+        meta(std::move(meta_)),
+        payload(std::move(payload_)) {}
 
   bool same_content(const Message& o) const {
     return kind == o.kind && meta == o.meta && payload == o.payload;
   }
+
+  bool operator==(const Message& o) const {
+    return from == o.from && to == o.to && same_content(o);
+  }
 };
 
-/// Send-side interface handed to processes. `self` is stamped as sender; a
-/// Byzantine process may stamp content however it likes but cannot spoof the
-/// `from` field (the network is authenticated point-to-point, as the paper
-/// assumes reliable channels between every pair).
+/// Send-side half of a message channel, handed to processes by the sim
+/// engines and implemented by every net::Transport. `self` is stamped as
+/// sender; a Byzantine process may stamp content however it likes but
+/// cannot spoof the `from` field (the network is authenticated
+/// point-to-point, as the paper assumes reliable channels between every
+/// pair of processes).
 class Outbox {
  public:
   virtual ~Outbox() = default;
@@ -44,7 +76,11 @@ class Outbox {
 };
 
 /// Deterministic content ordering, used for canonical multiset keys
-/// (e.g. exact-equality majority voting over vector values).
+/// (e.g. exact-equality majority voting over vector values). Compares the
+/// content fields in the wire codec's canonical order -- kind, meta,
+/// payload -- and ignores the routing fields, so two messages are
+/// equivalent here iff their encoded content bytes are equal
+/// (wire_codec_test pins this correspondence).
 struct MessageContentLess {
   bool operator()(const Message& a, const Message& b) const {
     if (a.kind != b.kind) return a.kind < b.kind;

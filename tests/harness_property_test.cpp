@@ -99,7 +99,7 @@ harness::AsyncProperty planted_property() {
 TEST_F(HarnessPropertyTest, HealthyProtocolHoldsAcrossEpisodes) {
   auto prop = healthy_property();
   prop.episodes = harness::fuzz_episodes(3);  // nightly scale via env
-  const auto res = harness::check_async_property(prop);
+  const auto res = harness::check_property<harness::AsyncRunner>(prop);
   EXPECT_TRUE(res.passed) << harness::describe(res);
   EXPECT_EQ(res.episodes, prop.episodes);
   EXPECT_TRUE(res.repro_path.empty());
@@ -109,12 +109,12 @@ TEST_F(HarnessPropertyTest, ReplayEnvPinsTheMatchingProperty) {
   ::unsetenv("RBVC_REPLAY");  // must fuzz first to produce the repro
   ::unsetenv("RBVC_FUZZ_EPISODES");
   const auto prop = planted_property();
-  const auto fuzzed = harness::check_async_property(prop);
+  const auto fuzzed = harness::check_property<harness::AsyncRunner>(prop);
   ASSERT_FALSE(fuzzed.passed) << harness::describe(fuzzed);
   ASSERT_FALSE(fuzzed.repro_path.empty());
 
   ::setenv("RBVC_REPLAY", fuzzed.repro_path.c_str(), 1);
-  const auto replayed = harness::check_async_property(prop);
+  const auto replayed = harness::check_property<harness::AsyncRunner>(prop);
   EXPECT_TRUE(replayed.replayed_from_file);
   EXPECT_FALSE(replayed.passed);
   EXPECT_EQ(replayed.episodes, 1u);
@@ -123,7 +123,7 @@ TEST_F(HarnessPropertyTest, ReplayEnvPinsTheMatchingProperty) {
   // A property with a different name ignores the repro and fuzzes normally.
   auto other = healthy_property();
   other.episodes = 2;
-  const auto other_res = harness::check_async_property(other);
+  const auto other_res = harness::check_property<harness::AsyncRunner>(other);
   EXPECT_FALSE(other_res.replayed_from_file);
   EXPECT_TRUE(other_res.passed) << harness::describe(other_res);
 }

@@ -1,0 +1,143 @@
+// TcpTransport: mesh establishment on loopback, framed delivery, protocol
+// traffic over real sockets, crash (send-to-dead-peer) behavior, and
+// cluster-string parsing.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/tcp_transport.h"
+#include "protocols/bracha_rbc.h"
+
+namespace {
+
+using rbvc::Vec;
+using rbvc::net::TcpTransport;
+using rbvc::net::Transport;
+using rbvc::net::parse_cluster;
+using rbvc::protocols::BrachaRbc;
+using rbvc::sim::Message;
+using rbvc::sim::ProcessId;
+
+TEST(ParseCluster, HostPortList) {
+  const auto c = parse_cluster("127.0.0.1:7000,localhost:7001,10.0.0.2:80");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0].host, "127.0.0.1");
+  EXPECT_EQ(c[0].port, 7000);
+  EXPECT_EQ(c[1].host, "localhost");
+  EXPECT_EQ(c[1].port, 7001);
+  EXPECT_EQ(c[2].host, "10.0.0.2");
+  EXPECT_EQ(c[2].port, 80);
+  EXPECT_THROW(parse_cluster("no-port"), std::exception);
+  EXPECT_THROW(parse_cluster(""), std::exception);
+}
+
+TEST(TcpTransportTest, MeshConnectsAndDelivers) {
+  auto cluster = TcpTransport::make_local_cluster(3);
+  for (auto& t : cluster) {
+    EXPECT_EQ(t->wait_connected(2, 10000), 2u) << "endpoint " << t->self();
+  }
+  // Every ordered pair delivers, with sender stamped.
+  for (ProcessId from = 0; from < 3; ++from) {
+    for (ProcessId to = 0; to < 3; ++to) {
+      if (from == to) continue;
+      cluster[from]->send(to, Message("ping", {static_cast<int>(from)}));
+    }
+  }
+  for (ProcessId to = 0; to < 3; ++to) {
+    std::vector<bool> seen(3, false);
+    for (int k = 0; k < 2; ++k) {
+      auto m = cluster[to]->receive(10000);
+      ASSERT_TRUE(m.has_value()) << "endpoint " << to;
+      EXPECT_EQ(m->kind, "ping");
+      EXPECT_EQ(m->to, to);
+      seen[m->from] = true;
+    }
+    for (ProcessId from = 0; from < 3; ++from) {
+      EXPECT_EQ(seen[from], from != to);
+    }
+  }
+  for (auto& t : cluster) t->close();
+}
+
+TEST(TcpTransportTest, SelfSendLoopsBackWithoutSocket) {
+  auto cluster = TcpTransport::make_local_cluster(2);
+  cluster[0]->send(0, Message("self", {}, Vec{1.0}));
+  auto m = cluster[0]->receive(2000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, 0u);
+  EXPECT_EQ(m->payload, Vec{1.0});
+}
+
+TEST(TcpTransportTest, LargePayloadSurvivesFraming) {
+  auto cluster = TcpTransport::make_local_cluster(2);
+  cluster[0]->wait_connected(1, 10000);
+  Vec big(20000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<double>(i) * 0.5 - 1000.0;
+  }
+  cluster[0]->send(1, Message("bulk", {1, 2, 3}, big));
+  auto m = cluster[1]->receive(10000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, big);
+  EXPECT_EQ(m->meta, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TcpTransportTest, SendToDeadPeerDropsInsteadOfBlocking) {
+  auto cluster = TcpTransport::make_local_cluster(3);
+  for (auto& t : cluster) t->wait_connected(2, 10000);
+  cluster[2]->close();  // peer 2 crashes
+  // Give the readers a moment to observe the hangup, then hammer sends:
+  // they must neither block nor throw (crash-fault model).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 0; i < 100; ++i) {
+    cluster[0]->send(2, Message("into-the-void", {i}));
+  }
+  // Traffic between live peers still flows.
+  cluster[0]->send(1, Message("alive"));
+  auto m = cluster[1]->receive(10000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, "alive");
+}
+
+TEST(TcpTransportTest, ReceiveAfterCloseReportsClosed) {
+  auto cluster = TcpTransport::make_local_cluster(2);
+  cluster[0]->close();
+  EXPECT_TRUE(cluster[0]->closed());
+  EXPECT_FALSE(cluster[0]->receive(100).has_value());
+}
+
+// The acceptance bar: the identical BrachaRbc component that runs over the
+// sim and LocalBus also runs over TCP sockets.
+TEST(TcpTransportTest, BrachaRbcOverSockets) {
+  constexpr std::size_t kN = 4, kF = 1;
+  auto cluster = TcpTransport::make_local_cluster(kN);
+  for (auto& t : cluster) t->wait_connected(kN - 1, 10000);
+  const Vec value{3.25, -0.5};
+  std::vector<Vec> delivered(kN);
+  std::vector<std::thread> threads;
+  for (ProcessId id = 0; id < kN; ++id) {
+    threads.emplace_back([&, id] {
+      Transport& t = *cluster[id];
+      BrachaRbc rbc(kN, kF, id);
+      if (id == 1) rbc.broadcast(5, value, t, {9, 8});
+      while (true) {
+        auto m = t.receive(10000);
+        ASSERT_TRUE(m.has_value()) << "endpoint " << id << " starved";
+        auto dels = rbc.on_message(*m, t);
+        if (!dels.empty()) {
+          EXPECT_EQ(dels.front().source, 1u);
+          EXPECT_EQ(dels.front().instance, 5);
+          EXPECT_EQ(dels.front().extra, (std::vector<int>{9, 8}));
+          delivered[id] = dels.front().value;
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (ProcessId id = 0; id < kN; ++id) EXPECT_EQ(delivered[id], value);
+}
+
+}  // namespace

@@ -119,13 +119,13 @@ TEST_F(ParallelDeterminismTest, SameFailureAndByteIdenticalReproAcrossJobs) {
   std::filesystem::create_directories(dir8);
 
   ::setenv("RBVC_JOBS", "1", 1);
-  const auto serial = harness::check_async_property(planted_property(dir1));
+  const auto serial = harness::check_property<harness::AsyncRunner>(planted_property(dir1));
   ASSERT_FALSE(serial.passed) << harness::describe(serial);
   ASSERT_FALSE(serial.repro_path.empty());
 
   ::setenv("RBVC_JOBS", "8", 1);
   const auto parallel =
-      harness::check_async_property(planted_property(dir8));
+      harness::check_property<harness::AsyncRunner>(planted_property(dir8));
   ASSERT_FALSE(parallel.passed) << harness::describe(parallel);
   ASSERT_FALSE(parallel.repro_path.empty());
 
@@ -151,13 +151,13 @@ TEST_F(ParallelDeterminismTest, JobsBeyondHardwareConcurrencyStayExact) {
   std::filesystem::create_directories(dir64);
 
   ::setenv("RBVC_JOBS", "1", 1);
-  const auto serial = harness::check_async_property(planted_property(dir1));
+  const auto serial = harness::check_property<harness::AsyncRunner>(planted_property(dir1));
   ASSERT_FALSE(serial.passed) << harness::describe(serial);
 
   const unsigned hw = std::thread::hardware_concurrency();
   const std::string wide = std::to_string(std::max(64u, 2 * hw));
   ::setenv("RBVC_JOBS", wide.c_str(), 1);
-  const auto over = harness::check_async_property(planted_property(dir64));
+  const auto over = harness::check_property<harness::AsyncRunner>(planted_property(dir64));
   ASSERT_FALSE(over.passed) << harness::describe(over);
 
   EXPECT_EQ(over.failing_episode, serial.failing_episode);
@@ -219,7 +219,7 @@ TEST_F(ParallelDeterminismTest, McCounterexampleIsByteIdenticalAcrossJobs) {
 TEST_F(ParallelDeterminismTest, HealthyPropertyPassesAtAnyWidth) {
   for (const char* jobs : {"1", "3", "8"}) {
     ::setenv("RBVC_JOBS", jobs, 1);
-    const auto res = harness::check_async_property(healthy_property());
+    const auto res = harness::check_property<harness::AsyncRunner>(healthy_property());
     EXPECT_TRUE(res.passed)
         << "jobs=" << jobs << ": " << harness::describe(res);
     EXPECT_EQ(res.episodes, 16u) << "jobs=" << jobs;

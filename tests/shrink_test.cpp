@@ -156,7 +156,7 @@ harness::AsyncProperty planted_quorum_bug() {
 TEST(ShrinkTest, PlantedQuorumBugShrinksAndReproStillFails) {
   ::unsetenv("RBVC_REPLAY");  // make sure we fuzz, not replay
   const auto prop = planted_quorum_bug();
-  const auto res = harness::check_async_property(prop);
+  const auto res = harness::check_property<harness::AsyncRunner>(prop);
   ASSERT_FALSE(res.passed) << harness::describe(res);
   EXPECT_FALSE(res.failure.empty());
   // The minimized schedule is never longer than the recorded one.
@@ -190,7 +190,7 @@ TEST(ShrinkTest, HealthyQuorumDoesNotTriggerThePlantedOracle) {
     return e;
   };
   prop.episodes = 4;
-  const auto res = harness::check_async_property(prop);
+  const auto res = harness::check_property<harness::AsyncRunner>(prop);
   EXPECT_TRUE(res.passed) << harness::describe(res);
 }
 

@@ -1,0 +1,213 @@
+// Wire codec (net/wire.h): encode/decode fixpoint both directions, named
+// rejection of malformed frames, and consistency between the codec's
+// canonical content order and sim::MessageContentLess.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "net/wire.h"
+#include "sim/trace.h"
+
+namespace w = rbvc::net::wire;
+using rbvc::Vec;
+using rbvc::sim::Message;
+using rbvc::sim::MessageContentLess;
+
+namespace {
+
+Message sample() {
+  Message m("rbc", {3, -7, 1 << 20}, Vec{0.5, -2.25, 1e300});
+  m.from = 2;
+  m.to = 5;
+  return m;
+}
+
+TEST(WireCodec, MessageRoundTripFixpoint) {
+  const Message m = sample();
+  const std::string body = w::encode_message(m);
+  const Message back = w::decode_message(body);
+  EXPECT_EQ(back, m);
+  // encode(decode(b)) == b: re-encoding is byte-identical.
+  EXPECT_EQ(w::encode_message(back), body);
+}
+
+TEST(WireCodec, EmptyFieldsRoundTrip) {
+  Message m("", {}, Vec{});
+  m.from = 0;
+  m.to = 0;
+  const Message back = w::decode_message(w::encode_message(m));
+  EXPECT_EQ(back, m);
+}
+
+TEST(WireCodec, HostilePayloadBitsSurviveExactly) {
+  // NaN, infinities, signed zero: raw IEEE bits must survive, even though
+  // NaN breaks operator== -- compare re-encoded bytes instead.
+  Message m("x", {},
+            Vec{std::numeric_limits<double>::quiet_NaN(),
+                std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity(), -0.0});
+  const std::string body = w::encode_message(m);
+  const Message back = w::decode_message(body);
+  ASSERT_EQ(back.payload.size(), m.payload.size());
+  EXPECT_EQ(w::encode_message(back), body);
+  EXPECT_TRUE(std::isnan(back.payload[0]));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.payload[3]),
+            std::bit_cast<std::uint64_t>(-0.0));
+}
+
+TEST(WireCodec, TrailingGarbageRejected) {
+  std::string body = w::encode_message(sample());
+  body.push_back('\0');
+  EXPECT_THROW(
+      {
+        try {
+          w::decode_message(body);
+        } catch (const w::WireError& e) {
+          EXPECT_STREQ(e.what(), "wire: trailing garbage");
+          throw;
+        }
+      },
+      w::WireError);
+}
+
+TEST(WireCodec, TruncatedBodyRejected) {
+  const std::string body = w::encode_message(sample());
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_THROW(w::decode_message(body.substr(0, cut)), w::WireError)
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(WireCodec, ForgedElementCountRejected) {
+  // A hostile encoder writing |payload| = 2^30 must be rejected up front
+  // (the count exceeds what the remaining bytes could hold), not allocate.
+  std::string body = w::encode_message(Message("k"));
+  // Patch the payload count (last u32 of the body for an empty payload).
+  ASSERT_GE(body.size(), 4u);
+  body[body.size() - 4] = '\xff';
+  body[body.size() - 3] = '\xff';
+  body[body.size() - 2] = '\xff';
+  body[body.size() - 1] = '\x3f';
+  EXPECT_THROW(w::decode_message(body), w::WireError);
+}
+
+TEST(WireCodec, FrameRoundTrip) {
+  const Message m = sample();
+  const std::string framed = w::frame_message(m);
+  const w::Frame f = w::unframe(framed);
+  EXPECT_EQ(f.type, w::FrameType::kMessage);
+  EXPECT_EQ(w::decode_message(f.body), m);
+}
+
+TEST(WireCodec, UnknownVersionRejectedByName) {
+  std::string framed = w::frame_message(sample());
+  framed[4] = '\x7e';  // version u16 lives after the u32 magic
+  framed[5] = '\x00';
+  try {
+    w::unframe(framed);
+    FAIL() << "unknown version accepted";
+  } catch (const w::WireError& e) {
+    EXPECT_STREQ(e.what(), "wire: unknown version 126");
+  }
+}
+
+TEST(WireCodec, BadMagicRejected) {
+  std::string framed = w::frame_message(sample());
+  framed[0] = 'X';
+  EXPECT_THROW(
+      {
+        try {
+          w::unframe(framed);
+        } catch (const w::WireError& e) {
+          EXPECT_STREQ(e.what(), "wire: bad magic");
+          throw;
+        }
+      },
+      w::WireError);
+}
+
+TEST(WireCodec, OversizedFrameRejected) {
+  // Forge a length field above kMaxBody: the deframer must poison the
+  // stream instead of trying to buffer gigabytes.
+  std::string framed = w::frame(w::FrameType::kMessage, "abc");
+  const std::uint32_t huge = w::kMaxBody + 1;
+  for (int i = 0; i < 4; ++i) {
+    framed[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  std::string buf = framed;
+  EXPECT_THROW(
+      {
+        try {
+          w::try_unframe(buf);
+        } catch (const w::WireError& e) {
+          EXPECT_STREQ(e.what(), "wire: oversized frame");
+          throw;
+        }
+      },
+      w::WireError);
+}
+
+TEST(WireCodec, IncrementalDeframing) {
+  const Message a = sample();
+  Message b("witness", {1}, Vec{3.0});
+  b.from = 1;
+  b.to = 2;
+  const std::string stream = w::frame_message(a) + w::frame_message(b);
+  // Feed the stream one byte at a time; frames must pop exactly when
+  // complete and in order.
+  std::string buf;
+  std::vector<Message> got;
+  for (const char c : stream) {
+    buf.push_back(c);
+    while (auto f = w::try_unframe(buf)) {
+      got.push_back(w::decode_message(f->body));
+    }
+  }
+  EXPECT_TRUE(buf.empty());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], a);
+  EXPECT_EQ(got[1], b);
+}
+
+TEST(WireCodec, ExactUnframeRejectsTrailingBytes) {
+  std::string framed = w::frame_message(sample());
+  framed += "junk";
+  EXPECT_THROW(w::unframe(framed), w::WireError);
+}
+
+TEST(WireCodec, TraceRoundTrip) {
+  rbvc::sim::Trace t;
+  t.set_enabled(true);
+  t.record(rbvc::sim::EventType::kSend, 1, 0, "hello");
+  t.record(rbvc::sim::EventType::kDeliver, 2, 1, "world");
+  const std::string body = w::encode_trace(t);
+  const rbvc::sim::Trace back = w::decode_trace(body);
+  ASSERT_EQ(back.events().size(), t.events().size());
+  EXPECT_EQ(w::encode_trace(back), body);
+}
+
+// The codec's canonical content order (kind, meta, payload) is the order
+// MessageContentLess compares in -- sorting by content and sorting by
+// encoded content bytes' field sequence must agree on which field decides.
+TEST(WireCodec, ContentOrderMatchesMessageContentLess) {
+  MessageContentLess less;
+  // kind decides before meta and payload...
+  EXPECT_TRUE(less(Message("a", {9}, Vec{9.0}), Message("b", {0}, Vec{0.0})));
+  // ...meta decides before payload...
+  EXPECT_TRUE(less(Message("a", {1}, Vec{9.0}), Message("a", {2}, Vec{0.0})));
+  // ...payload decides last.
+  EXPECT_TRUE(less(Message("a", {1}, Vec{1.0}), Message("a", {1}, Vec{2.0})));
+  // Routing fields are NOT content: same content, different route.
+  Message x("a", {1}, Vec{1.0});
+  Message y = x;
+  y.from = 3;
+  y.to = 1;
+  EXPECT_FALSE(less(x, y));
+  EXPECT_FALSE(less(y, x));
+  EXPECT_TRUE(x.same_content(y));
+}
+
+}  // namespace

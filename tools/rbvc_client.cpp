@@ -1,0 +1,95 @@
+// rbvc-client: drives a pipelined stream of consensus instances against a
+// running rbvc-node cluster and reports throughput and decision latency.
+// See docs/NETWORKING.md.
+//
+//   rbvc-client --cluster 127.0.0.1:7000,...,127.0.0.1:7004 --nodes 4
+//               [--id 4] [--instances 100] [--window 8] [--quorum 3]
+//               [--dim 2] [--seed 1] [--timeout-ms 30000]
+//
+// The client occupies cluster slot --id (default: first slot after the
+// nodes). --quorum ok decisions resolve an instance (default nodes - f
+// with f = 1).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/load.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --cluster host:port,... --nodes N [--id I]\n"
+               "          [--instances K] [--window W] [--quorum Q]\n"
+               "          [--dim D] [--seed S] [--timeout-ms MS]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long id = -1;
+  long nodes = -1;
+  std::string cluster_csv;
+  rbvc::net::LoadOptions opt;
+  opt.quorum = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--cluster") cluster_csv = next();
+    else if (a == "--nodes") nodes = std::atol(next());
+    else if (a == "--id") id = std::atol(next());
+    else if (a == "--instances") opt.instances = std::strtoul(next(), nullptr, 10);
+    else if (a == "--window") opt.window = std::strtoul(next(), nullptr, 10);
+    else if (a == "--quorum") opt.quorum = std::strtoul(next(), nullptr, 10);
+    else if (a == "--dim") opt.dim = std::strtoul(next(), nullptr, 10);
+    else if (a == "--seed") opt.seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--timeout-ms") opt.decision_timeout_ms = std::atoi(next());
+    else usage(argv[0]);
+  }
+  if (cluster_csv.empty() || nodes < 1) usage(argv[0]);
+
+  auto cluster = rbvc::net::parse_cluster(cluster_csv);
+  if (id < 0) id = nodes;
+  if (static_cast<std::size_t>(id) >= cluster.size() || id < nodes) {
+    std::fprintf(stderr, "rbvc-client: --id must be a client slot\n");
+    return 2;
+  }
+  opt.nodes = static_cast<std::size_t>(nodes);
+  if (opt.quorum == 0) opt.quorum = opt.nodes - 1;  // tolerate f = 1
+
+  try {
+    rbvc::net::TcpTransport transport(static_cast<rbvc::net::ProcessId>(id),
+                                      cluster);
+    // Sends to unconnected peers drop (crash-fault model), so proposes
+    // fired before the mesh is up would silently strand instances: wait
+    // for every node, and refuse to start below quorum.
+    const auto connected = transport.wait_connected(opt.nodes, 15000);
+    if (connected < opt.quorum) {
+      std::fprintf(stderr, "rbvc-client: only %zu/%zu nodes reachable\n",
+                   connected, opt.nodes);
+      return 1;
+    }
+    rbvc::net::ClusterClient client(transport, opt.nodes);
+    const auto res = rbvc::net::run_pipelined_load(client, opt);
+    std::printf(
+        "decided=%zu failed=%zu stalled=%d elapsed_ms=%.1f "
+        "throughput_per_s=%.2f p50_ms=%.2f p99_ms=%.2f\n",
+        res.decided, res.failed, res.stalled ? 1 : 0, res.elapsed_ms,
+        res.throughput_per_s(), res.latency_percentile(0.50),
+        res.latency_percentile(0.99));
+    transport.close();
+    if (res.stalled || res.decided < opt.instances) return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rbvc-client: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// rbvc-node: one member of a TCP consensus cluster. Serves a stream of
+// Relaxed Verified Averaging instances (proposed by rbvc-client) until
+// SIGINT/SIGTERM, then prints a stats summary. See docs/NETWORKING.md.
+//
+//   rbvc-node --id 0 --cluster 127.0.0.1:7000,...,127.0.0.1:7004
+//             --nodes 4 --f 1 [--rounds 4] [--rule relaxed-l2]
+//             [--crash-after K] [--connect-timeout-ms 15000]
+//
+// The --cluster list names every endpoint, nodes first, then client slots;
+// --nodes says how many of them are consensus nodes (default: all but the
+// last entry).
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/node.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --id N --cluster host:port,... [--nodes N] [--f F]\n"
+               "          [--rounds R] [--rule relaxed-l2|relaxed-linf|exact]\n"
+               "          [--crash-after K] [--connect-timeout-ms MS]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rbvc::consensus::AsyncAveragingProcess;
+  long id = -1;
+  long nodes = -1;
+  long f = 1;
+  long rounds = 4;
+  long crash_after = 0;
+  long connect_timeout_ms = 15000;
+  std::string cluster_csv;
+  std::string rule = "relaxed-l2";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--id") id = std::atol(next());
+    else if (a == "--cluster") cluster_csv = next();
+    else if (a == "--nodes") nodes = std::atol(next());
+    else if (a == "--f") f = std::atol(next());
+    else if (a == "--rounds") rounds = std::atol(next());
+    else if (a == "--rule") rule = next();
+    else if (a == "--crash-after") crash_after = std::atol(next());
+    else if (a == "--connect-timeout-ms") connect_timeout_ms = std::atol(next());
+    else usage(argv[0]);
+  }
+  if (id < 0 || cluster_csv.empty()) usage(argv[0]);
+
+  auto cluster = rbvc::net::parse_cluster(cluster_csv);
+  if (nodes < 0) nodes = static_cast<long>(cluster.size()) - 1;
+  if (nodes < 1 || id >= nodes ||
+      static_cast<std::size_t>(nodes) > cluster.size()) {
+    std::fprintf(stderr, "rbvc-node: bad --id/--nodes for cluster of %zu\n",
+                 cluster.size());
+    return 2;
+  }
+
+  rbvc::net::ConsensusNode::Params params;
+  params.prm.n = static_cast<std::size_t>(nodes);
+  params.prm.f = static_cast<std::size_t>(f);
+  params.prm.rounds = static_cast<std::size_t>(rounds);
+  params.crash_after_decided = static_cast<std::size_t>(crash_after);
+  if (rule == "relaxed-l2") {
+    params.prm.rule = AsyncAveragingProcess::Round0Rule::kRelaxedL2;
+  } else if (rule == "relaxed-linf") {
+    params.prm.rule = AsyncAveragingProcess::Round0Rule::kRelaxedLinf;
+  } else if (rule == "exact") {
+    params.prm.rule = AsyncAveragingProcess::Round0Rule::kExactGamma;
+  } else {
+    usage(argv[0]);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    rbvc::net::TcpTransport transport(static_cast<rbvc::net::ProcessId>(id),
+                                      cluster);
+    // Gate protocol start on the node mesh: up to f peers may already be
+    // down, and the client dials in on its own schedule.
+    const auto want = static_cast<std::size_t>(nodes - 1 - f);
+    const auto got = transport.wait_connected(
+        want, static_cast<int>(connect_timeout_ms));
+    std::fprintf(stderr, "rbvc-node %ld: %zu/%ld peers connected\n", id, got,
+                 nodes - 1);
+    rbvc::net::ConsensusNode node(params, transport);
+    node.serve(g_stop);
+    const auto& s = node.stats();
+    std::fprintf(stderr,
+                 "rbvc-node %ld: proposed=%zu decided=%zu failed=%zu "
+                 "dropped=%zu%s\n",
+                 id, s.proposed, s.decided, s.failed, s.dropped,
+                 node.crashed() ? " (crashed)" : "");
+    transport.close();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rbvc-node %ld: fatal: %s\n", id, e.what());
+    return 1;
+  }
+  return 0;
+}
