@@ -48,10 +48,12 @@ struct LoadResult {
     if (latencies_ms.empty()) return 0.0;
     std::vector<double> s = latencies_ms;
     std::sort(s.begin(), s.end());
-    const auto idx = static_cast<std::size_t>(
-        std::min<double>(static_cast<double>(s.size()) - 1,
-                         std::ceil(q * static_cast<double>(s.size())) - 1));
-    return s[std::max<std::size_t>(idx, 0)];
+    // Clamp to [0, n-1] while still floating point: q == 0 yields rank -1,
+    // and casting a negative double to size_t is UB.
+    const double n = static_cast<double>(s.size());
+    const double rank =
+        std::max(0.0, std::min(n - 1, std::ceil(q * n) - 1));
+    return s[static_cast<std::size_t>(rank)];
   }
 };
 

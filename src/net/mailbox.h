@@ -15,8 +15,10 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <iterator>
 #include <optional>
 #include <semaphore>
+#include <vector>
 
 #include "sim/message.h"
 
@@ -100,23 +102,27 @@ class Mailbox {
 
   void refill() {
     Node* n = head_.exchange(nullptr, std::memory_order_acquire);
-    // The stack is LIFO; prepend while walking so the batch ends up in
-    // push order.
-    std::size_t insert_at = batch_.size();
+    if (n == nullptr) return;
+    // The stack is LIFO (newest first) and everything scooped here is newer
+    // than anything already batched, so collect then append reversed: O(k),
+    // not the O(k^2) of inserting each node mid-deque.
+    scratch_.clear();
     while (n != nullptr) {
-      batch_.insert(batch_.begin() + static_cast<std::ptrdiff_t>(insert_at),
-                    std::move(n->m));
+      scratch_.push_back(std::move(n->m));
       Node* next = n->next;
       delete n;
       n = next;
     }
+    batch_.insert(batch_.end(), std::make_move_iterator(scratch_.rbegin()),
+                  std::make_move_iterator(scratch_.rend()));
   }
 
   std::atomic<Node*> head_{nullptr};
   std::atomic<std::size_t> depth_{0};
   std::atomic<bool> closed_{false};
   std::counting_semaphore<> sem_{0};
-  std::deque<sim::Message> batch_;  // consumer-local, FIFO order
+  std::deque<sim::Message> batch_;     // consumer-local, FIFO order
+  std::vector<sim::Message> scratch_;  // refill staging, reused across drains
 };
 
 }  // namespace rbvc::net

@@ -5,8 +5,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -33,6 +35,14 @@ void close_fd(int fd) {
 
 void shutdown_fd(int fd) {
   if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+/// SO_RCVTIMEO / SO_SNDTIMEO; ms == 0 restores blocking-forever.
+void set_socket_timeout(int fd, int optname, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
 }
 
 int listen_on(const HostPort& hp) {
@@ -90,9 +100,12 @@ int dial(const HostPort& hp) {
   return fd;
 }
 
-/// Reads exactly one frame from a fresh connection (the kHello handshake).
-std::optional<wire::Frame> read_one_frame(int fd) {
-  std::string buf;
+/// Reads one frame from a fresh connection (the kHello handshake). The
+/// dialer pipelines message frames right behind the hello on the same
+/// socket, so any bytes received past the frame stay in `buf` for the
+/// caller to hand to the reader loop — dropping them would silently lose
+/// coalesced frames or desync the stream mid-frame.
+std::optional<wire::Frame> read_one_frame(int fd, std::string& buf) {
   char tmp[512];
   while (true) {
     try {
@@ -101,7 +114,7 @@ std::optional<wire::Frame> read_one_frame(int fd) {
       return std::nullopt;
     }
     const ssize_t k = ::recv(fd, tmp, sizeof(tmp), 0);
-    if (k <= 0) return std::nullopt;
+    if (k <= 0) return std::nullopt;  // EOF, error, or SO_RCVTIMEO elapsed
     buf.append(tmp, static_cast<std::size_t>(k));
   }
 }
@@ -175,10 +188,17 @@ TcpTransport::~TcpTransport() { close(); }
 void TcpTransport::close() {
   if (!open_.exchange(false, std::memory_order_acq_rel)) return;
   shutdown_fd(listen_fd_);  // wakes accept(); closed after the join below
-  for (auto& c : conns_) {
-    std::lock_guard<std::mutex> lk(c->mu);
-    shutdown_fd(c->fd);  // wakes the reader, which owns the ::close
-    c->fd = -1;
+  {
+    // threads_mu_ serializes with register_connection/accept_loop so no
+    // connection can slip in after this shutdown sweep: either it registers
+    // first (and is swept here) or it observes open_ == false and aborts.
+    // Conn::fd is read atomically, NOT under c.mu — a writer stuck in send
+    // holds c.mu, and this shutdown is exactly what wakes it.
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    for (auto& c : conns_) {
+      shutdown_fd(c->fd.load(std::memory_order_acquire));
+    }
+    for (const int fd : handshaking_) shutdown_fd(fd);
   }
   if (acceptor_.joinable()) acceptor_.join();
   if (dialer_.joinable()) dialer_.join();
@@ -201,28 +221,56 @@ void TcpTransport::accept_loop() {
       if (!open_.load(std::memory_order_acquire)) return;
       continue;
     }
-    const auto hello = read_one_frame(fd);
-    if (!hello || hello->type != wire::FrameType::kHello) {
-      obs::global().counter("net.wire_errors").inc();
+    // The hello is read on the connection's own thread: a client that
+    // connects and sends nothing must not block further accepts, and the
+    // handshaking_ registry lets close() shut the fd down mid-read.
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    if (!open_.load(std::memory_order_acquire)) {
       close_fd(fd);
-      continue;
+      return;
     }
-    std::uint64_t peer = 0;
-    try {
-      peer = decode_hello(hello->body);
-    } catch (const wire::WireError&) {
-      obs::global().counter("net.wire_errors").inc();
-      close_fd(fd);
-      continue;
-    }
-    if (peer >= cluster_.size() || peer == self_) {
-      close_fd(fd);
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    adopt_connection(static_cast<ProcessId>(peer), fd, /*dialed=*/false);
+    handshaking_.push_back(fd);
+    readers_.emplace_back([this, fd] { server_handshake(fd); });
   }
+}
+
+void TcpTransport::unregister_handshake(int fd) {
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  const auto it = std::find(handshaking_.begin(), handshaking_.end(), fd);
+  if (it != handshaking_.end()) handshaking_.erase(it);
+}
+
+void TcpTransport::server_handshake(int fd) {
+  set_socket_timeout(fd, SO_RCVTIMEO, opts_.handshake_timeout_ms);
+  std::string residual;
+  const auto hello = read_one_frame(fd, residual);
+  unregister_handshake(fd);
+  if (!hello || hello->type != wire::FrameType::kHello) {
+    obs::global().counter("net.wire_errors").inc();
+    close_fd(fd);
+    return;
+  }
+  std::uint64_t peer = 0;
+  try {
+    peer = decode_hello(hello->body);
+  } catch (const wire::WireError&) {
+    obs::global().counter("net.wire_errors").inc();
+    close_fd(fd);
+    return;
+  }
+  if (peer >= cluster_.size() || peer == self_) {
+    close_fd(fd);
+    return;
+  }
+  set_socket_timeout(fd, SO_RCVTIMEO, 0);  // the reader blocks indefinitely
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!register_connection(static_cast<ProcessId>(peer), fd,
+                           /*dialed=*/false)) {
+    close_fd(fd);
+    return;
+  }
+  reader_loop(fd, static_cast<ProcessId>(peer), std::move(residual));
 }
 
 void TcpTransport::dial_loop() {
@@ -230,10 +278,7 @@ void TcpTransport::dial_loop() {
   while (open_.load(std::memory_order_acquire)) {
     bool all_up = true;
     for (ProcessId peer = 0; peer < self_; ++peer) {
-      {
-        std::lock_guard<std::mutex> lk(conns_[peer]->mu);
-        if (conns_[peer]->fd >= 0) continue;
-      }
+      if (conns_[peer]->fd.load(std::memory_order_acquire) >= 0) continue;
       all_up = false;
       const int fd = dial(cluster_[peer]);
       if (fd < 0) continue;
@@ -251,51 +296,56 @@ void TcpTransport::dial_loop() {
   }
 }
 
-void TcpTransport::adopt_connection(ProcessId peer, int fd, bool dialed) {
-  obs::Registry& reg = obs::global();
+bool TcpTransport::register_connection(ProcessId peer, int fd, bool dialed) {
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  if (!open_.load(std::memory_order_acquire)) return false;
+  Conn& c = *conns_[peer];
   {
-    std::lock_guard<std::mutex> lk(threads_mu_);
-    if (!open_.load(std::memory_order_acquire)) {
-      close_fd(fd);
-      return;
+    std::lock_guard<std::mutex> clk(c.mu);
+    if (c.fd.load(std::memory_order_relaxed) >= 0) {
+      // Keep the existing connection; the duplicate loses. Only one side
+      // dials, so this is a redial racing a half-dead socket.
+      return false;
     }
-    Conn& c = *conns_[peer];
-    {
-      std::lock_guard<std::mutex> clk(c.mu);
-      if (c.fd >= 0) {
-        // Keep the existing connection; the duplicate loses. Only one side
-        // dials, so this is a redial racing a half-dead socket.
-        close_fd(fd);
-        return;
-      }
-      c.fd = fd;
-      ++c.generation;
-    }
-    reg.counter(ever_connected_[peer] && dialed ? "net.reconnects"
-                                                : "net.connects")
-        .inc();
-    ever_connected_[peer] = true;
-    readers_.emplace_back([this, fd, peer] { reader_loop(fd, peer); });
+    c.fd.store(fd, std::memory_order_release);
+    ++c.generation;
   }
+  set_socket_timeout(fd, SO_SNDTIMEO, opts_.send_timeout_ms);
+  obs::global().counter(ever_connected_[peer] && dialed ? "net.reconnects"
+                                                        : "net.connects")
+      .inc();
+  ever_connected_[peer] = true;
+  return true;
+}
+
+void TcpTransport::adopt_connection(ProcessId peer, int fd, bool dialed) {
+  if (!register_connection(peer, fd, dialed)) {
+    close_fd(fd);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  readers_.emplace_back(
+      [this, fd, peer] { reader_loop(fd, peer, std::string()); });
 }
 
 void TcpTransport::drop_connection(ProcessId peer, int fd) {
   Conn& c = *conns_[peer];
+  // c.mu serializes against in-flight write_frame calls: the reader must
+  // not ::close the fd while a writer's send is mid-syscall, or the kernel
+  // could hand the fd number to a new connection under the writer.
   std::lock_guard<std::mutex> lk(c.mu);
-  if (c.fd == fd) c.fd = -1;  // the reader ::closes fd after unregistering
+  int expect = fd;
+  c.fd.compare_exchange_strong(expect, -1, std::memory_order_acq_rel);
 }
 
-void TcpTransport::reader_loop(int fd, ProcessId peer) {
+void TcpTransport::reader_loop(int fd, ProcessId peer, std::string buf) {
   obs::Registry& reg = obs::global();
   obs::Counter& frames = reg.counter("net.frames_received");
   obs::Counter& bytes = reg.counter("net.bytes_received");
-  std::string buf;
   std::vector<char> tmp(static_cast<std::size_t>(opts_.io_buffer_bytes));
+  // Frames that arrived coalesced with the handshake are already in `buf`,
+  // so drain before the first recv.
   while (true) {
-    const ssize_t k = ::recv(fd, tmp.data(), tmp.size(), 0);
-    if (k <= 0) break;
-    bytes.inc(static_cast<std::uint64_t>(k));
-    buf.append(tmp.data(), static_cast<std::size_t>(k));
     try {
       while (auto f = wire::try_unframe(buf)) {
         if (f->type != wire::FrameType::kMessage) continue;
@@ -307,6 +357,10 @@ void TcpTransport::reader_loop(int fd, ProcessId peer) {
       reg.counter("net.wire_errors").inc();
       break;  // poisoned stream: drop the connection
     }
+    const ssize_t k = ::recv(fd, tmp.data(), tmp.size(), 0);
+    if (k <= 0) break;
+    bytes.inc(static_cast<std::uint64_t>(k));
+    buf.append(tmp.data(), static_cast<std::size_t>(k));
   }
   drop_connection(peer, fd);
   close_fd(fd);  // sole owner of the close — see the ownership note above
@@ -335,14 +389,18 @@ void TcpTransport::send(ProcessId to, Message m) {
 
 bool TcpTransport::write_frame(Conn& c, const std::string& bytes) {
   std::lock_guard<std::mutex> lk(c.mu);
-  if (c.fd < 0) return false;
+  const int fd = c.fd.load(std::memory_order_acquire);
+  if (fd < 0) return false;
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t k = ::send(c.fd, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
+    // Bounded by SO_SNDTIMEO: a peer that stops draining its socket gets
+    // hung up on (crash-fault semantics) instead of pinning c.mu forever.
+    // close() also wakes a blocked send here by shutting the fd down.
+    const ssize_t k =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (k <= 0) {
-      shutdown_fd(c.fd);  // wakes the reader, which owns the ::close
-      c.fd = -1;
+      shutdown_fd(fd);  // wakes the reader, which owns the ::close
+      c.fd.store(-1, std::memory_order_release);
       return false;
     }
     off += static_cast<std::size_t>(k);
@@ -364,8 +422,7 @@ std::size_t TcpTransport::connected() const {
   std::size_t live = 0;
   for (std::size_t peer = 0; peer < conns_.size(); ++peer) {
     if (peer == self_) continue;
-    std::lock_guard<std::mutex> lk(conns_[peer]->mu);
-    if (conns_[peer]->fd >= 0) ++live;
+    if (conns_[peer]->fd.load(std::memory_order_acquire) >= 0) ++live;
   }
   return live;
 }

@@ -4,9 +4,13 @@
 // Mesh establishment: every endpoint listens on cluster[self]; the
 // higher-numbered endpoint of each pair dials the lower one and introduces
 // itself with a kHello frame, so each pair has exactly one connection and
-// a restarted dialer re-establishes it (counted as net.reconnects). One
-// reader thread per connection decodes frames into the endpoint's lock-free
-// mailbox; send() writes frames under a per-connection mutex.
+// a restarted dialer re-establishes it (counted as net.reconnects). The
+// accept side reads the hello on a per-connection thread under a receive
+// timeout (a silent client cannot wedge the acceptor), and any message
+// bytes that arrived coalesced with the hello are carried into the reader
+// loop, which decodes frames into the endpoint's lock-free mailbox. send()
+// writes frames under a per-connection mutex with a send timeout, so a
+// stalled peer is hung up on instead of blocking every sender.
 //
 // Failure model: a peer that is down gets its sends dropped (counted as
 // net.send_drops) -- exactly the crash-fault behavior the protocols
@@ -42,6 +46,13 @@ std::vector<HostPort> parse_cluster(const std::string& csv);
 struct TcpOptions {
   int dial_retry_ms = 50;    // sleep between dial sweeps over missing peers
   int io_buffer_bytes = 64 * 1024;
+  /// SO_RCVTIMEO for the accept-side hello read: a client that connects and
+  /// never speaks is dropped after this long instead of holding the slot.
+  int handshake_timeout_ms = 2000;
+  /// SO_SNDTIMEO per connection: a live-but-stalled peer (full socket
+  /// buffer) is treated as crashed after this long rather than blocking
+  /// every thread that sends to it.
+  int send_timeout_ms = 5000;
 };
 
 class TcpTransport final : public Transport {
@@ -85,20 +96,30 @@ class TcpTransport final : public Transport {
 
  private:
   struct Conn {
-    std::mutex mu;        // guards fd and writes
-    int fd = -1;
-    std::uint64_t generation = 0;  // bumped per (re)connect
+    /// Serializes writes and the reader's teardown; NOT needed to observe
+    /// fd, which is atomic so close() can shut a stuck connection down
+    /// without waiting behind a blocked writer.
+    std::mutex mu;
+    std::atomic<int> fd{-1};
+    std::uint64_t generation = 0;  // bumped per (re)connect, guarded by mu
   };
 
   void start();
   void accept_loop();
   void dial_loop();
-  void reader_loop(int fd, ProcessId peer);
-  /// Registers `fd` as the live connection to `peer` (closing any old one)
-  /// and spawns its reader. `dialed` distinguishes connects from accepts
-  /// for the net.connects/net.reconnects counters.
+  /// Accept-side hello read, run on the connection's own thread under
+  /// handshake_timeout_ms; on success continues as that connection's
+  /// reader_loop, seeded with any bytes that arrived after the hello.
+  void server_handshake(int fd);
+  void reader_loop(int fd, ProcessId peer, std::string buf);
+  /// Registers `fd` as the live connection to `peer`; returns false (caller
+  /// must close fd) on duplicate or shutdown. `dialed` distinguishes
+  /// connects from accepts for the net.connects/net.reconnects counters.
+  bool register_connection(ProcessId peer, int fd, bool dialed);
+  /// register_connection + a spawned reader thread (the dialer path).
   void adopt_connection(ProcessId peer, int fd, bool dialed);
   void drop_connection(ProcessId peer, int fd);
+  void unregister_handshake(int fd);
   bool write_frame(Conn& c, const std::string& bytes);
 
   ProcessId self_;
@@ -111,8 +132,9 @@ class TcpTransport final : public Transport {
   std::vector<bool> ever_connected_;          // guarded by threads_mu_
   std::thread acceptor_;
   std::thread dialer_;
-  std::mutex threads_mu_;  // guards readers_ and ever_connected_
+  std::mutex threads_mu_;  // guards readers_, handshaking_, ever_connected_
   std::vector<std::thread> readers_;
+  std::vector<int> handshaking_;  // accepted fds awaiting their hello
 };
 
 }  // namespace rbvc::net

@@ -308,4 +308,18 @@ TEST(SyncDriverTest, AlgoOverLocalBusMatchesSim) {
   }
 }
 
+// Nearest-rank percentile over the whole q range, including the q=0 edge
+// whose rank of ceil(0)-1 = -1 must clamp before the size_t cast, not after.
+TEST(LoadResultTest, LatencyPercentileClampsAtBothEnds) {
+  rbvc::net::LoadResult res;
+  EXPECT_EQ(res.latency_percentile(0.5), 0.0);  // empty: defined fallback
+  res.latencies_ms = {40.0, 10.0, 30.0, 20.0};  // sorted: 10 20 30 40
+  EXPECT_EQ(res.latency_percentile(0.0), 10.0);
+  EXPECT_EQ(res.latency_percentile(0.25), 10.0);
+  EXPECT_EQ(res.latency_percentile(0.50), 20.0);
+  EXPECT_EQ(res.latency_percentile(0.51), 30.0);
+  EXPECT_EQ(res.latency_percentile(0.99), 40.0);
+  EXPECT_EQ(res.latency_percentile(1.0), 40.0);
+}
+
 }  // namespace

@@ -1,24 +1,91 @@
 // TcpTransport: mesh establishment on loopback, framed delivery, protocol
-// traffic over real sockets, crash (send-to-dead-peer) behavior, and
-// cluster-string parsing.
+// traffic over real sockets, crash (send-to-dead-peer) behavior, handshake
+// edge cases driven by raw client sockets, and cluster-string parsing.
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "net/tcp_transport.h"
+#include "net/wire.h"
 #include "protocols/bracha_rbc.h"
 
 namespace {
 
 using rbvc::Vec;
+using rbvc::net::HostPort;
+using rbvc::net::TcpOptions;
 using rbvc::net::TcpTransport;
 using rbvc::net::Transport;
 using rbvc::net::parse_cluster;
 using rbvc::protocols::BrachaRbc;
 using rbvc::sim::Message;
 using rbvc::sim::ProcessId;
+namespace wire = rbvc::net::wire;
+
+// Bound-and-listening loopback socket with a kernel-assigned port, for
+// handing to TcpTransport's adopt-a-listener constructor.
+int listen_loopback(std::uint16_t& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::listen(fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+// Raw client connection to 127.0.0.1:port -- a hand-driven "dialer" that
+// lets tests control exactly how handshake bytes land in the segments.
+int dial_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+std::string hello_frame(std::uint64_t id) {
+  std::string body;
+  for (std::size_t i = 0; i < 8; ++i) {
+    body.push_back(static_cast<char>((id >> (8 * i)) & 0xFF));
+  }
+  return wire::frame(wire::FrameType::kHello, body);
+}
+
+void send_all(int fd, const std::string& bytes) {
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+// A 2-entry cluster whose peer-1 endpoint is never dialed by endpoint 0
+// (only the higher id dials), so the raw sockets above fully control the
+// accept side.
+std::unique_ptr<TcpTransport> accept_only_server(std::uint16_t& port_out,
+                                                 TcpOptions opts = {}) {
+  const int lfd = listen_loopback(port_out);
+  return std::make_unique<TcpTransport>(
+      0, std::vector<HostPort>{{"127.0.0.1", port_out}, {"127.0.0.1", 1}},
+      lfd, opts);
+}
 
 TEST(ParseCluster, HostPortList) {
   const auto c = parse_cluster("127.0.0.1:7000,localhost:7001,10.0.0.2:80");
@@ -99,6 +166,73 @@ TEST(TcpTransportTest, SendToDeadPeerDropsInsteadOfBlocking) {
   auto m = cluster[1]->receive(10000);
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(m->kind, "alive");
+}
+
+// A dialer pipelines message frames right behind its hello; when the
+// kernel coalesces them into one segment the accept side must not drop the
+// bytes that follow the hello.
+TEST(TcpTransportTest, CoalescedHandshakeKeepsTrailingFrames) {
+  std::uint16_t port = 0;
+  auto server = accept_only_server(port);
+  const int c = dial_loopback(port);
+  Message m1("coalesced", {1});
+  Message m2("coalesced", {2}, Vec{0.5});
+  m1.from = m2.from = 1;
+  send_all(c, hello_frame(1) + wire::frame_message(m1) +
+                  wire::frame_message(m2));
+  auto r1 = server->receive(10000);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->meta, (std::vector<int>{1}));
+  auto r2 = server->receive(10000);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->meta, (std::vector<int>{2}));
+  EXPECT_EQ(r2->payload, Vec{0.5});
+  ::close(c);
+  server->close();
+}
+
+// Hello plus a partial message frame in the first segment: the reader must
+// resume mid-frame instead of starting mid-stream and hitting bad magic.
+TEST(TcpTransportTest, FrameSplitAcrossHandshakeBoundaryDelivers) {
+  std::uint16_t port = 0;
+  auto server = accept_only_server(port);
+  const int c = dial_loopback(port);
+  Message m("split", {7, 8}, Vec{-2.0, 4.0});
+  m.from = 1;
+  const std::string blob = hello_frame(1) + wire::frame_message(m);
+  const std::size_t cut = hello_frame(1).size() + 5;  // mid-header of m
+  send_all(c, blob.substr(0, cut));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  send_all(c, blob.substr(cut));
+  auto r = server->receive(10000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, "split");
+  EXPECT_EQ(r->meta, (std::vector<int>{7, 8}));
+  EXPECT_EQ(r->payload, (Vec{-2.0, 4.0}));
+  ::close(c);
+  server->close();
+}
+
+// A client that connects and never speaks must neither block later
+// handshakes (the hello is read off the acceptor thread) nor hang close()
+// (its fd is receive-timed-out and shut down on close).
+TEST(TcpTransportTest, SilentClientDoesNotWedgeAcceptorOrClose) {
+  std::uint16_t port = 0;
+  TcpOptions opts;
+  opts.handshake_timeout_ms = 250;
+  auto server = accept_only_server(port, opts);
+  const int silent = dial_loopback(port);  // accepted first, says nothing
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const int talker = dial_loopback(port);
+  Message m("after-silent", {42});
+  m.from = 1;
+  send_all(talker, hello_frame(1) + wire::frame_message(m));
+  auto r = server->receive(10000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, "after-silent");
+  server->close();  // must return despite the still-silent connection
+  ::close(silent);
+  ::close(talker);
 }
 
 TEST(TcpTransportTest, ReceiveAfterCloseReportsClosed) {
