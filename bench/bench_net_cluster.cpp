@@ -4,8 +4,16 @@
 // LocalBus (upper bound: transport cost only). The table quantifies what
 // the network layer costs relative to the protocol itself; the metrics
 // gauges land in BENCH_e2e.json for trajectory diffing.
+//
+// `--trace` adds a flight-recorder overhead pass: after the table runs
+// above have warmed the process, the TCP load runs with the event recorder
+// disabled (obs::events::set_enabled(false)) and then enabled, best of 3
+// each, and the decided-instances/s delta lands in
+// net.bench.trace_overhead_pct. The recorder's budget is a few relaxed
+// stores per event, so the target is < 5%.
 #include "bench_util.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -15,6 +23,7 @@
 #include "net/local_bus.h"
 #include "net/node.h"
 #include "net/tcp_transport.h"
+#include "obs/events.h"
 
 namespace {
 
@@ -111,6 +120,36 @@ void report() {
   reg.gauge("net.bench.localbus_throughput_per_s").set(bus.throughput_per_s());
   reg.gauge("net.bench.localbus_p50_ms").set(bus.latency_percentile(0.50));
   reg.gauge("net.bench.localbus_p99_ms").set(bus.latency_percentile(0.99));
+
+  if (rbvc::bench::trace_flag_slot()) {
+    // Overhead pass: the TCP load with the recorder off vs on. Two things
+    // make the naive A/B comparison lie at this scale: the 40-instance
+    // table run lasts ~100 ms, so mesh setup + thread spawn dominate and
+    // the noise floor is ~+-10%; and loopback-TCP throughput drifts run to
+    // run (scheduler noise, TIME_WAIT buildup). So the pass runs a longer
+    // stream (5x instances, amortizing setup) and interleaves the two
+    // sides pairwise -- off, on, off, on, ... -- taking each side's best,
+    // which cancels monotonic drift instead of charging it to whichever
+    // side happened to run later. The table runs above double as warmup.
+    net::LoadOptions oopt = opt;
+    oopt.instances = opt.instances * 5;
+    double base = 0.0;
+    double traced = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      obs::events::set_enabled(false);
+      base = std::max(base, run_tcp_load(oopt).throughput_per_s());
+      obs::events::set_enabled(true);
+      traced = std::max(traced, run_tcp_load(oopt).throughput_per_s());
+    }
+    const double overhead_pct =
+        base > 0 ? 100.0 * (base - traced) / base : 0.0;
+    reg.gauge("net.bench.untraced_throughput_per_s").set(base);
+    reg.gauge("net.bench.traced_throughput_per_s").set(traced);
+    reg.gauge("net.bench.trace_overhead_pct").set(overhead_pct);
+    std::printf("flight-recorder overhead: %.2f%% of decided-instances/s "
+                "(untraced %.1f/s vs traced %.1f/s, target < 5%%)\n",
+                overhead_pct, base, traced);
+  }
 
   t.print("pipelined decided-instance throughput and latency");
 }

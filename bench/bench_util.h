@@ -128,6 +128,28 @@ inline std::size_t bench_jobs() {
   return flag ? flag : rbvc::exec::default_jobs();
 }
 
+/// `--trace` on the command line. Benches that measure the flight
+/// recorder's overhead (bench_net_cluster) check this and add an
+/// events-disabled comparison pass when set.
+inline bool& trace_flag_slot() {
+  static bool trace = false;
+  return trace;
+}
+
+/// Extracts `--trace` from argv (removing it, so google-benchmark never
+/// sees the flag) and stores it in trace_flag_slot().
+inline void extract_trace_flag(int& argc, char** argv) {
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--trace") == 0) {
+      trace_flag_slot() = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+}
+
 }  // namespace rbvc::bench
 
 /// Defines a main() that prints the experiment report, runs timings, and
@@ -137,6 +159,7 @@ inline std::size_t bench_jobs() {
     const std::string rbvc_json_path =                  \
         ::rbvc::bench::extract_json_flag(argc, argv);   \
     ::rbvc::bench::extract_jobs_flag(argc, argv);       \
+    ::rbvc::bench::extract_trace_flag(argc, argv);      \
     report_fn();                                        \
     ::benchmark::Initialize(&argc, argv);               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

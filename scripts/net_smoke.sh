@@ -4,11 +4,20 @@
 # 100 pipelined consensus instances through rbvc-client, requiring every
 # instance to reach a 3-node quorum (f = 1).
 #
+# Observability pass (docs/OBSERVABILITY.md): every process writes a
+# flight-recorder JSONL log (--trace-out), each node exposes its admin
+# endpoint (--admin-port; checked mid-run via rbvc-client --status), and
+# after the run rbvc-trace merges all logs into one causally ordered
+# timeline, asserting zero Lamport violations and >= INSTANCES decided
+# instances. The merged log and Perfetto export land in TRACE_DIR.
+#
 # Usage:
 #   scripts/net_smoke.sh [build-dir] [instances]
 #
 # Env knobs:
-#   RBVC_SMOKE_PORT_BASE   first TCP port (default 7421)
+#   RBVC_SMOKE_PORT_BASE   first TCP port (default 7421; admin ports are
+#                          PORT_BASE+100..PORT_BASE+103)
+#   RBVC_SMOKE_TRACE_DIR   where the trace logs go (default: a mktemp dir)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,16 +25,23 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 INSTANCES="${2:-100}"
 PORT_BASE="${RBVC_SMOKE_PORT_BASE:-7421}"
+TRACE_DIR="${RBVC_SMOKE_TRACE_DIR:-$(mktemp -d)}"
+mkdir -p "$TRACE_DIR"
 
 NODE_BIN="$BUILD_DIR/tools/rbvc-node"
 CLIENT_BIN="$BUILD_DIR/tools/rbvc-client"
-for bin in "$NODE_BIN" "$CLIENT_BIN"; do
+TRACE_BIN="$BUILD_DIR/tools/rbvc-trace"
+for bin in "$NODE_BIN" "$CLIENT_BIN" "$TRACE_BIN"; do
   [ -x "$bin" ] || { echo "net_smoke.sh: missing $bin (build first)"; exit 1; }
 done
 
 CLUSTER=""
 for i in 0 1 2 3 4; do
   CLUSTER="${CLUSTER:+$CLUSTER,}127.0.0.1:$((PORT_BASE + i))"
+done
+ADMIN=""
+for i in 0 1 2 3; do
+  ADMIN="${ADMIN:+$ADMIN,}127.0.0.1:$((PORT_BASE + 100 + i))"
 done
 
 pids=()
@@ -37,17 +53,54 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Headroom for a full run's events: the default 8192-slot rings would wrap
+# away the early instances' frames and undercount decided instances.
+export RBVC_TRACE_RING=65536
+
 echo "== starting 4 nodes (node 3 crash-faults after 20 decisions) =="
 for i in 0 1 2 3; do
   crash=0
   [ "$i" -eq 3 ] && crash=20
   "$NODE_BIN" --id "$i" --cluster "$CLUSTER" --nodes 4 --f 1 --rounds 2 \
-    --crash-after "$crash" &
+    --crash-after "$crash" --admin-port $((PORT_BASE + 100 + i)) \
+    --trace-out "$TRACE_DIR/node$i.jsonl" &
   pids+=("$!")
 done
 
 echo "== driving $INSTANCES pipelined instances (quorum 3) =="
 "$CLIENT_BIN" --cluster "$CLUSTER" --nodes 4 --instances "$INSTANCES" \
-  --window 8 --quorum 3 --timeout-ms 60000
+  --window 8 --quorum 3 --timeout-ms 60000 \
+  --trace-out "$TRACE_DIR/client.jsonl"
 
-echo "net_smoke.sh: OK ($INSTANCES instances decided with a crashed node)"
+echo "== querying live admin endpoints =="
+# Node 3 has crashed by now and its process may have exited; require the
+# three survivors to answer with sane JSON.
+STATUS="$("$CLIENT_BIN" --status --admin "$ADMIN" || true)"
+echo "$STATUS"
+for i in 0 1 2; do
+  echo "$STATUS" | grep -q "^node $i {\"backlogged\"" \
+    || { echo "net_smoke.sh: node $i admin status missing"; exit 1; }
+done
+echo "$STATUS" | grep -q '"decided":0' \
+  && { echo "net_smoke.sh: a live node reports zero decisions"; exit 1; }
+
+echo "== stopping nodes (flushes --trace-out logs) =="
+for pid in "${pids[@]}"; do
+  kill "$pid" 2>/dev/null || true
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+pids=()
+
+echo "== merging per-node traces (causal check, >= $INSTANCES decided) =="
+logs=("$TRACE_DIR/client.jsonl")
+for i in 0 1 2 3; do
+  [ -s "$TRACE_DIR/node$i.jsonl" ] && logs+=("$TRACE_DIR/node$i.jsonl")
+done
+"$TRACE_BIN" --require-decided "$INSTANCES" \
+  --out "$TRACE_DIR/merged.jsonl" --perfetto "$TRACE_DIR/trace.json" \
+  "${logs[@]}"
+
+echo "net_smoke.sh: OK ($INSTANCES instances decided with a crashed node;"
+echo "  causal timeline verified, traces in $TRACE_DIR)"

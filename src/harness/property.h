@@ -46,6 +46,7 @@
 #include "exec/parallel_executor.h"
 #include "harness/repro.h"
 #include "harness/shrinker.h"
+#include "obs/events.h"
 #include "sim/rng.h"
 
 namespace rbvc::harness {
@@ -253,11 +254,19 @@ PropertyResult check_property(const Property<Runner>& prop) {
   // returns exactly the index a serial scan would (every index below the hit
   // is guaranteed to have run and passed).
   auto episode_fails = [&prop](std::size_t ep) {
+    // Flight-recorder markers only: events never influence generation,
+    // scheduling, or the repro file, so the RBVC_JOBS byte-identity
+    // contract is untouched (pinned by tests/events_test.cpp).
+    obs::events::emit(obs::events::Type::kEpisodeStart,
+                      static_cast<std::int32_t>(ep));
     Rng ep_rng(seed_sequence(prop.base_seed, ep));
     typename Runner::Experiment exp = prop.generate(ep_rng);
     sim::ScheduleLog log;
     const auto out = Runner::run_recorded(exp, log);
-    return !prop.oracle(exp, out).empty();
+    const bool failed = !prop.oracle(exp, out).empty();
+    obs::events::emit(obs::events::Type::kEpisodeEnd,
+                      static_cast<std::int32_t>(ep), failed ? 1 : 0);
+    return failed;
   };
   // The pool is constructed at any width (width 1 spawns no threads and
   // runs inline, in index order) so the exec.* metric entries -- and hence

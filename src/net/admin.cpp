@@ -1,0 +1,158 @@
+#include "net/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/node.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "rbvc/common.h"
+
+namespace rbvc::net {
+
+namespace {
+
+void set_timeout(int fd, int optname, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t k =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (k <= 0) return;  // peer went away; nothing to salvage
+    off += static_cast<std::size_t>(k);
+  }
+}
+
+/// Reads up to the first newline (the command line). Empty on timeout/EOF.
+std::string read_line(int fd) {
+  std::string line;
+  char ch = 0;
+  while (line.size() < 256) {
+    const ssize_t k = ::recv(fd, &ch, 1, 0);
+    if (k <= 0) return "";
+    if (ch == '\n') break;
+    if (ch != '\r') line.push_back(ch);
+  }
+  return line;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(const ConsensusNode& node, std::uint16_t port)
+    : node_(node) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  RBVC_REQUIRE(listen_fd_ >= 0, "admin: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw numerical_error("admin: cannot listen on 127.0.0.1:" +
+                          std::to_string(port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  RBVC_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                             &len) == 0,
+               "admin: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+AdminServer::~AdminServer() { close(); }
+
+void AdminServer::close() {
+  if (!open_.exchange(false, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::accept_loop() {
+  while (open_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!open_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    // Served inline: replies are snapshots of lock-free state, so even a
+    // slow client only delays the next accept, never the consensus loop.
+    set_timeout(fd, SO_RCVTIMEO, 2000);
+    serve_one(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::serve_one(int fd) {
+  const std::string cmd = read_line(fd);
+  if (cmd == "status") {
+    send_all(fd, node_.status_json() + "\n");
+  } else if (cmd == "metrics") {
+    send_all(fd, obs::global().dump_json());
+  } else if (cmd == "trace") {
+    send_all(fd, obs::events::dump_jsonl());
+  } else {
+    send_all(fd, "err unknown command\n");
+  }
+  ::shutdown(fd, SHUT_RDWR);  // the client reads to EOF
+}
+
+std::string admin_query(const std::string& host, std::uint16_t port,
+                        const std::string& command, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RBVC_REQUIRE(fd >= 0, "admin: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw invalid_argument("admin: cannot parse host `" + host + "`");
+  }
+  set_timeout(fd, SO_RCVTIMEO, timeout_ms);
+  set_timeout(fd, SO_SNDTIMEO, timeout_ms);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw numerical_error("admin: cannot connect to " + host + ":" +
+                          std::to_string(port) + ": " + err);
+  }
+  send_all(fd, command + "\n");
+  std::string reply;
+  char tmp[4096];
+  while (true) {
+    const ssize_t k = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (k < 0 && (errno == EWOULDBLOCK || errno == EAGAIN)) {
+      ::close(fd);
+      throw numerical_error("admin: reply from " + host + ":" +
+                            std::to_string(port) + " timed out");
+    }
+    if (k <= 0) break;
+    reply.append(tmp, static_cast<std::size_t>(k));
+  }
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace rbvc::net

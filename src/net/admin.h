@@ -1,0 +1,62 @@
+// Live cluster introspection: a minimal line-protocol status endpoint each
+// rbvc-node can expose (--admin-port). One accept-loop thread serves one
+// request per connection: the client sends a single command line and reads
+// the reply until EOF.
+//
+//   status   -> ConsensusNode::status_json()            (one line)
+//   metrics  -> obs::global().dump_json()               (multi-line JSON)
+//   trace    -> obs::events::dump_jsonl()               (JSONL, may be long)
+//
+// Anything else gets "err unknown command\n". The endpoint is deliberately
+// read-only and unauthenticated -- it is an operator peephole on a trusted
+// network (the CI smoke binds 127.0.0.1), not a control plane. Requests are
+// served inline under a short receive timeout so a silent client cannot
+// wedge the acceptor for long, and the server never touches the consensus
+// serve thread: status_json reads the node's LiveStatus atomics, metrics
+// and trace read their own lock-free stores.
+//
+// admin_query() is the matching client (rbvc-client --status, net_smoke.sh
+// via rbvc-client): connect, send the command, read to EOF.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace rbvc::net {
+
+class ConsensusNode;
+
+class AdminServer {
+ public:
+  /// Binds 127.0.0.1:port (port 0 = kernel-assigned, see port()) and starts
+  /// the accept loop. Throws on bind failure. `node` must outlive this.
+  AdminServer(const ConsensusNode& node, std::uint16_t port);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stops the accept loop and closes the listen socket. Idempotent.
+  void close();
+
+ private:
+  void accept_loop();
+  void serve_one(int fd);
+
+  const ConsensusNode& node_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> open_{true};
+  std::thread acceptor_;
+};
+
+/// One admin round-trip: sends `command` to host:port, returns the reply
+/// (read to EOF). Throws numerical_error when the endpoint is unreachable
+/// or times out (timeout_ms bounds both connect-inherited recv and reply).
+std::string admin_query(const std::string& host, std::uint16_t port,
+                        const std::string& command, int timeout_ms = 5000);
+
+}  // namespace rbvc::net

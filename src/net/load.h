@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/node.h"
+#include "obs/events.h"
 
 namespace rbvc::net {
 
@@ -74,6 +75,8 @@ inline LoadResult run_pipelined_load(ClusterClient& client,
       v.resize(opt.dim);
       for (auto& x : v) x = dist(rng);
     }
+    obs::events::emit(obs::events::Type::kPropose, instance,
+                      static_cast<std::int64_t>(opt.dim));
     client.propose(instance, inputs);
     return InFlight{Clock::now(), 0, 0};
   };
@@ -105,10 +108,16 @@ inline LoadResult run_pipelined_load(ClusterClient& client,
     if (ev->ok) ++it->second.ok;
     if (it->second.ok >= opt.quorum) {
       ++res.decided;
-      res.latencies_ms.push_back(since_ms(it->second.started));
+      const double ms = since_ms(it->second.started);
+      res.latencies_ms.push_back(ms);
+      obs::events::emit(obs::events::Type::kDecision, ev->instance, 1,
+                        static_cast<std::int64_t>(ms * 1e6));
       flying.erase(it);
     } else if (it->second.reports >= opt.nodes) {
       ++res.failed;
+      obs::events::emit(
+          obs::events::Type::kDecision, ev->instance, 0,
+          static_cast<std::int64_t>(since_ms(it->second.started) * 1e6));
       flying.erase(it);
     }
   }

@@ -20,6 +20,7 @@
 #include <semaphore>
 #include <vector>
 
+#include "obs/events.h"
 #include "sim/message.h"
 
 namespace rbvc::net {
@@ -40,7 +41,7 @@ class Mailbox {
 
   /// Any thread. Publishes the message and wakes one pending pop().
   void push(sim::Message m) {
-    Node* node = new Node{std::move(m), nullptr};
+    Node* node = new Node{std::move(m), nullptr, obs::events::now_ns()};
     Node* old = head_.load(std::memory_order_relaxed);
     do {
       node->next = old;
@@ -87,17 +88,29 @@ class Mailbox {
     return depth_.load(std::memory_order_relaxed);
   }
 
+  /// Consumer thread only. Queue wait (push -> pop, ns) of the message the
+  /// most recent successful pop() returned -- the transport rx-queue share
+  /// of the latency attribution (kQueuePop events).
+  std::uint64_t last_pop_wait_ns() const { return last_pop_wait_ns_; }
+
  private:
   struct Node {
     sim::Message m;
     Node* next;
+    std::uint64_t enqueued_ns;  // obs::events::now_ns() at push
+  };
+  struct Entry {
+    sim::Message m;
+    std::uint64_t enqueued_ns;
   };
 
   std::optional<sim::Message> take_from_batch() {
-    sim::Message m = std::move(batch_.front());
+    Entry e = std::move(batch_.front());
     batch_.pop_front();
     depth_.fetch_sub(1, std::memory_order_relaxed);
-    return m;
+    const std::uint64_t now = obs::events::now_ns();
+    last_pop_wait_ns_ = now > e.enqueued_ns ? now - e.enqueued_ns : 0;
+    return std::move(e.m);
   }
 
   void refill() {
@@ -108,7 +121,7 @@ class Mailbox {
     // not the O(k^2) of inserting each node mid-deque.
     scratch_.clear();
     while (n != nullptr) {
-      scratch_.push_back(std::move(n->m));
+      scratch_.push_back(Entry{std::move(n->m), n->enqueued_ns});
       Node* next = n->next;
       delete n;
       n = next;
@@ -121,8 +134,9 @@ class Mailbox {
   std::atomic<std::size_t> depth_{0};
   std::atomic<bool> closed_{false};
   std::counting_semaphore<> sem_{0};
-  std::deque<sim::Message> batch_;     // consumer-local, FIFO order
-  std::vector<sim::Message> scratch_;  // refill staging, reused across drains
+  std::deque<Entry> batch_;     // consumer-local, FIFO order
+  std::vector<Entry> scratch_;  // refill staging, reused across drains
+  std::uint64_t last_pop_wait_ns_ = 0;
 };
 
 }  // namespace rbvc::net

@@ -65,6 +65,23 @@ class ConsensusNode {
     std::size_t dropped = 0;  // unroutable / malformed messages
   };
 
+  /// Lock-free mirror of the serve loop's progress, readable from another
+  /// thread (the admin endpoint, net/admin.h) while serve() runs. The serve
+  /// thread updates these with relaxed stores next to the plain Stats; a
+  /// reader sees a near-point-in-time view, never a torn one.
+  struct LiveStatus {
+    std::atomic<std::uint64_t> proposed{0};
+    std::atomic<std::uint64_t> decided{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> backlogged{0};  // messages buffered pre-propose
+    std::atomic<std::int64_t> live_instances{0};
+    std::atomic<std::int64_t> gc_floor{0};
+    std::atomic<std::int64_t> last_decided{-1};   // newest reported instance
+    std::atomic<std::int64_t> last_decide_ns{0};  // its start -> decide ns
+    std::atomic<bool> crashed{false};
+  };
+
   ConsensusNode(Params params, Transport& t);
 
   /// Handles one delivered message if any arrives within timeout_ms.
@@ -76,6 +93,10 @@ class ConsensusNode {
   void serve(const std::atomic<bool>& stop, int poll_ms = 20);
 
   const Stats& stats() const { return stats_; }
+  const LiveStatus& live() const { return live_; }
+  /// One-line JSON of the live status, alphabetical keys -- the admin
+  /// endpoint's "status" reply. Safe from any thread.
+  std::string status_json() const;
   bool crashed() const { return crashed_; }
   Transport& transport() { return t_; }
 
@@ -85,6 +106,7 @@ class ConsensusNode {
     std::vector<Message> backlog;  // arrived before the propose
     ProcessId client = 0;
     bool reported = false;
+    std::uint64_t start_ns = 0;  // propose arrival, for decide latency
   };
 
   void handle(Message m);
@@ -96,6 +118,7 @@ class ConsensusNode {
   Params params_;
   Transport& t_;
   Stats stats_;
+  LiveStatus live_;
   bool crashed_ = false;
   int gc_floor_ = 0;  // instances below this id were retired by gc()
   std::map<int, Instance> instances_;

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/events.h"
+
 namespace rbvc::net {
 namespace {
 
@@ -40,6 +42,8 @@ SyncDriverResult run_sync_over_transport(sim::SyncProcess& p, Transport& t,
       }
     }
     res.messages += inbox.size();
+    obs::events::emit(obs::events::Type::kRoundStart, static_cast<int>(r),
+                      static_cast<std::int64_t>(inbox.size()));
 
     CollectingOutbox out;
     p.round(r, inbox, out);
@@ -61,6 +65,9 @@ SyncDriverResult run_sync_over_transport(sim::SyncProcess& p, Transport& t,
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) {
         ++res.timeouts;
+        obs::events::emit(obs::events::Type::kRoundTimeout,
+                          static_cast<int>(r),
+                          static_cast<std::int64_t>(n - eor[r].size()));
         break;
       }
       const int left = static_cast<int>(
@@ -84,6 +91,10 @@ SyncDriverResult run_sync_over_transport(sim::SyncProcess& p, Transport& t,
       if (tag < r) continue;
       m->meta.erase(m->meta.begin());
       pending[tag].push_back(std::move(*m));
+    }
+    if (eor[r].size() >= n) {
+      obs::events::emit(obs::events::Type::kRoundBarrier, static_cast<int>(r),
+                        static_cast<std::int64_t>(eor[r].size()));
     }
     eor.erase(r);
   }

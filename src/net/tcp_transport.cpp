@@ -9,10 +9,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 
 #include "net/wire.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace rbvc::net {
@@ -105,7 +107,8 @@ int dial(const HostPort& hp) {
 /// socket, so any bytes received past the frame stay in `buf` for the
 /// caller to hand to the reader loop — dropping them would silently lose
 /// coalesced frames or desync the stream mid-frame.
-std::optional<wire::Frame> read_one_frame(int fd, std::string& buf) {
+std::optional<wire::Frame> read_one_frame(int fd, std::string& buf,
+                                          bool* timed_out = nullptr) {
   char tmp[512];
   while (true) {
     try {
@@ -114,9 +117,23 @@ std::optional<wire::Frame> read_one_frame(int fd, std::string& buf) {
       return std::nullopt;
     }
     const ssize_t k = ::recv(fd, tmp, sizeof(tmp), 0);
-    if (k <= 0) return std::nullopt;  // EOF, error, or SO_RCVTIMEO elapsed
+    if (k <= 0) {  // EOF, error, or SO_RCVTIMEO elapsed
+      if (timed_out != nullptr) {
+        *timed_out = k < 0 && (errno == EWOULDBLOCK || errno == EAGAIN);
+      }
+      return std::nullopt;
+    }
     buf.append(tmp, static_cast<std::size_t>(k));
   }
+}
+
+/// Which consensus instance a message belongs to, for event attribution:
+/// node-level and instance-prefixed kinds carry it as meta.front(). -1 for
+/// untagged traffic (the sync driver's round tags alias here; its own
+/// round_* events carry the authoritative round).
+int instance_of(const Message& m) {
+  if (m.kind == "__eor" || m.meta.empty()) return -1;
+  return static_cast<int>(m.meta.front());
 }
 
 std::uint64_t decode_hello(const std::string& body) {
@@ -243,10 +260,18 @@ void TcpTransport::unregister_handshake(int fd) {
 void TcpTransport::server_handshake(int fd) {
   set_socket_timeout(fd, SO_RCVTIMEO, opts_.handshake_timeout_ms);
   std::string residual;
-  const auto hello = read_one_frame(fd, residual);
+  bool timed_out = false;
+  const auto hello = read_one_frame(fd, residual, &timed_out);
   unregister_handshake(fd);
   if (!hello || hello->type != wire::FrameType::kHello) {
-    obs::global().counter("net.wire_errors").inc();
+    if (timed_out) {
+      // A client that connected and never spoke: distinct from undecodable
+      // bytes, and the signature of a half-open dialer or a port scanner.
+      obs::global().counter("net.handshake_timeouts").inc();
+      obs::events::emit(obs::events::Type::kHandshakeTimeout, -1, fd);
+    } else {
+      obs::global().counter("net.wire_errors").inc();
+    }
     close_fd(fd);
     return;
   }
@@ -314,6 +339,8 @@ bool TcpTransport::register_connection(ProcessId peer, int fd, bool dialed) {
   obs::global().counter(ever_connected_[peer] && dialed ? "net.reconnects"
                                                         : "net.connects")
       .inc();
+  obs::events::emit(obs::events::Type::kConnect, -1,
+                    static_cast<std::int64_t>(peer), dialed ? 1 : 0);
   ever_connected_[peer] = true;
   return true;
 }
@@ -349,8 +376,20 @@ void TcpTransport::reader_loop(int fd, ProcessId peer, std::string buf) {
     try {
       while (auto f = wire::try_unframe(buf)) {
         if (f->type != wire::FrameType::kMessage) continue;
+        const std::uint64_t t0 = obs::events::now_ns();
         Message m = wire::decode_message(f->body);
+        const std::uint64_t decode_ns = obs::events::now_ns() - t0;
+        // The sender's Lamport stamp rides at the meta tail; strip it before
+        // the message reaches protocol code and merge so every event this
+        // node records after delivery is ordered after the send.
+        std::int64_t stamp = 0;
+        if (const auto lc = obs::events::strip_lamport(m.meta)) {
+          stamp = static_cast<std::int64_t>(*lc);
+          obs::events::lamport_merge(*lc);
+        }
         frames.inc();
+        obs::events::emit(obs::events::Type::kFrameRx, instance_of(m), stamp,
+                          static_cast<std::int64_t>(decode_ns));
         mailbox_.push(std::move(m));
       }
     } catch (const wire::WireError&) {
@@ -363,6 +402,8 @@ void TcpTransport::reader_loop(int fd, ProcessId peer, std::string buf) {
     buf.append(tmp.data(), static_cast<std::size_t>(k));
   }
   drop_connection(peer, fd);
+  obs::events::emit(obs::events::Type::kHangup, -1,
+                    static_cast<std::int64_t>(peer));
   close_fd(fd);  // sole owner of the close — see the ownership note above
 }
 
@@ -376,21 +417,46 @@ void TcpTransport::send(ProcessId to, Message m) {
     mailbox_.push(std::move(m));
     return;
   }
+  // Tick-then-stamp makes every framed send a Lamport event: the receiver's
+  // merge guarantees its delivery (and everything after) orders later.
+  const int inst = instance_of(m);
+  const std::uint64_t clock = obs::events::lamport_tick();
+  obs::events::stamp_lamport(m.meta, clock);
+  const std::uint64_t t0 = obs::events::now_ns();
   const std::string bytes = wire::frame_message(m);
-  if (write_frame(*conns_[to], bytes)) {
-    reg.counter("net.frames_sent").inc();
-    reg.counter("net.bytes_sent").inc(bytes.size());
-  } else {
-    // Crash-fault behavior: a down peer loses messages; the protocols
-    // tolerate up to f such peers, and the dialer keeps retrying.
-    reg.counter("net.send_drops").inc();
+  const std::uint64_t encode_ns = obs::events::now_ns() - t0;
+  switch (write_frame(*conns_[to], bytes)) {
+    case WriteStatus::kOk:
+      reg.counter("net.frames_sent").inc();
+      reg.counter("net.bytes_sent").inc(bytes.size());
+      obs::events::emit(obs::events::Type::kFrameTx, inst,
+                        static_cast<std::int64_t>(clock),
+                        static_cast<std::int64_t>(encode_ns));
+      return;
+    case WriteStatus::kTimeout:
+      // The peer was live but stopped draining its socket buffer; the
+      // SO_SNDTIMEO hangup is worth its own counter because it means a
+      // stall, not a crash — then fall through to the ordinary drop.
+      reg.counter("net.send_timeout_hangups").inc();
+      obs::events::emit(obs::events::Type::kSendTimeoutHangup, inst,
+                        static_cast<std::int64_t>(to));
+      [[fallthrough]];
+    case WriteStatus::kDown:
+    case WriteStatus::kError:
+      // Crash-fault behavior: a down peer loses messages; the protocols
+      // tolerate up to f such peers, and the dialer keeps retrying.
+      reg.counter("net.send_drops").inc();
+      obs::events::emit(obs::events::Type::kSendDrop, inst,
+                        static_cast<std::int64_t>(to));
+      return;
   }
 }
 
-bool TcpTransport::write_frame(Conn& c, const std::string& bytes) {
+TcpTransport::WriteStatus TcpTransport::write_frame(Conn& c,
+                                                    const std::string& bytes) {
   std::lock_guard<std::mutex> lk(c.mu);
   const int fd = c.fd.load(std::memory_order_acquire);
-  if (fd < 0) return false;
+  if (fd < 0) return WriteStatus::kDown;
   std::size_t off = 0;
   while (off < bytes.size()) {
     // Bounded by SO_SNDTIMEO: a peer that stops draining its socket gets
@@ -399,13 +465,14 @@ bool TcpTransport::write_frame(Conn& c, const std::string& bytes) {
     const ssize_t k =
         ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (k <= 0) {
+      const bool timed = k < 0 && (errno == EWOULDBLOCK || errno == EAGAIN);
       shutdown_fd(fd);  // wakes the reader, which owns the ::close
       c.fd.store(-1, std::memory_order_release);
-      return false;
+      return timed ? WriteStatus::kTimeout : WriteStatus::kError;
     }
     off += static_cast<std::size_t>(k);
   }
-  return true;
+  return WriteStatus::kOk;
 }
 
 std::optional<Message> TcpTransport::receive(int timeout_ms) {
@@ -414,6 +481,9 @@ std::optional<Message> TcpTransport::receive(int timeout_ms) {
     obs::global()
         .histogram("net.queue_depth", obs::count_buckets())
         .observe(static_cast<double>(mailbox_.depth()));
+    obs::events::emit(obs::events::Type::kQueuePop, instance_of(*m),
+                      static_cast<std::int64_t>(mailbox_.last_pop_wait_ns()),
+                      static_cast<std::int64_t>(mailbox_.depth()));
   }
   return m;
 }

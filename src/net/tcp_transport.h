@@ -17,9 +17,19 @@
 // tolerate for up to f peers. A connection that delivers undecodable bytes
 // (bad magic, unknown version, oversized frame) is dropped, never trusted.
 //
+// Causal tracing (docs/OBSERVABILITY.md): every framed send ticks the
+// process Lamport clock and appends the stamp to Message::meta
+// (obs/events.h, [lo30, hi30, kLamportMetaTag] at the tail); the reader
+// strips it and merges into the local clock before the message is
+// delivered, so per-node flight-recorder logs order causally across the
+// cluster (tools/rbvc-trace). Loopback sends skip the stamp (same clock),
+// and an unstamped peer simply does not merge -- wire format unchanged.
+//
 // Observability (docs/OBSERVABILITY.md): net.frames_sent/_received,
 // net.bytes_sent/_received, net.connects, net.reconnects, net.send_drops,
-// net.wire_errors, net.queue_depth.
+// net.handshake_timeouts, net.send_timeout_hangups, net.wire_errors,
+// net.queue_depth, plus flight-recorder events (connect/hangup/frame_tx/
+// frame_rx/queue_pop/...).
 #pragma once
 
 #include <atomic>
@@ -120,7 +130,10 @@ class TcpTransport final : public Transport {
   void adopt_connection(ProcessId peer, int fd, bool dialed);
   void drop_connection(ProcessId peer, int fd);
   void unregister_handshake(int fd);
-  bool write_frame(Conn& c, const std::string& bytes);
+  /// Why a framed write did not complete; send() maps kTimeout to the
+  /// net.send_timeout_hangups counter (the peer was live but stalled).
+  enum class WriteStatus { kOk, kDown, kTimeout, kError };
+  WriteStatus write_frame(Conn& c, const std::string& bytes);
 
   ProcessId self_;
   std::vector<HostPort> cluster_;

@@ -14,11 +14,13 @@
 #include <vector>
 
 #include "consensus/algo_relaxed.h"
+#include "net/admin.h"
 #include "net/load.h"
 #include "net/local_bus.h"
 #include "net/node.h"
 #include "net/sync_driver.h"
 #include "net/tcp_transport.h"
+#include "obs/events.h"
 #include "protocols/dolev_strong.h"
 #include "sim/sync_engine.h"
 
@@ -306,6 +308,66 @@ TEST(SyncDriverTest, AlgoOverLocalBusMatchesSim) {
   for (ProcessId id = 0; id < kN; ++id) {
     EXPECT_EQ(net_decisions[id], sim_decisions[id]) << "process " << id;
   }
+}
+
+// The live-introspection surface: LiveStatus mirrors the serve loop's
+// stats, status_json is stable one-line JSON, and the AdminServer answers
+// status / metrics / trace over its line protocol while the node serves.
+TEST(AdminTest, StatusJsonAndAdminEndpointServeLiveState) {
+  constexpr std::size_t kN = 4;
+  LocalBus bus(kN + 1);
+  NodeFleet fleet;
+  for (ProcessId id = 0; id < kN; ++id) {
+    fleet.add(node_params(kN, 1), bus.endpoint(id));
+  }
+  // Port 0: kernel-assigned, race-free under parallel ctest.
+  rbvc::net::AdminServer admin(*fleet.nodes[0], 0);
+  ASSERT_GT(admin.port(), 0);
+
+  ClusterClient client(bus.endpoint(kN), kN);
+  LoadOptions opt;
+  opt.nodes = kN;
+  opt.instances = 4;
+  opt.window = 2;
+  opt.quorum = kN;
+  opt.dim = 2;
+  opt.seed = 23;
+  opt.decision_timeout_ms = 30000;
+  const auto res = run_pipelined_load(client, opt);
+  ASSERT_FALSE(res.stalled);
+  ASSERT_EQ(res.decided, opt.instances);
+
+  // status: one line of JSON whose counters match the node's own stats.
+  const std::string status =
+      rbvc::net::admin_query("127.0.0.1", admin.port(), "status");
+  const auto& live = fleet.nodes[0]->live();
+  EXPECT_EQ(status, fleet.nodes[0]->status_json() + "\n");
+  EXPECT_EQ(live.decided.load(), opt.instances);
+  EXPECT_NE(status.find("\"decided\":4"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"crashed\":0"), std::string::npos) << status;
+
+  // metrics: the registry dump, which always carries the frames counter.
+  const std::string metrics =
+      rbvc::net::admin_query("127.0.0.1", admin.port(), "metrics");
+  EXPECT_NE(metrics.find("net.frames_sent"), std::string::npos);
+
+  // trace: flight-recorder JSONL that parses back (events from this very
+  // load run are in it).
+  const std::string trace =
+      rbvc::net::admin_query("127.0.0.1", admin.port(), "trace");
+  const auto events = rbvc::obs::events::parse_jsonl(trace);
+  EXPECT_FALSE(events.empty());
+
+  // Unknown commands get a diagnostic, not a hang.
+  EXPECT_EQ(rbvc::net::admin_query("127.0.0.1", admin.port(), "bogus"),
+            "err unknown command\n");
+
+  admin.close();
+  fleet.shutdown();
+  // After shutdown the stats and the live mirror agree exactly.
+  EXPECT_EQ(fleet.nodes[0]->stats().proposed, live.proposed.load());
+  EXPECT_EQ(fleet.nodes[0]->stats().decided, live.decided.load());
+  EXPECT_EQ(fleet.nodes[0]->stats().failed, live.failed.load());
 }
 
 // Nearest-rank percentile over the whole q range, including the q=0 edge

@@ -5,17 +5,30 @@
 //   rbvc-client --cluster 127.0.0.1:7000,...,127.0.0.1:7004 --nodes 4
 //               [--id 4] [--instances 100] [--window 8] [--quorum 3]
 //               [--dim 2] [--seed 1] [--timeout-ms 30000]
+//               [--metrics-out PATH] [--trace-out PATH]
+//   rbvc-client --status --admin 127.0.0.1:7521,... [--admin-cmd status]
 //
 // The client occupies cluster slot --id (default: first slot after the
 // nodes). --quorum ok decisions resolve an instance (default nodes - f
 // with f = 1).
+//
+// --status skips the load run and instead queries each node's admin
+// endpoint (rbvc-node --admin-port, net/admin.h), printing one line per
+// endpoint: `node <idx> <reply>`. --admin-cmd selects the command (status,
+// metrics, or trace; default status). Exits 1 if any endpoint is
+// unreachable. --metrics-out / --trace-out write the registry JSON and
+// flight-recorder JSONL after a load run (overriding RBVC_METRICS_OUT /
+// RBVC_TRACE_OUT).
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "net/admin.h"
 #include "net/load.h"
 #include "net/tcp_transport.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -23,9 +36,30 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --cluster host:port,... --nodes N [--id I]\n"
                "          [--instances K] [--window W] [--quorum Q]\n"
-               "          [--dim D] [--seed S] [--timeout-ms MS]\n",
-               argv0);
+               "          [--dim D] [--seed S] [--timeout-ms MS]\n"
+               "          [--metrics-out PATH] [--trace-out PATH]\n"
+               "       %s --status --admin host:port,... "
+               "[--admin-cmd status|metrics|trace]\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+/// The --status mode: one admin round-trip per endpoint.
+int run_status(const std::string& admin_csv, const std::string& cmd) {
+  const auto endpoints = rbvc::net::parse_cluster(admin_csv);
+  int rc = 0;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    try {
+      std::string reply =
+          rbvc::net::admin_query(endpoints[i].host, endpoints[i].port, cmd);
+      while (!reply.empty() && reply.back() == '\n') reply.pop_back();
+      std::printf("node %zu %s\n", i, reply.c_str());
+    } catch (const std::exception& e) {
+      std::printf("node %zu unreachable: %s\n", i, e.what());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -33,7 +67,12 @@ namespace {
 int main(int argc, char** argv) {
   long id = -1;
   long nodes = -1;
+  bool status_mode = false;
   std::string cluster_csv;
+  std::string admin_csv;
+  std::string admin_cmd = "status";
+  std::string metrics_out;
+  std::string trace_out;
   rbvc::net::LoadOptions opt;
   opt.quorum = 0;
 
@@ -52,7 +91,16 @@ int main(int argc, char** argv) {
     else if (a == "--dim") opt.dim = std::strtoul(next(), nullptr, 10);
     else if (a == "--seed") opt.seed = std::strtoull(next(), nullptr, 10);
     else if (a == "--timeout-ms") opt.decision_timeout_ms = std::atoi(next());
+    else if (a == "--status") status_mode = true;
+    else if (a == "--admin") admin_csv = next();
+    else if (a == "--admin-cmd") admin_cmd = next();
+    else if (a == "--metrics-out") metrics_out = next();
+    else if (a == "--trace-out") trace_out = next();
     else usage(argv[0]);
+  }
+  if (status_mode) {
+    if (admin_csv.empty()) usage(argv[0]);
+    return run_status(admin_csv, admin_cmd);
   }
   if (cluster_csv.empty() || nodes < 1) usage(argv[0]);
 
@@ -64,6 +112,9 @@ int main(int argc, char** argv) {
   }
   opt.nodes = static_cast<std::size_t>(nodes);
   if (opt.quorum == 0) opt.quorum = opt.nodes - 1;  // tolerate f = 1
+
+  rbvc::obs::events::set_node(static_cast<std::int32_t>(id));
+  rbvc::obs::events::install_crash_dump();
 
   try {
     rbvc::net::TcpTransport transport(static_cast<rbvc::net::ProcessId>(id),
@@ -86,6 +137,8 @@ int main(int argc, char** argv) {
         res.throughput_per_s(), res.latency_percentile(0.50),
         res.latency_percentile(0.99));
     transport.close();
+    if (!metrics_out.empty()) rbvc::obs::export_global(metrics_out);
+    if (!trace_out.empty()) rbvc::obs::events::export_trace(trace_out);
     if (res.stalled || res.decided < opt.instances) return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rbvc-client: fatal: %s\n", e.what());

@@ -5,20 +5,29 @@
 //   rbvc-node --id 0 --cluster 127.0.0.1:7000,...,127.0.0.1:7004
 //             --nodes 4 --f 1 [--rounds 4] [--rule relaxed-l2]
 //             [--crash-after K] [--connect-timeout-ms 15000]
+//             [--admin-port P] [--metrics-out PATH] [--trace-out PATH]
 //
 // The --cluster list names every endpoint, nodes first, then client slots;
 // --nodes says how many of them are consensus nodes (default: all but the
-// last entry).
+// last entry). --admin-port exposes the live introspection endpoint
+// (net/admin.h: status / metrics / trace over a line protocol on
+// 127.0.0.1); --metrics-out / --trace-out write the registry JSON and the
+// flight-recorder JSONL on exit (same formats as RBVC_METRICS_OUT /
+// RBVC_TRACE_OUT, which they override).
 
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "net/admin.h"
 #include "net/node.h"
 #include "net/tcp_transport.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -29,7 +38,9 @@ void on_signal(int) { g_stop.store(true, std::memory_order_release); }
   std::fprintf(stderr,
                "usage: %s --id N --cluster host:port,... [--nodes N] [--f F]\n"
                "          [--rounds R] [--rule relaxed-l2|relaxed-linf|exact]\n"
-               "          [--crash-after K] [--connect-timeout-ms MS]\n",
+               "          [--crash-after K] [--connect-timeout-ms MS]\n"
+               "          [--admin-port P] [--metrics-out PATH] "
+               "[--trace-out PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -44,8 +55,11 @@ int main(int argc, char** argv) {
   long rounds = 4;
   long crash_after = 0;
   long connect_timeout_ms = 15000;
+  long admin_port = -1;
   std::string cluster_csv;
   std::string rule = "relaxed-l2";
+  std::string metrics_out;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -61,6 +75,9 @@ int main(int argc, char** argv) {
     else if (a == "--rule") rule = next();
     else if (a == "--crash-after") crash_after = std::atol(next());
     else if (a == "--connect-timeout-ms") connect_timeout_ms = std::atol(next());
+    else if (a == "--admin-port") admin_port = std::atol(next());
+    else if (a == "--metrics-out") metrics_out = next();
+    else if (a == "--trace-out") trace_out = next();
     else usage(argv[0]);
   }
   if (id < 0 || cluster_csv.empty()) usage(argv[0]);
@@ -91,6 +108,8 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  rbvc::obs::events::set_node(static_cast<std::int32_t>(id));
+  rbvc::obs::events::install_crash_dump();
 
   try {
     rbvc::net::TcpTransport transport(static_cast<rbvc::net::ProcessId>(id),
@@ -103,6 +122,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "rbvc-node %ld: %zu/%ld peers connected\n", id, got,
                  nodes - 1);
     rbvc::net::ConsensusNode node(params, transport);
+    std::unique_ptr<rbvc::net::AdminServer> admin;
+    if (admin_port >= 0) {
+      admin = std::make_unique<rbvc::net::AdminServer>(
+          node, static_cast<std::uint16_t>(admin_port));
+      std::fprintf(stderr, "rbvc-node %ld: admin on 127.0.0.1:%u\n", id,
+                   admin->port());
+    }
     node.serve(g_stop);
     const auto& s = node.stats();
     std::fprintf(stderr,
@@ -110,10 +136,13 @@ int main(int argc, char** argv) {
                  "dropped=%zu%s\n",
                  id, s.proposed, s.decided, s.failed, s.dropped,
                  node.crashed() ? " (crashed)" : "");
+    if (admin) admin->close();
     transport.close();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rbvc-node %ld: fatal: %s\n", id, e.what());
     return 1;
   }
+  if (!metrics_out.empty()) rbvc::obs::export_global(metrics_out);
+  if (!trace_out.empty()) rbvc::obs::events::export_trace(trace_out);
   return 0;
 }
