@@ -1,0 +1,122 @@
+// Fleet sweep throughput: episodes/s as the worker-process count grows
+// (docs/FLEET.md). The report table runs the same healthy async-consensus
+// workload rbvc-sweep ships at 1/2/4 workers and prints throughput plus
+// the speedup over the single-process run -- CI's sweep-smoke job checks
+// the 4-worker row clears 2x. The google-benchmark timings then measure
+// the forked sweep end to end (fork + shard + merge + reap) per worker
+// count, so protocol overhead shows up as the gap between 1 worker and
+// the in-process baseline.
+//
+// Workers are forked processes, each running a 1-thread pool here
+// (--jobs is deliberately pinned to 1): the point is to measure fleet
+// fan-out, not to contend with the in-process pool for cores.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fleet/spawn.h"
+#include "harness/property.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace rbvc;
+
+constexpr std::size_t kEpisodes = 96;
+
+harness::AsyncProperty sweep_property() {
+  harness::AsyncProperty prop;
+  prop.name = "bench_sweep_healthy";
+  prop.generate = [](Rng& rng) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4;
+    e.prm.f = 1;
+    e.prm.rounds = 4;
+    e.d = 2;
+    e.honest_inputs = workload::gaussian_cloud(rng, 3, 2);
+    e.byzantine_ids = {rng.below(4)};
+    e.strategy = workload::AsyncStrategy::kOutlierInput;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.episodes = kEpisodes;
+  return prop;
+}
+
+fleet::WorkerJob sweep_job(const harness::AsyncProperty& prop) {
+  fleet::WorkerJob job;
+  job.jobs = 1;  // fan out across processes, not threads
+  job.episode = [&prop](std::size_t ep) {
+    return harness::detail::episode_fails(prop, ep);
+  };
+  job.failure_report = [&prop](std::size_t failing) {
+    const harness::detail::FailureTail t =
+        harness::detail::failure_tail(prop, failing);
+    fleet::FailureReport rep;
+    rep.episode = failing;
+    rep.original_len = t.original_len;
+    rep.shrunk_len = t.shrunk_len;
+    rep.message = t.failure;
+    rep.repro_text = t.repro_text;
+    return rep;
+  };
+  return job;
+}
+
+double forked_episodes_per_s(std::size_t workers) {
+  const harness::AsyncProperty prop = sweep_property();
+  fleet::SweepConfig cfg;
+  cfg.episodes = prop.episodes;
+  cfg.workers = workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  const fleet::SweepOutcome sw = fleet::run_forked_sweep(cfg, sweep_job(prop));
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return s > 0 ? static_cast<double>(sw.episodes) / s : 0.0;
+}
+
+void report() {
+  bench::Table table({"workers", "episodes", "episodes/s", "speedup"});
+  double base = 0;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    const double eps = forked_episodes_per_s(workers);
+    if (workers == 1) base = eps;
+    table.add_row({std::to_string(workers), std::to_string(kEpisodes),
+                   bench::Table::num(eps, 5),
+                   bench::Table::num(base > 0 ? eps / base : 0.0, 3)});
+    obs::global()
+        .gauge("fleet.bench.episodes_per_s.w" + std::to_string(workers))
+        .set(eps);
+  }
+  table.print("fleet sweep throughput (healthy async workload)");
+}
+
+void BM_ForkedSweep(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const harness::AsyncProperty prop = sweep_property();
+  std::uint64_t episodes = 0;
+  for (auto _ : state) {
+    fleet::SweepConfig cfg;
+    cfg.episodes = prop.episodes;
+    cfg.workers = workers;
+    const fleet::SweepOutcome sw =
+        fleet::run_forked_sweep(cfg, sweep_job(prop));
+    episodes += sw.episodes;
+    benchmark::DoNotOptimize(sw.stats.shards_completed);
+  }
+  state.counters["episodes/s"] = benchmark::Counter(
+      static_cast<double>(episodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ForkedSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RBVC_BENCH_MAIN(report)

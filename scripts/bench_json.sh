@@ -46,6 +46,13 @@ for exe in "${benches[@]}"; do
     echo "bench_json.sh: FATAL: $name wrote no metrics JSON" >&2
     exit 1
   fi
+  # A truncated or interleaved dump must fail HERE, naming the bench --
+  # not later as an unparseable aggregate nobody can attribute.
+  if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+      "$TMP_DIR/$name.json"; then
+    echo "bench_json.sh: FATAL: $name emitted malformed metrics JSON" >&2
+    exit 1
+  fi
 done
 
 # Aggregate: { "<bench>": <registry dump>, ... } -- each registry dump is
@@ -62,5 +69,17 @@ done
   done
   printf '}\n'
 } > "$OUT"
+
+# Belt and braces: the aggregate must itself parse, and every bench that
+# ran (bench_sweep, bench_net_cluster, ...) must appear as its own key.
+python3 - "$OUT" "${benches[@]}" <<'EOF'
+import json, os, sys
+out = sys.argv[1]
+agg = json.load(open(out))
+missing = [os.path.basename(b) for b in sys.argv[2:]
+           if os.path.basename(b) not in agg]
+if missing:
+    sys.exit(f"bench_json.sh: FATAL: {out} is missing keys: {missing}")
+EOF
 
 echo "aggregated ${#benches[@]} bench registries into $OUT"

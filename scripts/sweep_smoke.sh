@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the distributed episode fan-out (docs/FLEET.md),
+# driven by CI's sweep-smoke job:
+#
+#   1. The planted failing workload at --workers 1 (the in-process harness
+#      path) and --workers 4 (a forked fleet): both must FAIL on the same
+#      episode and the two repro files must be BYTE-identical.
+#   2. The same fleet sweep with a worker SIGKILLed mid-run
+#      (--kill-worker-after): the orphaned range must be reassigned (the
+#      metrics dump proves a death + reassignment happened) and the
+#      verdict/repro must not move.
+#   3. A healthy multi-worker sweep must pass.
+#   4. On runners with >= 4 cores, bench_sweep's throughput table must
+#      show > 2x episodes/s at 4 workers vs 1 (skipped below 4 cores,
+#      where the speedup is physically impossible).
+#
+# Usage: scripts/sweep_smoke.sh [build_dir] [out_dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-sweep-smoke}"
+SWEEP="$BUILD_DIR/tools/rbvc-sweep"
+BENCH="$BUILD_DIR/bench/bench_sweep"
+
+[ -x "$SWEEP" ] || { echo "sweep_smoke: $SWEEP not built"; exit 1; }
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR/w1" "$OUT_DIR/w4" "$OUT_DIR/kill"
+
+echo "== planted sweep, workers=1 (in-process reference) =="
+"$SWEEP" --workload planted --workers 1 --repro-out "$OUT_DIR/w1" \
+  --json "$OUT_DIR/w1/summary.json"
+
+echo "== planted sweep, workers=4 (forked fleet) =="
+"$SWEEP" --workload planted --workers 4 --repro-out "$OUT_DIR/w4" \
+  --json "$OUT_DIR/w4/summary.json"
+
+REPRO=rbvc_repro_sweep_planted.txt
+cmp "$OUT_DIR/w1/$REPRO" "$OUT_DIR/w4/$REPRO"
+echo "repro files byte-identical at 1 vs 4 workers"
+
+echo "== planted sweep, workers=4, one worker killed mid-sweep =="
+"$SWEEP" --workload planted --workers 4 --kill-worker-after 2 \
+  --repro-out "$OUT_DIR/kill" --json "$OUT_DIR/kill/summary.json"
+cmp "$OUT_DIR/w1/$REPRO" "$OUT_DIR/kill/$REPRO"
+echo "repro file unchanged across a worker death"
+
+python3 - "$OUT_DIR" <<'EOF'
+import json, sys
+out = sys.argv[1]
+kill = json.load(open(f"{out}/kill/summary.json"))
+counters = kill["counters"]
+deaths = counters.get("fleet.workers.deaths", 0)
+reassigned = counters.get("fleet.shards.reassigned", 0)
+restarts = counters.get("fleet.workers.restarts", 0)
+print(f"fleet.workers.deaths={deaths} fleet.shards.reassigned={reassigned} "
+      f"fleet.workers.restarts={restarts}")
+if deaths < 1:
+    sys.exit("chaos kill did not register a worker death")
+if reassigned < 1:
+    sys.exit("the killed worker's range was never reassigned")
+for run in ("w1", "w4", "kill"):
+    summary = json.load(open(f"{out}/{run}/summary.json"))
+    if summary["gauges"].get("sweep.failed") != 1.0:
+        sys.exit(f"{run}: planted workload did not fail")
+EOF
+
+echo "== healthy sweep, workers=4 =="
+"$SWEEP" --workload healthy --workers 4 --repro-out "$OUT_DIR" \
+  --json "$OUT_DIR/healthy_summary.json"
+python3 - "$OUT_DIR/healthy_summary.json" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+if summary["gauges"].get("sweep.failed") != 0.0:
+    sys.exit("healthy workload failed")
+EOF
+
+if [ "$(nproc)" -ge 4 ] && [ -x "$BENCH" ]; then
+  echo "== throughput probe: bench_sweep, 4 workers must clear 2x =="
+  "$BENCH" --benchmark_filter='^$' --json "$OUT_DIR/bench_sweep.json"
+  python3 - "$OUT_DIR/bench_sweep.json" <<'EOF'
+import json, sys
+gauges = json.load(open(sys.argv[1]))["gauges"]
+w1 = gauges.get("fleet.bench.episodes_per_s.w1", 0)
+w4 = gauges.get("fleet.bench.episodes_per_s.w4", 0)
+speedup = w4 / w1 if w1 > 0 else 0
+print(f"episodes/s: w1={w1:.1f} w4={w4:.1f} speedup={speedup:.2f}x")
+if speedup <= 2.0:
+    sys.exit(f"4-worker sweep speedup {speedup:.2f}x is not > 2x")
+EOF
+else
+  echo "== throughput probe skipped ($(nproc) cores < 4 or bench missing) =="
+fi
+
+echo "sweep smoke passed; summaries in $OUT_DIR/"

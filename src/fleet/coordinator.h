@@ -1,0 +1,174 @@
+// Sweep coordinator: shards an episode range across worker processes and
+// merges per-shard results into the single verdict a serial run would
+// produce (docs/FLEET.md).
+//
+// The coordinator is a single-threaded poll loop over one fd per worker
+// (fork-mode socketpairs or accepted TCP connections -- the protocol is
+// identical). It hands out episode ranges adaptively (large chunks while
+// the range is long, shrinking as it drains so stragglers cannot pin the
+// tail), detects worker death three ways -- EOF/reset on the fd, a
+// poisoned frame stream, and a heartbeat timeout while a shard is
+// outstanding -- and requeues the orphaned range for reassignment.
+// Optionally it respawns replacements up to a restart budget.
+//
+// Determinism contract (the point of the design): the verdict is the
+// globally lowest failing episode, final only once every episode below it
+// is covered by a completed shard (fleet/merge.h), and the repro bytes
+// shipped with the winning failure report were produced by the same
+// failure-tail code a single-process run executes -- so the merged repro
+// file is byte-identical to a `--workers 1` run at any worker count, even
+// across worker deaths and reassignment.
+//
+// Metrics: the coordinator publishes fleet.* counters/gauges into the
+// process-global registry ONLY when SweepConfig::publish_metrics is set
+// (the rbvc-sweep tool and bench_sweep opt in; the check_property fleet
+// path never does), and then ONCE, after the verdict. Fork-mode workers
+// inherit the parent's registry key set at spawn time, and the repro's
+// embedded metrics snapshot dumps every key ever minted in the producing
+// process -- so any fleet.* key minted before a fork leaks into worker
+// snapshots and breaks repro byte-identity against single-process runs
+// and across back-to-back sweeps (docs/OBSERVABILITY.md). Tool processes
+// exit after one sweep, so their opt-in cannot pollute a later fork.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "fleet/merge.h"
+#include "fleet/protocol.h"
+
+namespace rbvc::fleet {
+
+struct SweepConfig {
+  std::uint64_t episodes = 0;
+  std::size_t workers = 1;
+  // Adaptive shard sizing: chunk = clamp(remaining / (workers *
+  // oversubscribe), min_shard, max_shard). Early chunks are big (low
+  // protocol overhead), the tail is fine-grained (no straggler pins the
+  // verdict).
+  std::uint64_t min_shard = 1;
+  std::uint64_t max_shard = 4096;
+  std::uint64_t oversubscribe = 4;
+  int poll_interval_ms = 50;
+  // A worker with an outstanding shard (or one that never said hello)
+  // that stays silent this long is declared dead. Workers heartbeat
+  // between episodes (and while minimizing a failure), so only a truly
+  // hung or killed worker trips this. Generous default: CI sanitizer
+  // builds are slow.
+  int heartbeat_timeout_ms = 10000;
+  // Replacement workers forked (via the respawn hook) after a death.
+  // Default 0 means "workers" (one budget per original worker).
+  std::size_t max_restarts = 0;
+  // Test/CI chaos hook: once this many shards have completed, SIGKILL one
+  // live worker (preferring one with an outstanding shard, so the
+  // reassignment path is exercised). 0 = off.
+  std::uint64_t chaos_kill_after_shards = 0;
+  // Publish fleet.* metrics into the process-global registry after the
+  // verdict. Off by default: minting fleet.* keys poisons the registry
+  // snapshot embedded in repros produced by any LATER fork in the same
+  // process (see the header comment), so only single-sweep tool processes
+  // (rbvc-sweep, bench_sweep) turn this on.
+  bool publish_metrics = false;
+};
+
+struct SweepStats {
+  std::uint64_t shards_issued = 0;
+  std::uint64_t shards_completed = 0;
+  std::uint64_t shards_reassigned = 0;  // orphaned by a death and requeued
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t worker_restarts = 0;
+  std::uint64_t episodes_run = 0;  // sum of per-shard snapshot counts
+  std::uint64_t heartbeats = 0;
+  std::uint64_t failures_reported = 0;
+  // Time from the first failing shard result to the final merged verdict
+  // (waiting out coverage below the candidate); 0 for clean sweeps.
+  double merge_latency_us = 0;
+};
+
+/// Mirrors harness::PropertyResult semantics: on failure `episodes` is
+/// failing_episode + 1 (episodes provably at-or-below the hit), otherwise
+/// the full sweep size.
+struct SweepOutcome {
+  bool failed = false;
+  std::uint64_t failing_episode = 0;
+  std::string failure;     // oracle message from the winning report
+  std::string repro_text;  // complete repro file bytes, written verbatim
+  std::uint64_t original_len = 0;
+  std::uint64_t shrunk_len = 0;
+  std::uint64_t episodes = 0;
+  SweepStats stats;
+};
+
+class Coordinator {
+ public:
+  /// Respawn hook: returns a fresh worker (fd, pid), or fd < 0 when no
+  /// replacement can be made. The fork-mode spawner installs one.
+  using RespawnFn = std::function<std::pair<int, long>()>;
+
+  explicit Coordinator(const SweepConfig& cfg);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Registers a connected worker. Takes ownership of `fd`; `pid` > 0
+  /// enables SIGKILL/reap handling (fork mode), <= 0 marks an external
+  /// (e.g. TCP) worker the coordinator can only hang up on.
+  void add_worker(int fd, long pid);
+
+  void set_respawn(RespawnFn fn) { respawn_ = std::move(fn); }
+
+  /// Runs the sweep to its merged verdict, then shuts the fleet down and
+  /// publishes fleet.* metrics. Throws std::runtime_error if every worker
+  /// (including respawns) dies while episodes remain uncovered.
+  SweepOutcome run();
+
+ private:
+  struct Worker {
+    int fd = -1;
+    long pid = 0;
+    std::uint64_t id = 0;
+    bool alive = true;
+    bool hello = false;
+    bool reaped = false;
+    std::string rdbuf;
+    std::optional<Assign> outstanding;
+    // A failing ShardResult parks here until its FailureReport lands; the
+    // shard only counts as complete (and merges) once both arrived, so a
+    // death in between requeues the whole range.
+    std::optional<ShardResult> pending_result;
+    std::int64_t last_frame_ms = 0;
+    std::uint64_t episodes_done = 0;
+  };
+
+  std::optional<Assign> next_range();
+  void issue(Worker& w);
+  void handle_frame(Worker& w, const net::wire::Frame& f);
+  void complete_shard(Worker& w, const ShardResult& res);
+  void mark_dead(Worker& w, const char* why);
+  void maybe_chaos_kill();
+  bool done() const;
+  void finalize_fleet();
+  void publish_metrics() const;
+
+  SweepConfig cfg_;
+  MergeState merge_;
+  SweepStats stats_;
+  std::deque<Worker> workers_;  // deque: stable refs across respawns
+  std::map<std::uint64_t, FailureReport> reports_;
+  // Orphaned ranges awaiting reassignment, lowest begin first.
+  std::map<std::uint64_t, std::uint64_t> orphans_;
+  std::uint64_t next_fresh_ = 0;
+  std::uint64_t next_shard_id_ = 0;
+  std::size_t restarts_left_;
+  bool chaos_killed_ = false;
+  std::int64_t first_candidate_ms_ = -1;
+  RespawnFn respawn_;
+};
+
+}  // namespace rbvc::fleet

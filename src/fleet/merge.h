@@ -1,0 +1,102 @@
+// Lowest-index-failure merge for the sweep coordinator (docs/FLEET.md).
+//
+// Shards complete in arbitrary order (workers race, die, get reassigned);
+// this tracker decides WHEN the sweep's verdict is final and WHAT it is,
+// under the same contract the in-process executor's find_first gives:
+//
+//   * The reported failure is the globally lowest failing episode index.
+//   * The verdict "failed at k" is final only once every episode below k
+//     is covered by a completed shard -- a straggler or reassigned shard
+//     below k could still fail lower.
+//   * The verdict "passed" is final only once [0, episodes) is fully
+//     covered.
+//
+// A failing shard counts as covering its whole range: within a shard the
+// worker's find_first guarantees everything below the hit ran and missed,
+// and indices above the hit are above the (candidate) global minimum, so
+// their execution can never change the verdict. Pure bookkeeping, no I/O;
+// tests/fleet_sweep_test.cpp drives it with out-of-order completions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "fleet/protocol.h"
+
+namespace rbvc::fleet {
+
+class MergeState {
+ public:
+  explicit MergeState(std::uint64_t episodes) : episodes_(episodes) {}
+
+  /// Record a completed shard [begin, end) whose lowest failing episode
+  /// was `failing` (kNoEpisode for a clean shard). Ranges may arrive in
+  /// any order; overlapping re-completions (a reassigned shard racing its
+  /// presumed-dead owner) are harmless.
+  void complete(std::uint64_t begin, std::uint64_t end,
+                std::uint64_t failing = kNoEpisode) {
+    if (failing != kNoEpisode) candidate_ = std::min(candidate_, failing);
+    if (end <= covered_upto_) return;
+    begin = std::max(begin, covered_upto_);
+    if (begin > covered_upto_) {
+      // Detached: stash, coalescing with any overlapping stashed ranges.
+      auto it = pending_.lower_bound(begin);
+      if (it != pending_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= begin) {
+          begin = prev->first;
+          end = std::max(end, prev->second);
+          it = pending_.erase(prev);
+        }
+      }
+      while (it != pending_.end() && it->first <= end) {
+        end = std::max(end, it->second);
+        it = pending_.erase(it);
+      }
+      pending_[begin] = end;
+      return;
+    }
+    // Extends the covered prefix; absorb any stashed ranges it now touches.
+    covered_upto_ = end;
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first <= covered_upto_) {
+      covered_upto_ = std::max(covered_upto_, it->second);
+      it = pending_.erase(it);
+    }
+  }
+
+  /// First episode index not yet covered by a completed shard.
+  std::uint64_t covered_upto() const { return covered_upto_; }
+
+  /// The lowest failing episode seen so far (kNoEpisode when none).
+  std::uint64_t candidate() const { return candidate_; }
+  bool has_candidate() const { return candidate_ != kNoEpisode; }
+
+  /// True once the verdict can no longer change: either a candidate
+  /// failure with everything below it covered, or full clean coverage.
+  bool decided() const {
+    if (has_candidate()) return covered_upto_ > candidate_;
+    return covered_upto_ >= episodes_;
+  }
+
+  /// A completed-or-stashed range starting at or below `idx` can still
+  /// lower the candidate only if it is NOT yet covered; the coordinator
+  /// uses this to decide whether an orphaned shard still needs re-running.
+  bool needs(std::uint64_t begin) const {
+    if (!has_candidate()) return true;
+    return begin <= candidate_;
+  }
+
+  std::uint64_t episodes() const { return episodes_; }
+
+ private:
+  std::uint64_t episodes_;
+  std::uint64_t covered_upto_ = 0;
+  std::uint64_t candidate_ = kNoEpisode;
+  // Completed ranges detached from the covered prefix: begin -> end,
+  // disjoint and non-adjacent after coalescing.
+  std::map<std::uint64_t, std::uint64_t> pending_;
+};
+
+}  // namespace rbvc::fleet

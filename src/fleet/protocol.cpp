@@ -1,0 +1,213 @@
+#include "fleet/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rbvc::fleet {
+
+using net::wire::Frame;
+using net::wire::FrameType;
+using net::wire::kMaxBody;
+using net::wire::WireError;
+
+namespace {
+
+// Little-endian primitive writers/readers, the same shape as the
+// Message/Trace codec internals (net/wire.cpp): readers consume from a
+// cursor and throw WireError past the end, so every composite decoder
+// inherits bounds checking.
+
+template <class T>
+void put_uint(std::string& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_bytes(std::string& out, std::string_view s) {
+  put_uint<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Cursor {
+  std::string_view rest;
+
+  template <class T>
+  T take_uint() {
+    if (rest.size() < sizeof(T)) throw WireError("wire: truncated body");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(rest[i])) << (8 * i);
+    }
+    rest.remove_prefix(sizeof(T));
+    return v;
+  }
+
+  std::string take_bytes() {
+    const std::uint32_t len = take_uint<std::uint32_t>();
+    if (len > kMaxBody || rest.size() < len) {
+      throw WireError("wire: truncated body");
+    }
+    std::string s(rest.substr(0, len));
+    rest.remove_prefix(len);
+    return s;
+  }
+
+  void expect_done() const {
+    if (!rest.empty()) throw WireError("wire: trailing garbage");
+  }
+};
+
+}  // namespace
+
+std::string encode_hello(const Hello& h) {
+  std::string out;
+  put_uint<std::uint64_t>(out, h.pid);
+  put_uint<std::uint64_t>(out, h.jobs);
+  return out;
+}
+
+Hello decode_hello(std::string_view body) {
+  Cursor c{body};
+  Hello h;
+  h.pid = c.take_uint<std::uint64_t>();
+  h.jobs = c.take_uint<std::uint64_t>();
+  c.expect_done();
+  return h;
+}
+
+std::string encode_assign(const Assign& a) {
+  std::string out;
+  put_uint<std::uint64_t>(out, a.shard_id);
+  put_uint<std::uint64_t>(out, a.begin);
+  put_uint<std::uint64_t>(out, a.end);
+  return out;
+}
+
+Assign decode_assign(std::string_view body) {
+  Cursor c{body};
+  Assign a;
+  a.shard_id = c.take_uint<std::uint64_t>();
+  a.begin = c.take_uint<std::uint64_t>();
+  a.end = c.take_uint<std::uint64_t>();
+  if (a.end < a.begin) throw WireError("wire: fleet assign range reversed");
+  c.expect_done();
+  return a;
+}
+
+std::string encode_result(const ShardResult& r) {
+  std::string out;
+  put_uint<std::uint64_t>(out, r.shard_id);
+  put_uint<std::uint64_t>(out, r.begin);
+  put_uint<std::uint64_t>(out, r.end);
+  put_uint<std::uint64_t>(out, r.failing);
+  put_bytes(out, r.metrics_json);
+  return out;
+}
+
+ShardResult decode_result(std::string_view body) {
+  Cursor c{body};
+  ShardResult r;
+  r.shard_id = c.take_uint<std::uint64_t>();
+  r.begin = c.take_uint<std::uint64_t>();
+  r.end = c.take_uint<std::uint64_t>();
+  r.failing = c.take_uint<std::uint64_t>();
+  if (r.end < r.begin) throw WireError("wire: fleet result range reversed");
+  if (r.failing != kNoEpisode && (r.failing < r.begin || r.failing >= r.end)) {
+    throw WireError("wire: fleet result failing index outside its shard");
+  }
+  r.metrics_json = c.take_bytes();
+  c.expect_done();
+  return r;
+}
+
+std::string encode_failure(const FailureReport& f) {
+  std::string out;
+  put_uint<std::uint64_t>(out, f.episode);
+  put_uint<std::uint64_t>(out, f.original_len);
+  put_uint<std::uint64_t>(out, f.shrunk_len);
+  put_bytes(out, f.message);
+  put_bytes(out, f.repro_text);
+  return out;
+}
+
+FailureReport decode_failure(std::string_view body) {
+  Cursor c{body};
+  FailureReport f;
+  f.episode = c.take_uint<std::uint64_t>();
+  f.original_len = c.take_uint<std::uint64_t>();
+  f.shrunk_len = c.take_uint<std::uint64_t>();
+  f.message = c.take_bytes();
+  f.repro_text = c.take_bytes();
+  c.expect_done();
+  return f;
+}
+
+std::string encode_heartbeat(const Heartbeat& h) {
+  std::string out;
+  put_uint<std::uint64_t>(out, h.episodes_done);
+  return out;
+}
+
+Heartbeat decode_heartbeat(std::string_view body) {
+  Cursor c{body};
+  Heartbeat h;
+  h.episodes_done = c.take_uint<std::uint64_t>();
+  c.expect_done();
+  return h;
+}
+
+std::string frame_hello(const Hello& h) {
+  return net::wire::frame(FrameType::kFleetHello, encode_hello(h));
+}
+std::string frame_assign(const Assign& a) {
+  return net::wire::frame(FrameType::kFleetAssign, encode_assign(a));
+}
+std::string frame_result(const ShardResult& r) {
+  return net::wire::frame(FrameType::kFleetResult, encode_result(r));
+}
+std::string frame_failure(const FailureReport& f) {
+  return net::wire::frame(FrameType::kFleetFailure, encode_failure(f));
+}
+std::string frame_heartbeat(const Heartbeat& h) {
+  return net::wire::frame(FrameType::kFleetHeartbeat, encode_heartbeat(h));
+}
+std::string frame_shutdown() {
+  return net::wire::frame(FrameType::kFleetShutdown, {});
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    throw std::system_error(errno, std::generic_category(), "fleet: send");
+  }
+  return true;
+}
+
+std::optional<net::wire::Frame> read_frame(int fd, std::string& buffer) {
+  for (;;) {
+    if (auto f = net::wire::try_unframe(buffer)) return f;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return std::nullopt;  // clean EOF
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return std::nullopt;
+    throw std::system_error(errno, std::generic_category(), "fleet: recv");
+  }
+}
+
+}  // namespace rbvc::fleet

@@ -1,0 +1,130 @@
+// Coordinator<->worker protocol for the distributed episode fan-out
+// (docs/FLEET.md). A sweep coordinator shards an episode range [0, N)
+// across worker processes; this header defines the message bodies the two
+// sides exchange and reuses the length-prefixed frame format from
+// net/wire.h (magic / version / type / length), so framing hardening --
+// bad magic, unknown version, oversized length, truncation -- is inherited
+// from the transport layer and the fleet codec only owns body layouts.
+//
+// Frame types (wire::FrameType::kFleet*):
+//   Hello      worker -> coordinator  announces pid + episode-pool width.
+//   Assign     coordinator -> worker  one shard: episode range [begin,end).
+//   Result     worker -> coordinator  per-shard verdict: lowest failing
+//                                     episode in the shard (or none) plus a
+//                                     metrics snapshot (obs::Registry JSON:
+//                                     episodes actually run, wall time).
+//   Failure    worker -> coordinator  the failure report for one episode:
+//                                     oracle message + the serialized repro
+//                                     file bytes, produced by the exact
+//                                     failure-tail code a single-process
+//                                     run uses, so the coordinator can
+//                                     write them verbatim and stay
+//                                     byte-identical at any worker count.
+//   Heartbeat  worker -> coordinator  liveness + episodes-done progress,
+//                                     sent between episodes.
+//   Shutdown   coordinator -> worker  drain and exit.
+//
+// Like the Message/Trace codecs, encode/decode are an exact fixpoint both
+// ways and decoders reject truncated bodies, forged counts, and trailing
+// garbage with a WireError naming the defect (tests/fleet_protocol_test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+
+namespace rbvc::fleet {
+
+/// "No failing episode" sentinel in ShardResult::failing.
+inline constexpr std::uint64_t kNoEpisode = ~std::uint64_t{0};
+
+/// Worker -> coordinator, first frame on a fresh connection.
+struct Hello {
+  std::uint64_t pid = 0;   // worker process id (0 when unknown)
+  std::uint64_t jobs = 0;  // episode-pool width the worker will run
+  bool operator==(const Hello&) const = default;
+};
+
+/// Coordinator -> worker: run episodes [begin, end) as shard `shard_id`.
+struct Assign {
+  std::uint64_t shard_id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool operator==(const Assign&) const = default;
+};
+
+/// Worker -> coordinator: the shard's verdict. `failing` is the LOWEST
+/// failing episode index in [begin, end), or kNoEpisode; every episode
+/// below a reported failure is guaranteed to have run and passed (the
+/// find_first contract, exec/parallel_executor.h). `metrics_json` is a
+/// small obs::Registry dump (fleet.shard.* entries) snapshotting the
+/// shard's execution: episodes run, wall milliseconds.
+struct ShardResult {
+  std::uint64_t shard_id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t failing = kNoEpisode;
+  std::string metrics_json;
+  bool operator==(const ShardResult&) const = default;
+};
+
+/// Worker -> coordinator, immediately after a failing ShardResult: the
+/// full failure report for that episode. `repro_text` is the serialized
+/// schema-v3 repro file produced by the shared failure tail
+/// (harness/property.h), shipped verbatim.
+struct FailureReport {
+  std::uint64_t episode = 0;
+  std::uint64_t original_len = 0;  // recorded schedule entries
+  std::uint64_t shrunk_len = 0;    // after shrinking
+  std::string message;             // oracle violation text
+  std::string repro_text;          // complete repro file bytes
+  bool operator==(const FailureReport&) const = default;
+};
+
+/// Worker -> coordinator: liveness plus cumulative episodes executed.
+struct Heartbeat {
+  std::uint64_t episodes_done = 0;
+  bool operator==(const Heartbeat&) const = default;
+};
+
+// --- body codecs (exact fixpoint; WireError on malformed input) ------------
+
+std::string encode_hello(const Hello& h);
+Hello decode_hello(std::string_view body);
+
+std::string encode_assign(const Assign& a);
+Assign decode_assign(std::string_view body);
+
+std::string encode_result(const ShardResult& r);
+ShardResult decode_result(std::string_view body);
+
+std::string encode_failure(const FailureReport& f);
+FailureReport decode_failure(std::string_view body);
+
+std::string encode_heartbeat(const Heartbeat& h);
+Heartbeat decode_heartbeat(std::string_view body);
+
+// --- framed convenience ----------------------------------------------------
+
+std::string frame_hello(const Hello& h);
+std::string frame_assign(const Assign& a);
+std::string frame_result(const ShardResult& r);
+std::string frame_failure(const FailureReport& f);
+std::string frame_heartbeat(const Heartbeat& h);
+std::string frame_shutdown();  // empty body
+
+// --- blocking fd I/O -------------------------------------------------------
+// Shared by the fork-mode socketpairs and the rbvc-sweep TCP path. Sends
+// never raise SIGPIPE (MSG_NOSIGNAL); a peer hangup surfaces as `false`.
+
+/// Writes all of `data`; false on EPIPE/reset (peer gone), throws
+/// std::system_error on other errors.
+bool send_all(int fd, std::string_view data);
+
+/// Reads until `buffer` yields one complete frame. Returns the frame, or
+/// nullopt on clean EOF / peer reset. Throws WireError on malformed bytes.
+std::optional<net::wire::Frame> read_frame(int fd, std::string& buffer);
+
+}  // namespace rbvc::fleet

@@ -1,0 +1,84 @@
+#include "fleet/spawn.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace rbvc::fleet {
+
+namespace {
+
+/// Forks one worker. Returns {parent-side fd, child pid}, or {-1, 0} when
+/// fork/socketpair fails (the coordinator treats that as "no replacement").
+std::pair<int, long> fork_worker(const WorkerJob& job,
+                                 const WorkerOptions& opts) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return {-1, 0};
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return {-1, 0};
+  }
+  if (pid == 0) {
+    // Child: if the coordinator dies without reaping us, die with it
+    // rather than orphan-running episodes nobody will merge.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1) ::_exit(1);  // parent died before prctl armed
+    ::close(sv[0]);
+    int rc = 1;
+    try {
+      rc = run_worker(sv[1], job, opts);
+    } catch (...) {
+      rc = 2;
+    }
+    // _exit, not exit: atexit sinks (metrics/trace dumps) belong to the
+    // parent process only.
+    ::_exit(rc);
+  }
+  ::close(sv[1]);
+  return {sv[0], static_cast<long>(pid)};
+}
+
+}  // namespace
+
+std::size_t env_workers() {
+  const char* env = std::getenv("RBVC_WORKERS");
+  if (!env || !*env) return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || (end && *end)) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+SweepOutcome run_forked_sweep(SweepConfig cfg, const WorkerJob& job,
+                              const WorkerOptions& opts) {
+  if (cfg.episodes == 0) {
+    SweepOutcome out;
+    out.episodes = 0;
+    return out;
+  }
+  cfg.workers = std::max<std::size_t>(
+      1, std::min<std::size_t>(cfg.workers,
+                               static_cast<std::size_t>(cfg.episodes)));
+  Coordinator coord(cfg);
+  for (std::size_t i = 0; i < cfg.workers; ++i) {
+    const auto [fd, pid] = fork_worker(job, opts);
+    if (fd < 0) {
+      throw std::runtime_error("fleet: failed to fork worker " +
+                               std::to_string(i));
+    }
+    coord.add_worker(fd, pid);
+  }
+  coord.set_respawn([&job, opts] { return fork_worker(job, opts); });
+  return coord.run();
+}
+
+}  // namespace rbvc::fleet

@@ -1,0 +1,32 @@
+// Fork-mode fleet spawner: turns a WorkerJob into a local multi-process
+// sweep (docs/FLEET.md). Each worker is a fork of the current process
+// connected to the coordinator over a socketpair; the child runs
+// run_worker() and _exit()s without unwinding (so atexit metric/trace
+// sinks fire only in the parent, keeping worker processes silent).
+//
+// Fork safety: callers must invoke run_forked_sweep() from a
+// single-threaded state -- the harness does (check_property forks before
+// constructing any pool), and the children construct their own pools
+// after the fork. Children arm PR_SET_PDEATHSIG so a dying coordinator
+// cannot strand them.
+#pragma once
+
+#include <cstddef>
+
+#include "fleet/coordinator.h"
+#include "fleet/worker.h"
+
+namespace rbvc::fleet {
+
+/// Worker-count override from RBVC_WORKERS (0 / unset / garbage = 0,
+/// meaning "no fleet -- run in-process"). Mirrors exec::env_jobs().
+std::size_t env_workers();
+
+/// Forks `cfg.workers` children (capped at cfg.episodes), runs the sweep
+/// to its merged verdict, reaps the fleet, and returns the outcome.
+/// Respawn-on-death is wired up with the same fork path. Throws
+/// std::runtime_error when the fleet dies entirely with work remaining.
+SweepOutcome run_forked_sweep(SweepConfig cfg, const WorkerJob& job,
+                              const WorkerOptions& opts = WorkerOptions{});
+
+}  // namespace rbvc::fleet

@@ -1,0 +1,57 @@
+// Fleet worker: the process-side loop that serves episode shards to a
+// sweep coordinator (docs/FLEET.md). The worker side is deliberately
+// workload-agnostic -- it is handed two closures:
+//
+//   episode(i)        runs episode i, returns true when it FAILS the
+//                     property. Fanned across the process's own
+//                     work-stealing pool (exec/parallel_executor.h) at
+//                     RBVC_JOBS width, exactly like a single-process
+//                     sweep, so per-shard find_first keeps the "lowest
+//                     failing index, everything below ran" contract.
+//   failure_report(i) the failure tail for episode i: re-generate from
+//                     seed, minimize, serialize the schema-v3 repro file.
+//                     This MUST be the same code a single-process run
+//                     executes (harness/property.h failure_tail) -- that
+//                     is what makes the coordinator's merged repro
+//                     byte-identical at any worker count.
+//
+// Invariant: worker-side fleet code never records into the process-global
+// metrics registry. The repro file embeds a snapshot of every key ever
+// minted in the producing process, so a stray fleet.* counter here would
+// break byte-identity against single-process runs. Per-shard telemetry
+// travels to the coordinator as a detached local Registry dump instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fleet/protocol.h"
+
+namespace rbvc::fleet {
+
+/// The workload a worker serves. Both closures must be deterministic
+/// functions of the episode index (the harness derives per-episode RNG
+/// streams from seed_sequence(base_seed, i)); `episode` must additionally
+/// be thread-safe, as shards fan across the worker's pool.
+struct WorkerJob {
+  std::function<bool(std::size_t)> episode;
+  std::function<FailureReport(std::size_t)> failure_report;
+  std::size_t jobs = 0;  // pool width; 0 = exec::default_jobs()
+};
+
+/// Options for the worker loop; the defaults suit both fork-mode
+/// socketpairs and rbvc-sweep's TCP workers.
+struct WorkerOptions {
+  int heartbeat_interval_ms = 200;  // min gap between heartbeat frames
+};
+
+/// Serves shards over `fd` until a shutdown frame or coordinator hangup.
+/// Returns 0 on clean shutdown, 1 when the coordinator vanished. Throws
+/// only on local I/O errors or a workload exception escaping an episode
+/// (fork-mode children turn that into a nonzero _exit, which the
+/// coordinator sees as a death and handles by reassignment).
+int run_worker(int fd, const WorkerJob& job,
+               const WorkerOptions& opts = WorkerOptions{});
+
+}  // namespace rbvc::fleet

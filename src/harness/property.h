@@ -35,6 +35,15 @@
 // byte-identical at any job count. generate/oracle must therefore be
 // thread-safe in addition to deterministic; every stock oracle and all
 // in-repo generators are (stateless closures over the passed-in Rng).
+//
+// Setting RBVC_WORKERS=<n> (n > 1) escalates the fan-out one level: the
+// sweep forks n worker processes (each running its own RBVC_JOBS-wide
+// pool) and a coordinator shards the episode range across them
+// (fleet/spawn.h, docs/FLEET.md). The same determinism contract holds
+// across processes: the verdict is the globally lowest failing episode,
+// the failure tail runs via the identical detail::failure_tail code
+// inside the worker that found it, and the repro file the coordinator
+// writes is byte-identical to a single-process run at any worker count.
 #pragma once
 
 #include <algorithm>
@@ -44,6 +53,7 @@
 #include <string>
 
 #include "exec/parallel_executor.h"
+#include "fleet/spawn.h"
 #include "harness/repro.h"
 #include "harness/shrinker.h"
 #include "obs/events.h"
@@ -215,10 +225,142 @@ std::string describe(const PropertyResult& r);
 // The engine.
 // ---------------------------------------------------------------------------
 
+namespace detail {
+
+/// One detection-phase episode: generate from seed_sequence(base_seed, ep),
+/// run recorded, judge. Returns true when the property FAILS. Shared by the
+/// in-process find_first sweep and fleet workers so both phases execute the
+/// exact same code on an episode index.
+template <class Runner>
+bool episode_fails(const Property<Runner>& prop, std::size_t ep) {
+  // Flight-recorder markers only: events never influence generation,
+  // scheduling, or the repro file, so the RBVC_JOBS byte-identity
+  // contract is untouched (pinned by tests/events_test.cpp).
+  obs::events::emit(obs::events::Type::kEpisodeStart,
+                    static_cast<std::int32_t>(ep));
+  Rng ep_rng(seed_sequence(prop.base_seed, ep));
+  typename Runner::Experiment exp = prop.generate(ep_rng);
+  sim::ScheduleLog log;
+  const auto out = Runner::run_recorded(exp, log);
+  const bool failed = !prop.oracle(exp, out).empty();
+  obs::events::emit(obs::events::Type::kEpisodeEnd,
+                    static_cast<std::int32_t>(ep), failed ? 1 : 0);
+  return failed;
+}
+
+/// What the failure tail produces for one failing episode. `repro_text` is
+/// the complete serialized repro file -- the caller (or, in fleet mode, the
+/// coordinator in another process) writes it verbatim, which is what makes
+/// multi-process repro files byte-identical to single-process ones.
+struct FailureTail {
+  std::string failure;     // oracle message
+  std::string repro_text;  // serialize_repro() of the minimized episode
+  std::size_t original_len = 0;
+  std::size_t shrunk_len = 0;
+};
+
+/// The failure tail: re-generate episode `failing` from its seed, re-run
+/// recorded, minimize, serialize. Always runs single-threaded on the
+/// calling thread, so the minimizer's replays and the metrics snapshot
+/// embedded in the repro are identical at any job count. (The episode ran
+/// once in the detection phase, discarded -- one duplicate run is noise
+/// next to the shrink budget.)
+template <class Runner>
+FailureTail failure_tail(const Property<Runner>& prop, std::size_t failing) {
+  Rng ep_rng(seed_sequence(prop.base_seed, failing));
+  typename Runner::Experiment exp = prop.generate(ep_rng);
+  sim::ScheduleLog log;
+  const auto out = Runner::run_recorded(exp, log);
+  const std::string violation = prop.oracle(exp, out);
+  RBVC_REQUIRE(!violation.empty(),
+               "check_property: episode " + std::to_string(failing) +
+                   " failed in the detection phase but passed when re-run; "
+                   "generate/oracle must be deterministic functions of the "
+                   "episode seed");
+
+  FailureTail t;
+  t.failure = violation;
+  t.original_len = log.size();
+
+  std::string trace_dump;
+  std::string metrics_json;
+  const sim::ScheduleLog best = Runner::minimize(
+      exp, log, prop.oracle, prop.shrink ? prop.shrink_budget : 0, &trace_dump,
+      &metrics_json);
+  t.shrunk_len = best.size();
+
+  Repro<typename Runner::Experiment> rep;
+  rep.property = prop.name;
+  rep.failure = violation;
+  rep.experiment = exp;  // minimize() left it serialization-clean
+  rep.schedule = best;
+  rep.trace_dump = trace_dump;
+  rep.metrics_json = metrics_json;
+  t.repro_text = serialize_repro(rep);
+  return t;
+}
+
+/// Where the repro file for `prop` goes (same path in every execution mode).
+template <class Runner>
+std::string repro_file_path(const Property<Runner>& prop) {
+  return std::filesystem::absolute(std::filesystem::path(prop.repro_dir) /
+                                   ("rbvc_repro_" + prop.name + ".txt"))
+      .string();
+}
+
+/// Fleet mode: fork `workers` processes and shard the sweep across them
+/// (fleet/spawn.h). The workers run detail::episode_fails for detection and
+/// detail::failure_tail for the tail -- the same code the in-process path
+/// runs -- and the coordinator's lowest-index merge plus verbatim repro
+/// write keep the result byte-identical to the in-process sweep.
+template <class Runner>
+PropertyResult check_property_fleet(const Property<Runner>& prop,
+                                    std::size_t episodes,
+                                    std::size_t workers) {
+  fleet::SweepConfig cfg;
+  cfg.episodes = episodes;
+  cfg.workers = workers;
+
+  fleet::WorkerJob job;
+  job.episode = [&prop](std::size_t ep) {
+    return episode_fails(prop, ep);
+  };
+  job.failure_report = [&prop](std::size_t failing) {
+    const FailureTail t = failure_tail(prop, failing);
+    fleet::FailureReport rep;
+    rep.episode = failing;
+    rep.original_len = t.original_len;
+    rep.shrunk_len = t.shrunk_len;
+    rep.message = t.failure;
+    rep.repro_text = t.repro_text;
+    return rep;
+  };
+
+  const fleet::SweepOutcome sw = fleet::run_forked_sweep(cfg, job);
+
+  PropertyResult r;
+  r.episodes = static_cast<std::size_t>(sw.episodes);
+  if (sw.failed) {
+    r.passed = false;
+    r.failure = sw.failure;
+    r.failing_episode = static_cast<std::size_t>(sw.failing_episode);
+    r.original_len = static_cast<std::size_t>(sw.original_len);
+    r.shrunk_len = static_cast<std::size_t>(sw.shrunk_len);
+    const std::string path = repro_file_path(prop);
+    write_repro_text(path, sw.repro_text);
+    r.repro_path = path;
+  }
+  return r;
+}
+
+}  // namespace detail
+
 /// Runs the property. If RBVC_REPLAY names a repro file whose `property`
 /// field matches `prop.name`, that single counterexample is re-executed
 /// instead of fuzzing (episodes = 1, replayed_from_file = true); the file's
-/// mode must match the runner's, else invalid_argument.
+/// mode must match the runner's, else invalid_argument. If RBVC_WORKERS
+/// exceeds 1, the sweep runs in fleet mode (multi-process fan-out; see the
+/// header comment) with an identical verdict and repro file.
 template <class Runner>
 PropertyResult check_property(const Property<Runner>& prop) {
   RBVC_REQUIRE(prop.generate && prop.oracle,
@@ -244,82 +386,47 @@ PropertyResult check_property(const Property<Runner>& prop) {
     }
   }
 
-  PropertyResult r;
   const std::size_t episodes =
       prop.episodes ? prop.episodes : fuzz_episodes(kDefaultEpisodes);
 
+  // Fleet mode forks before any pool exists in this process, so workers
+  // inherit a registry without exec.* keys and mint them exactly as a
+  // fresh single-process run would.
+  if (const std::size_t workers = fleet::env_workers();
+      workers > 1 && episodes > 1) {
+    return detail::check_property_fleet(prop, episodes, workers);
+  }
+
+  PropertyResult r;
   // Detection phase: find the lowest failing episode index. Each episode is
   // self-contained -- its RNG stream is seed_sequence(base_seed, ep) -- so
   // with >1 job the pool's find_first fans episodes across workers and still
   // returns exactly the index a serial scan would (every index below the hit
   // is guaranteed to have run and passed).
-  auto episode_fails = [&prop](std::size_t ep) {
-    // Flight-recorder markers only: events never influence generation,
-    // scheduling, or the repro file, so the RBVC_JOBS byte-identity
-    // contract is untouched (pinned by tests/events_test.cpp).
-    obs::events::emit(obs::events::Type::kEpisodeStart,
-                      static_cast<std::int32_t>(ep));
-    Rng ep_rng(seed_sequence(prop.base_seed, ep));
-    typename Runner::Experiment exp = prop.generate(ep_rng);
-    sim::ScheduleLog log;
-    const auto out = Runner::run_recorded(exp, log);
-    const bool failed = !prop.oracle(exp, out).empty();
-    obs::events::emit(obs::events::Type::kEpisodeEnd,
-                      static_cast<std::int32_t>(ep), failed ? 1 : 0);
-    return failed;
-  };
+  //
   // The pool is constructed at any width (width 1 spawns no threads and
   // runs inline, in index order) so the exec.* metric entries -- and hence
   // the key set of any registry snapshot -- never depend on the job count.
   exec::ParallelExecutor pool(
       std::min<std::size_t>(exec::default_jobs(), episodes ? episodes : 1));
-  const std::size_t failing = pool.find_first(episodes, episode_fails);
+  const std::size_t failing = pool.find_first(episodes, [&prop](std::size_t ep) {
+    return detail::episode_fails(prop, ep);
+  });
   if (failing == exec::kNoIndex) {
     r.episodes = episodes;
     return r;
   }
 
-  // Failure tail: always single-threaded on the calling thread, so the
-  // minimizer's replays and the metrics snapshot embedded in the repro are
-  // identical at any job count. The failing episode is re-generated and
-  // re-run from its seed (it ran once in the detection phase, discarded --
-  // one duplicate run is noise next to the shrink budget).
-  Rng ep_rng(seed_sequence(prop.base_seed, failing));
-  typename Runner::Experiment exp = prop.generate(ep_rng);
-  sim::ScheduleLog log;
-  const auto out = Runner::run_recorded(exp, log);
-  const std::string violation = prop.oracle(exp, out);
-  RBVC_REQUIRE(!violation.empty(),
-               "check_property: episode " + std::to_string(failing) +
-                   " failed in the detection phase but passed when re-run; "
-                   "generate/oracle must be deterministic functions of the "
-                   "episode seed");
-
+  const detail::FailureTail t = detail::failure_tail(prop, failing);
   r.passed = false;
-  r.failure = violation;
+  r.failure = t.failure;
   r.failing_episode = failing;
   r.episodes = failing + 1;
-  r.original_len = log.size();
-
-  std::string trace_dump;
-  std::string metrics_json;
-  const sim::ScheduleLog best = Runner::minimize(
-      exp, log, prop.oracle, prop.shrink ? prop.shrink_budget : 0, &trace_dump,
-      &metrics_json);
-  r.shrunk_len = best.size();
-
-  Repro<typename Runner::Experiment> rep;
-  rep.property = prop.name;
-  rep.failure = violation;
-  rep.experiment = exp;  // minimize() left it serialization-clean
-  rep.schedule = best;
-  rep.trace_dump = trace_dump;
-  rep.metrics_json = metrics_json;
-  const auto path = std::filesystem::absolute(
-      std::filesystem::path(prop.repro_dir) /
-      ("rbvc_repro_" + prop.name + ".txt"));
-  write_repro(path.string(), rep);
-  r.repro_path = path.string();
+  r.original_len = t.original_len;
+  r.shrunk_len = t.shrunk_len;
+  const std::string path = detail::repro_file_path(prop);
+  write_repro_text(path, t.repro_text);
+  r.repro_path = path;
   return r;
 }
 

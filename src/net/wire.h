@@ -47,6 +47,14 @@ enum class FrameType : std::uint16_t {
   kMessage = 1,  // body = encoded Message
   kTrace = 2,    // body = encoded Trace
   kHello = 3,    // body = u64 sender id (TCP connection handshake)
+  // Sweep-fleet coordinator<->worker protocol (fleet/protocol.h). The
+  // framing layer is shared; the fleet codec owns these body layouts.
+  kFleetHello = 4,      // worker -> coordinator: pid, pool width
+  kFleetAssign = 5,     // coordinator -> worker: episode range to run
+  kFleetResult = 6,     // worker -> coordinator: per-shard verdict + metrics
+  kFleetFailure = 7,    // worker -> coordinator: repro bytes for a failure
+  kFleetHeartbeat = 8,  // worker -> coordinator: liveness + progress
+  kFleetShutdown = 9,   // coordinator -> worker: drain and exit
 };
 
 /// Decoder/framer error; what() starts with "wire: " and names the defect.

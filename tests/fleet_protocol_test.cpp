@@ -1,0 +1,211 @@
+// Fleet protocol codec (fleet/protocol.h): encode/decode fixpoint for
+// every coordinator<->worker message, named rejection of truncated and
+// garbage-extended bodies (mirroring wire_codec_test), fleet-specific
+// body validation (reversed ranges, out-of-shard failing index), and the
+// framed forms round-tripping through the shared net/wire framing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/protocol.h"
+
+namespace fl = rbvc::fleet;
+namespace w = rbvc::net::wire;
+
+namespace {
+
+fl::ShardResult sample_result() {
+  fl::ShardResult r;
+  r.shard_id = 7;
+  r.begin = 32;
+  r.end = 48;
+  r.failing = 41;
+  r.metrics_json = "{\"counters\":{\"fleet.shard.episodes\":16}}";
+  return r;
+}
+
+fl::FailureReport sample_failure() {
+  fl::FailureReport f;
+  f.episode = 41;
+  f.original_len = 399;
+  f.shrunk_len = 377;
+  f.message = "agreement: pairwise decision distance exceeds eps";
+  // std::string(ptr, len): keeps the embedded NUL a char* would truncate.
+  f.repro_text = std::string("rbvc-repro v3\nmode async\n\0\xff bytes\n", 34);
+  return f;
+}
+
+TEST(FleetProtocol, HelloRoundTripFixpoint) {
+  const fl::Hello h{12345, 8};
+  const std::string body = fl::encode_hello(h);
+  const fl::Hello back = fl::decode_hello(body);
+  EXPECT_EQ(back, h);
+  EXPECT_EQ(fl::encode_hello(back), body);
+}
+
+TEST(FleetProtocol, AssignRoundTripFixpoint) {
+  const fl::Assign a{3, 128, 256};
+  const std::string body = fl::encode_assign(a);
+  const fl::Assign back = fl::decode_assign(body);
+  EXPECT_EQ(back, a);
+  EXPECT_EQ(fl::encode_assign(back), body);
+}
+
+TEST(FleetProtocol, ResultRoundTripFixpoint) {
+  const fl::ShardResult r = sample_result();
+  const std::string body = fl::encode_result(r);
+  const fl::ShardResult back = fl::decode_result(body);
+  EXPECT_EQ(back, r);
+  EXPECT_EQ(fl::encode_result(back), body);
+}
+
+TEST(FleetProtocol, CleanResultUsesNoEpisodeSentinel) {
+  fl::ShardResult r = sample_result();
+  r.failing = fl::kNoEpisode;
+  const fl::ShardResult back = fl::decode_result(fl::encode_result(r));
+  EXPECT_EQ(back.failing, fl::kNoEpisode);
+  EXPECT_EQ(back, r);
+}
+
+TEST(FleetProtocol, FailureRoundTripFixpoint) {
+  // Repro text includes embedded NUL and high bytes: the codec must treat
+  // it as opaque bytes, since real repro files embed trace dumps.
+  const fl::FailureReport f = sample_failure();
+  const std::string body = fl::encode_failure(f);
+  const fl::FailureReport back = fl::decode_failure(body);
+  EXPECT_EQ(back, f);
+  EXPECT_EQ(fl::encode_failure(back), body);
+}
+
+TEST(FleetProtocol, HeartbeatRoundTripFixpoint) {
+  const fl::Heartbeat hb{987654321};
+  const std::string body = fl::encode_heartbeat(hb);
+  EXPECT_EQ(fl::decode_heartbeat(body), hb);
+  EXPECT_EQ(fl::encode_heartbeat(fl::decode_heartbeat(body)), body);
+}
+
+TEST(FleetProtocol, TruncatedBodiesRejectedEverywhere) {
+  // Every strict prefix of every message body must throw, never decode.
+  const std::string bodies[] = {
+      fl::encode_hello(fl::Hello{1, 2}),
+      fl::encode_assign(fl::Assign{3, 4, 5}),
+      fl::encode_result(sample_result()),
+      fl::encode_failure(sample_failure()),
+      fl::encode_heartbeat(fl::Heartbeat{6}),
+  };
+  for (std::size_t which = 0; which < 5; ++which) {
+    const std::string& body = bodies[which];
+    for (std::size_t cut = 0; cut < body.size(); ++cut) {
+      const std::string prefix = body.substr(0, cut);
+      EXPECT_THROW(
+          {
+            switch (which) {
+              case 0: fl::decode_hello(prefix); break;
+              case 1: fl::decode_assign(prefix); break;
+              case 2: fl::decode_result(prefix); break;
+              case 3: fl::decode_failure(prefix); break;
+              default: fl::decode_heartbeat(prefix); break;
+            }
+          },
+          w::WireError)
+          << "message " << which << " decoded a " << cut << "-byte prefix";
+    }
+  }
+}
+
+TEST(FleetProtocol, TrailingGarbageRejectedByName) {
+  std::string body = fl::encode_assign(fl::Assign{1, 2, 3});
+  body.push_back('\0');
+  EXPECT_THROW(
+      {
+        try {
+          fl::decode_assign(body);
+        } catch (const w::WireError& e) {
+          EXPECT_STREQ(e.what(), "wire: trailing garbage");
+          throw;
+        }
+      },
+      w::WireError);
+}
+
+TEST(FleetProtocol, ReversedAssignRangeRejected) {
+  EXPECT_THROW(
+      {
+        try {
+          fl::decode_assign(fl::encode_assign(fl::Assign{0, 10, 9}));
+        } catch (const w::WireError& e) {
+          EXPECT_STREQ(e.what(), "wire: fleet assign range reversed");
+          throw;
+        }
+      },
+      w::WireError);
+}
+
+TEST(FleetProtocol, OutOfShardFailingIndexRejected) {
+  fl::ShardResult r = sample_result();
+  r.failing = r.end;  // one past the shard: forged
+  EXPECT_THROW(
+      {
+        try {
+          fl::decode_result(fl::encode_result(r));
+        } catch (const w::WireError& e) {
+          EXPECT_STREQ(e.what(),
+                       "wire: fleet result failing index outside its shard");
+          throw;
+        }
+      },
+      w::WireError);
+}
+
+TEST(FleetProtocol, FramedFormsRoundTripThroughWireFraming) {
+  // The fleet types ride the shared framing: frame_* output must unframe
+  // into (type, body) pairs the body codecs invert exactly.
+  std::string stream = fl::frame_hello(fl::Hello{9, 4}) +
+                       fl::frame_assign(fl::Assign{0, 0, 16}) +
+                       fl::frame_result(sample_result()) +
+                       fl::frame_failure(sample_failure()) +
+                       fl::frame_heartbeat(fl::Heartbeat{3}) +
+                       fl::frame_shutdown();
+  auto f = w::try_unframe(stream);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, w::FrameType::kFleetHello);
+  EXPECT_EQ(fl::decode_hello(f->body), (fl::Hello{9, 4}));
+  f = w::try_unframe(stream);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, w::FrameType::kFleetAssign);
+  EXPECT_EQ(fl::decode_assign(f->body), (fl::Assign{0, 0, 16}));
+  f = w::try_unframe(stream);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, w::FrameType::kFleetResult);
+  EXPECT_EQ(fl::decode_result(f->body), sample_result());
+  f = w::try_unframe(stream);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, w::FrameType::kFleetFailure);
+  EXPECT_EQ(fl::decode_failure(f->body), sample_failure());
+  f = w::try_unframe(stream);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, w::FrameType::kFleetHeartbeat);
+  EXPECT_EQ(fl::decode_heartbeat(f->body), (fl::Heartbeat{3}));
+  f = w::try_unframe(stream);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, w::FrameType::kFleetShutdown);
+  EXPECT_TRUE(f->body.empty());
+  EXPECT_TRUE(stream.empty());
+  EXPECT_FALSE(w::try_unframe(stream).has_value());
+}
+
+TEST(FleetProtocol, PartialFrameStaysBuffered) {
+  // A half-received frame must not decode (or consume bytes) until the
+  // rest arrives -- the coordinator feeds recv chunks straight in.
+  const std::string full = fl::frame_result(sample_result());
+  std::string stream = full.substr(0, full.size() / 2);
+  EXPECT_FALSE(w::try_unframe(stream).has_value());
+  EXPECT_EQ(stream.size(), full.size() / 2);
+  stream += full.substr(full.size() / 2);
+  const auto f = w::try_unframe(stream);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(fl::decode_result(f->body), sample_result());
+}
+
+}  // namespace

@@ -1,0 +1,319 @@
+// The RBVC_WORKERS determinism contract (ctest labels: fleet, tsan):
+// merge bookkeeping under out-of-order shard completion, forked sweeps
+// (fleet/spawn.h) passing and failing, worker-crash reassignment via the
+// chaos hook, and the end-to-end harness guarantee -- a property checked
+// at --workers 1 (in-process) and RBVC_WORKERS=8 (fleet) must report the
+// same verdict, the same lowest failing episode, and write a
+// BYTE-identical repro file. See docs/FLEET.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "fleet/merge.h"
+#include "fleet/spawn.h"
+#include "harness/property.h"
+#include "workload/generators.h"
+
+namespace rbvc {
+namespace {
+
+// --- MergeState: out-of-order completion bookkeeping -----------------------
+
+TEST(MergeState, CleanSweepDecidesOnlyAtFullCoverage) {
+  fleet::MergeState m(32);
+  m.complete(8, 16);
+  m.complete(24, 32);
+  EXPECT_EQ(m.covered_upto(), 0u);  // nothing contiguous from 0 yet
+  EXPECT_FALSE(m.decided());
+  m.complete(0, 8);
+  EXPECT_EQ(m.covered_upto(), 16u);  // absorbed the stashed [8,16)
+  EXPECT_FALSE(m.decided());
+  m.complete(16, 24);
+  EXPECT_EQ(m.covered_upto(), 32u);
+  EXPECT_TRUE(m.decided());
+  EXPECT_FALSE(m.has_candidate());
+}
+
+TEST(MergeState, CandidateWaitsForCoverageBelowIt) {
+  fleet::MergeState m(24);
+  m.complete(16, 24, 20);
+  EXPECT_TRUE(m.has_candidate());
+  EXPECT_EQ(m.candidate(), 20u);
+  EXPECT_FALSE(m.decided()) << "episodes below 20 could still fail lower";
+  // A later shard reports a LOWER failure: candidate must drop.
+  m.complete(8, 16, 9);
+  EXPECT_EQ(m.candidate(), 9u);
+  EXPECT_FALSE(m.decided());
+  m.complete(0, 8);
+  EXPECT_EQ(m.candidate(), 9u);
+  EXPECT_TRUE(m.decided()) << "everything below 9 covered and clean";
+}
+
+TEST(MergeState, OverlappingRecompletionsAreHarmless) {
+  // A reassigned shard racing its presumed-dead owner completes twice.
+  fleet::MergeState m(16);
+  m.complete(0, 8);
+  m.complete(4, 12);
+  m.complete(0, 8);
+  EXPECT_EQ(m.covered_upto(), 12u);
+  m.complete(8, 16);
+  EXPECT_TRUE(m.decided());
+}
+
+TEST(MergeState, NeedsOnlyRangesAtOrBelowTheCandidate) {
+  fleet::MergeState m(64);
+  EXPECT_TRUE(m.needs(48)) << "no candidate: everything is needed";
+  m.complete(32, 48, 40);
+  EXPECT_TRUE(m.needs(8));
+  EXPECT_TRUE(m.needs(40));
+  EXPECT_FALSE(m.needs(41)) << "above the candidate: can't lower verdict";
+}
+
+// --- forked sweeps ---------------------------------------------------------
+
+harness::AsyncProperty planted_property(const std::string& repro_dir) {
+  harness::AsyncProperty prop;
+  prop.name = "fleet_sweep_planted";
+  prop.generate = [](Rng& rng) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4;
+    e.prm.f = 1;
+    e.prm.rounds = 2;
+    e.prm.use_witness = false;
+    e.prm.quorum_override = 2;  // test-only hook: quorum below n - f
+    e.d = 2;
+    e.honest_inputs = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+    e.scheduler = workload::SchedulerKind::kRandom;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.episodes = 24;
+  prop.shrink_budget = 120;
+  prop.repro_dir = repro_dir;
+  return prop;
+}
+
+harness::AsyncProperty healthy_property(const std::string& repro_dir) {
+  harness::AsyncProperty prop;
+  prop.name = "fleet_sweep_healthy";
+  prop.generate = [](Rng& rng) {
+    workload::AsyncExperiment e;
+    e.prm.n = 4;
+    e.prm.f = 1;
+    e.prm.rounds = 4;
+    e.d = 2;
+    e.honest_inputs = workload::gaussian_cloud(rng, 3, 2);
+    e.byzantine_ids = {rng.below(4)};
+    e.strategy = workload::AsyncStrategy::kOutlierInput;
+    e.seed = rng.next_u64();
+    return e;
+  };
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  prop.episodes = 16;
+  prop.repro_dir = repro_dir;
+  return prop;
+}
+
+fleet::WorkerJob job_for(const harness::AsyncProperty& prop) {
+  fleet::WorkerJob job;
+  job.jobs = 1;
+  job.episode = [&prop](std::size_t ep) {
+    return harness::detail::episode_fails(prop, ep);
+  };
+  job.failure_report = [&prop](std::size_t failing) {
+    const harness::detail::FailureTail t =
+        harness::detail::failure_tail(prop, failing);
+    fleet::FailureReport rep;
+    rep.episode = failing;
+    rep.original_len = t.original_len;
+    rep.shrunk_len = t.shrunk_len;
+    rep.message = t.failure;
+    rep.repro_text = t.repro_text;
+    return rep;
+  };
+  return job;
+}
+
+class FleetSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    save("RBVC_JOBS", jobs_);
+    save("RBVC_WORKERS", workers_);
+    save("RBVC_REPLAY", replay_);
+    save("RBVC_FUZZ_EPISODES", episodes_);
+    ::unsetenv("RBVC_WORKERS");
+    ::unsetenv("RBVC_REPLAY");
+    ::unsetenv("RBVC_FUZZ_EPISODES");
+  }
+  void TearDown() override {
+    restore("RBVC_JOBS", jobs_);
+    restore("RBVC_WORKERS", workers_);
+    restore("RBVC_REPLAY", replay_);
+    restore("RBVC_FUZZ_EPISODES", episodes_);
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+ private:
+  static void save(const char* name, std::pair<bool, std::string>& slot) {
+    const char* v = std::getenv(name);
+    slot = {v != nullptr, v ? v : ""};
+  }
+  static void restore(const char* name,
+                      const std::pair<bool, std::string>& slot) {
+    if (slot.first) {
+      ::setenv(name, slot.second.c_str(), 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  std::pair<bool, std::string> jobs_;
+  std::pair<bool, std::string> workers_;
+  std::pair<bool, std::string> replay_;
+  std::pair<bool, std::string> episodes_;
+};
+
+TEST_F(FleetSweepTest, HealthySweepPassesAcrossWorkers) {
+  const harness::AsyncProperty prop = healthy_property(::testing::TempDir());
+  fleet::SweepConfig cfg;
+  cfg.episodes = prop.episodes;
+  cfg.workers = 3;
+  const fleet::SweepOutcome sw = fleet::run_forked_sweep(cfg, job_for(prop));
+  EXPECT_FALSE(sw.failed);
+  EXPECT_EQ(sw.episodes, prop.episodes);
+  EXPECT_EQ(sw.stats.workers_spawned, 3u);
+  EXPECT_EQ(sw.stats.worker_deaths, 0u);
+  EXPECT_EQ(sw.stats.shards_reassigned, 0u);
+  EXPECT_GE(sw.stats.shards_completed, cfg.workers);
+  EXPECT_GE(sw.stats.episodes_run, prop.episodes);
+}
+
+TEST_F(FleetSweepTest, WorkerCrashReassignsOrphanedRangeVerdictUnchanged) {
+  // In-process reference verdict first (workers <= 1 takes the inline
+  // harness path), then a forked sweep where the chaos hook SIGKILLs a
+  // worker mid-sweep. The death must be survived by reassignment, and the
+  // verdict -- episode, message, repro bytes -- must not move.
+  const std::string ref_dir = ::testing::TempDir() + "/fleet_ref";
+  const std::string chaos_dir = ::testing::TempDir() + "/fleet_chaos";
+  std::filesystem::create_directories(ref_dir);
+  std::filesystem::create_directories(chaos_dir);
+
+  ::setenv("RBVC_JOBS", "1", 1);
+  const harness::AsyncProperty ref_prop = planted_property(ref_dir);
+  const auto ref = harness::check_property<harness::AsyncRunner>(ref_prop);
+  ASSERT_FALSE(ref.passed) << harness::describe(ref);
+
+  const harness::AsyncProperty prop = planted_property(chaos_dir);
+  fleet::SweepConfig cfg;
+  cfg.episodes = prop.episodes;
+  cfg.workers = 3;
+  cfg.max_shard = 2;  // many small shards: the kill lands mid-sweep
+  cfg.chaos_kill_after_shards = 1;
+  const fleet::SweepOutcome sw = fleet::run_forked_sweep(cfg, job_for(prop));
+
+  EXPECT_EQ(sw.stats.worker_deaths, 1u);
+  EXPECT_EQ(sw.stats.worker_restarts, 1u);
+  ASSERT_TRUE(sw.failed);
+  EXPECT_EQ(sw.failing_episode, ref.failing_episode);
+  EXPECT_EQ(sw.failure, ref.failure);
+  EXPECT_EQ(sw.original_len, ref.original_len);
+  EXPECT_EQ(sw.shrunk_len, ref.shrunk_len);
+  // The shipped repro bytes ARE the reference file (modulo the property
+  // name baked into both paths being the same here).
+  EXPECT_EQ(sw.repro_text, slurp(ref.repro_path));
+}
+
+TEST_F(FleetSweepTest, CheckPropertyWorkers1Vs8ByteIdenticalRepro) {
+  // The end-to-end contract through check_property itself: RBVC_WORKERS=8
+  // must fork a fleet and still write the byte-identical repro file the
+  // in-process run writes, into its own directory.
+  const std::string dir1 = ::testing::TempDir() + "/workers1";
+  const std::string dir8 = ::testing::TempDir() + "/workers8";
+  std::filesystem::create_directories(dir1);
+  std::filesystem::create_directories(dir8);
+
+  ::setenv("RBVC_JOBS", "2", 1);
+  ::setenv("RBVC_WORKERS", "1", 1);  // <= 1: the in-process path
+  const auto serial =
+      harness::check_property<harness::AsyncRunner>(planted_property(dir1));
+  ASSERT_FALSE(serial.passed) << harness::describe(serial);
+  ASSERT_FALSE(serial.repro_path.empty());
+
+  ::setenv("RBVC_WORKERS", "8", 1);
+  const auto fleet_run =
+      harness::check_property<harness::AsyncRunner>(planted_property(dir8));
+  ASSERT_FALSE(fleet_run.passed) << harness::describe(fleet_run);
+  ASSERT_FALSE(fleet_run.repro_path.empty());
+
+  EXPECT_EQ(fleet_run.failing_episode, serial.failing_episode);
+  EXPECT_EQ(fleet_run.episodes, serial.episodes);
+  EXPECT_EQ(fleet_run.failure, serial.failure);
+  EXPECT_EQ(fleet_run.original_len, serial.original_len);
+  EXPECT_EQ(fleet_run.shrunk_len, serial.shrunk_len);
+  EXPECT_NE(fleet_run.repro_path, serial.repro_path);
+  EXPECT_EQ(slurp(fleet_run.repro_path), slurp(serial.repro_path));
+}
+
+TEST_F(FleetSweepTest, BackToBackFleetSweepsStayByteIdentical) {
+  // Two fleet sweeps in the SAME process must write the same repro bytes.
+  // This pins the publish_metrics opt-in: if the harness path minted
+  // fleet.* keys into the global registry after sweep one, sweep two's
+  // forked workers would inherit them and their repro metrics snapshot
+  // would grow nine extra keys (exactly how `RBVC_WORKERS=4 ctest -L
+  // fuzz` first caught it in parallel_determinism_test).
+  const std::string dira = ::testing::TempDir() + "/fleet_a";
+  const std::string dirb = ::testing::TempDir() + "/fleet_b";
+  std::filesystem::create_directories(dira);
+  std::filesystem::create_directories(dirb);
+
+  ::setenv("RBVC_JOBS", "2", 1);
+  ::setenv("RBVC_WORKERS", "4", 1);
+  const auto first =
+      harness::check_property<harness::AsyncRunner>(planted_property(dira));
+  ASSERT_FALSE(first.passed) << harness::describe(first);
+  const auto second =
+      harness::check_property<harness::AsyncRunner>(planted_property(dirb));
+  ASSERT_FALSE(second.passed) << harness::describe(second);
+
+  EXPECT_EQ(second.failing_episode, first.failing_episode);
+  EXPECT_NE(second.repro_path, first.repro_path);
+  EXPECT_EQ(slurp(second.repro_path), slurp(first.repro_path));
+}
+
+TEST_F(FleetSweepTest, HealthyPropertyThroughCheckPropertyFleet) {
+  ::setenv("RBVC_JOBS", "1", 1);
+  ::setenv("RBVC_WORKERS", "4", 1);
+  const auto res = harness::check_property<harness::AsyncRunner>(
+      healthy_property(::testing::TempDir()));
+  EXPECT_TRUE(res.passed) << harness::describe(res);
+  EXPECT_EQ(res.episodes, 16u);
+  EXPECT_TRUE(res.repro_path.empty());
+}
+
+TEST_F(FleetSweepTest, EnvWorkersParsesLikeEnvJobs) {
+  ::setenv("RBVC_WORKERS", "6", 1);
+  EXPECT_EQ(fleet::env_workers(), 6u);
+  ::setenv("RBVC_WORKERS", "0", 1);
+  EXPECT_EQ(fleet::env_workers(), 0u);
+  ::setenv("RBVC_WORKERS", "banana", 1);
+  EXPECT_EQ(fleet::env_workers(), 0u);
+  ::setenv("RBVC_WORKERS", "4x", 1);
+  EXPECT_EQ(fleet::env_workers(), 0u);
+  ::unsetenv("RBVC_WORKERS");
+  EXPECT_EQ(fleet::env_workers(), 0u);
+}
+
+}  // namespace
+}  // namespace rbvc

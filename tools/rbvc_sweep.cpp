@@ -1,0 +1,334 @@
+// rbvc-sweep: multi-process episode sweep driver (docs/FLEET.md).
+//
+// Default mode forks `--workers` local worker processes and shards the
+// chosen workload's episode range across them (fleet/spawn.h); with
+// `--workers 1` the sweep runs fully in-process through the exact same
+// harness path (harness/property.h), which is what CI's sweep-smoke job
+// diffs fleet repro files against. A coordinator can also serve remote
+// workers over TCP: `--listen PORT` accepts `--workers` connections, and
+// `rbvc-sweep --worker HOST:PORT` turns the process into one such worker.
+//
+// Workloads are fixed, seeded property sweeps over the async consensus
+// engine: `healthy` passes; `planted` uses the sub-quorum override so a
+// known fraction of episodes violate agreement -- the sweep must report
+// the lowest failing episode and write a repro file byte-identical to a
+// single-process run at any worker count. CI kills a worker mid-sweep
+// (`--kill-worker-after`) and checks exactly that.
+//
+// Exit code: 0 when the sweep ran to a verdict (pass OR planted failure),
+// 2 on operational error. The verdict itself goes to stdout and, with
+// --json, into a metrics dump (fleet.* counters, sweep.* gauges).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "fleet/spawn.h"
+#include "harness/property.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace rbvc;
+
+struct Options {
+  std::string workload = "healthy";  // healthy | planted
+  std::size_t episodes = 0;          // 0 = workload default
+  std::size_t workers = 1;
+  std::size_t jobs = 0;  // per-worker pool width; 0 = RBVC_JOBS/default
+  std::uint64_t seed = 20260806;
+  std::uint64_t max_shard = 4096;
+  std::uint64_t kill_after = 0;  // chaos: SIGKILL a worker after N shards
+  std::string json;              // metrics dump path
+  std::string repro_dir = ".";
+  int listen_port = -1;         // coordinator for TCP workers
+  std::string worker_connect;   // worker mode: HOST:PORT
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: rbvc-sweep [--workload healthy|planted] [--episodes N]\n"
+      "                  [--workers N] [--jobs N] [--seed S]\n"
+      "                  [--max-shard N] [--kill-worker-after K]\n"
+      "                  [--repro-out DIR] [--json PATH]\n"
+      "                  [--listen PORT | --worker HOST:PORT]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_and_exit();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--workload") {
+      o.workload = value(i);
+    } else if (a == "--episodes") {
+      o.episodes = std::strtoul(value(i), nullptr, 10);
+    } else if (a == "--workers") {
+      o.workers = std::strtoul(value(i), nullptr, 10);
+    } else if (a == "--jobs") {
+      o.jobs = std::strtoul(value(i), nullptr, 10);
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (a == "--max-shard") {
+      o.max_shard = std::strtoull(value(i), nullptr, 10);
+    } else if (a == "--kill-worker-after") {
+      o.kill_after = std::strtoull(value(i), nullptr, 10);
+    } else if (a == "--json") {
+      o.json = value(i);
+    } else if (a == "--repro-out") {
+      o.repro_dir = value(i);
+    } else if (a == "--listen") {
+      o.listen_port = static_cast<int>(std::strtol(value(i), nullptr, 10));
+    } else if (a == "--worker") {
+      o.worker_connect = value(i);
+    } else {
+      std::fprintf(stderr, "rbvc-sweep: unknown flag %s\n", a.c_str());
+      usage_and_exit();
+    }
+  }
+  if (o.workload != "healthy" && o.workload != "planted") {
+    std::fprintf(stderr, "rbvc-sweep: unknown workload %s\n",
+                 o.workload.c_str());
+    usage_and_exit();
+  }
+  return o;
+}
+
+/// The sweep workloads. Both are deterministic functions of (seed, episode
+/// index) -- coordinator and TCP workers reconstruct identical properties
+/// from the flags alone, so the protocol never ships closures.
+harness::AsyncProperty make_workload(const Options& o) {
+  harness::AsyncProperty prop;
+  prop.base_seed = o.seed;
+  prop.repro_dir = o.repro_dir;
+  if (o.workload == "planted") {
+    // Sub-quorum override (test-only hook): divergent views surface as
+    // disagreement in a known fraction of episodes.
+    prop.name = "sweep_planted";
+    prop.generate = [](Rng& rng) {
+      workload::AsyncExperiment e;
+      e.prm.n = 4;
+      e.prm.f = 1;
+      e.prm.rounds = 2;
+      e.prm.use_witness = false;
+      e.prm.quorum_override = 2;
+      e.d = 2;
+      e.honest_inputs = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+      e.scheduler = workload::SchedulerKind::kRandom;
+      e.seed = rng.next_u64();
+      return e;
+    };
+    prop.episodes = o.episodes ? o.episodes : 24;
+    prop.shrink_budget = 120;
+  } else {
+    prop.name = "sweep_healthy";
+    prop.generate = [](Rng& rng) {
+      workload::AsyncExperiment e;
+      e.prm.n = 4;
+      e.prm.f = 1;
+      e.prm.rounds = 4;
+      e.d = 2;
+      e.honest_inputs = workload::gaussian_cloud(rng, 3, 2);
+      e.byzantine_ids = {rng.below(4)};
+      e.strategy = workload::AsyncStrategy::kOutlierInput;
+      e.seed = rng.next_u64();
+      return e;
+    };
+    prop.episodes = o.episodes ? o.episodes : 64;
+  }
+  prop.oracle = harness::decide_agree_valid_oracle(0.5, 1.0);
+  return prop;
+}
+
+fleet::WorkerJob make_job(const harness::AsyncProperty& prop,
+                          std::size_t jobs) {
+  fleet::WorkerJob job;
+  job.jobs = jobs;
+  job.episode = [&prop](std::size_t ep) {
+    return harness::detail::episode_fails(prop, ep);
+  };
+  job.failure_report = [&prop](std::size_t failing) {
+    const harness::detail::FailureTail t =
+        harness::detail::failure_tail(prop, failing);
+    fleet::FailureReport rep;
+    rep.episode = failing;
+    rep.original_len = t.original_len;
+    rep.shrunk_len = t.shrunk_len;
+    rep.message = t.failure;
+    rep.repro_text = t.repro_text;
+    return rep;
+  };
+  return job;
+}
+
+int run_tcp_worker(const Options& o) {
+  const auto colon = o.worker_connect.rfind(':');
+  if (colon == std::string::npos) usage_and_exit();
+  const std::string host = o.worker_connect.substr(0, colon);
+  const int port =
+      static_cast<int>(std::strtol(o.worker_connect.c_str() + colon + 1,
+                                   nullptr, 10));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("rbvc-sweep: socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("rbvc-sweep: bad worker address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("rbvc-sweep: connect to " + o.worker_connect +
+                             " failed");
+  }
+  const harness::AsyncProperty prop = make_workload(o);
+  const int rc = fleet::run_worker(fd, make_job(prop, o.jobs));
+  ::close(fd);
+  return rc;
+}
+
+/// Accepts `o.workers` TCP workers and coordinates them. The workers must
+/// be launched with the same --workload/--seed/--episodes flags.
+fleet::SweepOutcome run_tcp_coordinator(const Options& o,
+                                        const harness::AsyncProperty& prop) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) throw std::runtime_error("rbvc-sweep: socket failed");
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(o.listen_port));
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(lfd, static_cast<int>(o.workers)) != 0) {
+    throw std::runtime_error("rbvc-sweep: bind/listen on port " +
+                             std::to_string(o.listen_port) + " failed");
+  }
+  std::printf("rbvc-sweep: waiting for %zu workers on 127.0.0.1:%d\n",
+              o.workers, o.listen_port);
+  fleet::SweepConfig cfg;
+  cfg.episodes = prop.episodes;
+  cfg.workers = o.workers;
+  cfg.max_shard = o.max_shard;
+  cfg.chaos_kill_after_shards = 0;  // no pids to kill over TCP
+  cfg.publish_metrics = true;       // single-sweep process: safe to mint
+  fleet::Coordinator coord(cfg);
+  for (std::size_t i = 0; i < o.workers; ++i) {
+    const int wfd = ::accept(lfd, nullptr, nullptr);
+    if (wfd < 0) throw std::runtime_error("rbvc-sweep: accept failed");
+    coord.add_worker(wfd, /*pid=*/0);
+  }
+  ::close(lfd);
+  return coord.run();
+}
+
+int run_sweep(const Options& o) {
+  const harness::AsyncProperty prop = make_workload(o);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  harness::PropertyResult r;
+  fleet::SweepStats stats;
+  if (o.listen_port >= 0 || o.workers > 1) {
+    fleet::SweepOutcome sw;
+    if (o.listen_port >= 0) {
+      sw = run_tcp_coordinator(o, prop);
+    } else {
+      fleet::SweepConfig cfg;
+      cfg.episodes = prop.episodes;
+      cfg.workers = o.workers;
+      cfg.max_shard = o.max_shard;
+      cfg.chaos_kill_after_shards = o.kill_after;
+      cfg.publish_metrics = true;  // single-sweep process: safe to mint
+      sw = fleet::run_forked_sweep(cfg, make_job(prop, o.jobs));
+    }
+    stats = sw.stats;
+    r.episodes = static_cast<std::size_t>(sw.episodes);
+    if (sw.failed) {
+      r.passed = false;
+      r.failing_episode = static_cast<std::size_t>(sw.failing_episode);
+      r.failure = sw.failure;
+      r.original_len = static_cast<std::size_t>(sw.original_len);
+      r.shrunk_len = static_cast<std::size_t>(sw.shrunk_len);
+      r.repro_path = harness::detail::repro_file_path(prop);
+      harness::write_repro_text(r.repro_path, sw.repro_text);
+    }
+  } else {
+    // Single-process reference path: the exact harness pipeline fleet
+    // runs are diffed against.
+    ::unsetenv("RBVC_WORKERS");
+    if (o.jobs) {
+      ::setenv("RBVC_JOBS", std::to_string(o.jobs).c_str(), 1);
+    }
+    r = harness::check_property<harness::AsyncRunner>(prop);
+  }
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  const double eps_per_s =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(r.episodes) / wall_ms : 0.0;
+
+  std::printf("workload:  %s (episodes=%zu seed=%llu)\n", o.workload.c_str(),
+              prop.episodes, static_cast<unsigned long long>(o.seed));
+  std::printf("fanout:    workers=%zu jobs=%zu\n", o.workers,
+              o.jobs ? o.jobs : exec::default_jobs());
+  std::printf("verdict:   %s\n", r.passed ? "PASS" : "FAIL");
+  if (!r.passed) {
+    std::printf("failing:   episode %zu: %s\n", r.failing_episode,
+                r.failure.c_str());
+    std::printf("schedule:  %zu -> %zu entries\n", r.original_len,
+                r.shrunk_len);
+    std::printf("repro:     %s\n", r.repro_path.c_str());
+  }
+  std::printf("episodes:  %zu in %.1f ms (%.1f episodes/s)\n", r.episodes,
+              wall_ms, eps_per_s);
+  if (o.workers > 1 || o.listen_port >= 0) {
+    std::printf(
+        "fleet:     shards=%llu reassigned=%llu deaths=%llu restarts=%llu\n",
+        static_cast<unsigned long long>(stats.shards_completed),
+        static_cast<unsigned long long>(stats.shards_reassigned),
+        static_cast<unsigned long long>(stats.worker_deaths),
+        static_cast<unsigned long long>(stats.worker_restarts));
+  }
+
+  if (!o.json.empty()) {
+    // Minted after the sweep (and after any repro write), so these keys
+    // can never leak into a repro's metrics snapshot.
+    obs::Registry& reg = obs::global();
+    reg.gauge("sweep.episodes").set(static_cast<double>(r.episodes));
+    reg.gauge("sweep.failed").set(r.passed ? 0.0 : 1.0);
+    reg.gauge("sweep.wall_ms").set(wall_ms);
+    reg.gauge("sweep.episodes_per_s").set(eps_per_s);
+    reg.gauge("sweep.workers").set(static_cast<double>(o.workers));
+    obs::export_global(o.json);
+    std::printf("metrics:   %s\n", o.json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse_args(argc, argv);
+    if (!o.worker_connect.empty()) return run_tcp_worker(o);
+    return run_sweep(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rbvc-sweep: %s\n", e.what());
+    return 2;
+  }
+}
